@@ -1,0 +1,75 @@
+// Experiment E5 — impact of data context (§3 goal ii): sweeps the
+// coverage of the reference address data from 0% to 100% and reports
+// CFDs learned, repairs applied and the resulting postcode validity.
+//
+// Paper claim (shape): data context "allows various of the steps from
+// bootstrapping to be revisited ... and thereby to carry out repairs to
+// the mapping results. The result data should now be of better quality."
+// More reference coverage => more learned dependencies bite => more
+// repairs => higher validity, saturating near full coverage.
+#include "bench/bench_util.h"
+#include "wrangler/evaluation.h"
+#include "wrangler/session.h"
+
+int main() {
+  using namespace vada;
+  using namespace vada::bench;
+
+  std::printf("E5: data-context coverage sweep (reference addresses)\n\n");
+
+  Table table({"reference coverage", "cfds", "postcode_valid", "overall",
+               "rows"});
+  for (double coverage : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // Aggregate over seeds for stability.
+    double cfds = 0.0;
+    double pc_valid = 0.0;
+    double overall = 0.0;
+    double rows = 0.0;
+    const int kSeeds = 3;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Scenario sc = MakeScenario(300 + seed, 200, 30);
+      WranglingSession session;
+      Status s = session.SetTargetSchema(PaperTargetSchema());
+      if (s.ok()) s = session.AddSource(sc.rightmove);
+      if (s.ok()) s = session.AddSource(sc.onthemarket);
+      if (s.ok()) s = session.AddSource(sc.deprivation);
+      if (coverage > 0.0 && s.ok()) {
+        OpenGovernmentOptions og;
+        og.coverage = coverage;
+        og.seed = 40 + seed;
+        Relation address = GenerateAddressReference(sc.truth, og);
+        if (!address.empty()) {
+          s = session.AddDataContext(address, RelationRole::kReference,
+                                     {{"street", "street"},
+                                      {"postcode", "postcode"}});
+        }
+      }
+      if (s.ok()) s = session.Run();
+      if (!s.ok()) {
+        std::fprintf(stderr, "coverage %.2f seed %d: %s\n", coverage, seed,
+                     s.ToString().c_str());
+        continue;
+      }
+      const Relation* cfd_rel = session.kb().FindRelation("cfd");
+      cfds += (cfd_rel == nullptr ? 0.0
+                                  : static_cast<double>(cfd_rel->size())) /
+              kSeeds;
+      ScenarioEvaluation eval = EvaluateScenario(*session.result(), sc.truth);
+      pc_valid += eval.postcode_valid_rate / kSeeds;
+      overall += eval.overall / kSeeds;
+      rows += static_cast<double>(eval.rows) / kSeeds;
+    }
+    table.AddRow({Fmt(coverage, 2), Fmt(cfds, 1), Fmt(pc_valid), Fmt(overall),
+                  Fmt(rows, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: with no data context (coverage 0.00) nothing can\n"
+      "be learned — consistency is not even measurable (paper §2.3) — and\n"
+      "selection stays on the postcode-filtering joins (trivially valid\n"
+      "postcodes, lowest row count). Once reference data exists, wider\n"
+      "selection exposes raw extraction typos and repair progressively\n"
+      "removes them: postcode_valid rises monotonically with coverage\n"
+      "while the result stays larger than the no-context baseline.\n");
+  return 0;
+}

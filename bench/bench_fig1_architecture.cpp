@@ -1,0 +1,92 @@
+// Experiment E1 — Figure 1 (the VADA architecture): demonstrates that
+// every architectural component participates in an end-to-end run and
+// measures where the time goes. The "figure" is reproduced as the set of
+// components exercised plus their interactions (the orchestration trace).
+#include <map>
+
+#include "bench/bench_util.h"
+#include "wrangler/session.h"
+
+int main() {
+  using namespace vada;
+  using namespace vada::bench;
+
+  std::printf("E1: architecture liveness + component timing (Figure 1)\n\n");
+  Scenario sc = MakeScenario(7);
+
+  WranglingSession session;
+  Status s = session.SetTargetSchema(PaperTargetSchema());
+  if (s.ok()) s = session.AddSource(sc.rightmove);
+  if (s.ok()) s = session.AddSource(sc.onthemarket);
+  if (s.ok()) s = session.AddSource(sc.deprivation);
+  if (s.ok()) {
+    s = session.AddDataContext(sc.address, RelationRole::kReference,
+                               {{"street", "street"},
+                                {"postcode", "postcode"}});
+  }
+  UserContext uc;
+  uc.AddStatement("completeness", "crimerank", "strongly", "accuracy",
+                  "property.type");
+  if (s.ok()) s = session.SetUserContext(uc);
+
+  OrchestrationStats stats;
+  double total_ms = TimeMs([&] {
+    if (s.ok()) s = session.Run(&stats);
+  });
+  if (!s.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Aggregate per-transducer timing from the trace.
+  std::map<std::string, std::pair<size_t, double>> per_transducer;
+  std::map<std::string, double> per_activity;
+  for (const TraceEvent& e : session.trace().events()) {
+    per_transducer[e.transducer].first += 1;
+    per_transducer[e.transducer].second += e.duration_ms;
+    per_activity[e.activity] += e.duration_ms;
+  }
+
+  Table table({"component (transducer)", "activity", "executions",
+               "total ms"});
+  for (const auto& [name, stat] : per_transducer) {
+    std::string activity;
+    for (const TraceEvent& e : session.trace().events()) {
+      if (e.transducer == name) {
+        activity = e.activity;
+        break;
+      }
+    }
+    table.AddRow({name, activity, std::to_string(stat.first),
+                  Fmt(stat.second, 2)});
+  }
+  table.Print();
+
+  std::printf("\norchestration: %zu steps (%zu effective), "
+              "%zu dependency checks, %.1f ms wall\n",
+              stats.steps, stats.effective_steps, stats.dependency_checks,
+              total_ms);
+  std::printf("knowledge base relations after run: %zu\n",
+              session.kb().RelationNames().size());
+  std::printf("result rows: %zu\n",
+              session.result() == nullptr ? 0 : session.result()->size());
+
+  std::printf("\nFigure 1 component checklist:\n");
+  auto check = [&](const char* label, bool ok) {
+    std::printf("  [%s] %s\n", ok ? "x" : " ", label);
+  };
+  check("Transducers (all standard components executed)",
+        per_transducer.size() >= 8);
+  check("Knowledge Base (holds data + metadata + control relations)",
+        session.kb().HasRelation("match") && session.kb().HasRelation(
+            "quality_metric"));
+  check("Vadalog Reasoner (dependencies + mappings evaluated as Datalog)",
+        session.kb().HasRelation("mapping"));
+  check("User Context (pairwise priorities drove selection)",
+        session.kb().HasRelation("user_context"));
+  check("Data Context (reference data registered)",
+        session.kb().HasRelation("data_context"));
+  check("Dynamic orchestration trace (browsable)",
+        session.trace().size() > 0);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Experiment E12 — duplicate detection + fusion ablation (§2: "a data
+// fusion transducer may start to evaluate when duplicates have been
+// detected"): measures pairwise dedup quality and fusion's null-filling
+// as the overlap between the two portals grows.
+//
+// Expected shape: dedup recall/precision stay high across overlap rates;
+// fused size tracks |union of distinct properties|; conflicts resolved
+// and nulls filled grow with overlap.
+#include <map>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "fusion/dedup.h"
+#include "fusion/fuser.h"
+
+namespace {
+
+using namespace vada;
+
+/// Builds a combined relation from two portal extractions over the same
+/// universe, tagging each row with its true property id (kept outside the
+/// relation) so dedup decisions can be scored.
+struct Combined {
+  Relation rel{Schema()};
+  std::vector<int64_t> truth_id;  // parallel to rel rows
+};
+
+Combined CombinePortals(const GroundTruth& truth, double overlap,
+                        uint64_t seed) {
+  // Portal A covers `overlap + (1-overlap)/2`; portal B likewise from the
+  // other side, so the expected co-listed fraction is `overlap`.
+  ExtractionErrorOptions a_opts;
+  a_opts.seed = seed;
+  a_opts.coverage = 1.0;  // manual coverage below
+  ExtractionErrorOptions b_opts;
+  b_opts.seed = seed + 1;
+  b_opts.coverage = 1.0;
+  Relation a = ExtractRightmove(truth, a_opts);
+  Relation b = ExtractRightmove(truth, b_opts);  // same schema: easier scoring
+
+  Combined out;
+  out.rel = Relation(Schema::Untyped(
+      "combined",
+      {"price", "street", "postcode", "bedrooms", "type", "description"}));
+  Rng rng(seed + 7);
+  // Row index in the extraction corresponds to universe order filtered by
+  // coverage=1, i.e. property i = row i.
+  size_t n = truth.properties.size();
+  for (size_t i = 0; i < n && i < a.size() && i < b.size(); ++i) {
+    double coin = rng.UniformDouble();
+    bool in_a = coin < overlap || (coin >= overlap && coin < overlap +
+                                   (1.0 - overlap) / 2.0);
+    bool in_b = coin < overlap || coin >= overlap + (1.0 - overlap) / 2.0;
+    if (in_a) {
+      bool added = false;
+      out.rel.InsertUnchecked(a.rows()[i], &added);
+      if (added) out.truth_id.push_back(static_cast<int64_t>(i));
+    }
+    if (in_b) {
+      bool added = false;
+      out.rel.InsertUnchecked(b.rows()[i], &added);
+      if (added) out.truth_id.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vada::bench;
+
+  std::printf("E12: duplicate detection + fusion vs portal overlap\n\n");
+
+  PropertyUniverseOptions uopts;
+  uopts.num_properties = 300;
+  uopts.num_postcodes = 40;
+  uopts.seed = 404;
+  GroundTruth truth = GeneratePropertyUniverse(uopts);
+
+  Table table({"overlap", "input rows", "clusters", "pair precision",
+               "pair recall", "nulls filled", "ms"});
+  for (double overlap : {0.0, 0.25, 0.5, 0.75}) {
+    Combined combined = CombinePortals(truth, overlap, 50);
+    DedupOptions opts;
+    opts.blocking_attributes = {"postcode"};
+    opts.threshold = 0.8;
+    DuplicateDetector detector(opts);
+
+    Result<std::vector<DuplicatePair>> pairs(std::vector<DuplicatePair>{});
+    Result<DuplicateClusters> clusters(DuplicateClusters{});
+    double ms = TimeMs([&] {
+      pairs = detector.FindDuplicates(combined.rel);
+      clusters = detector.Cluster(combined.rel);
+    });
+    if (!pairs.ok() || !clusters.ok()) {
+      std::fprintf(stderr, "dedup failed\n");
+      continue;
+    }
+
+    // Score pairs against truth ids.
+    size_t tp = 0;
+    for (const DuplicatePair& p : pairs.value()) {
+      if (combined.truth_id[p.row_a] == combined.truth_id[p.row_b]) ++tp;
+    }
+    // True duplicate pair count: properties listed twice.
+    std::map<int64_t, size_t> listing_count;
+    for (int64_t id : combined.truth_id) ++listing_count[id];
+    size_t true_pairs = 0;
+    for (const auto& [id, count] : listing_count) {
+      true_pairs += count * (count - 1) / 2;
+    }
+    double precision = pairs.value().empty()
+                           ? 1.0
+                           : static_cast<double>(tp) / pairs.value().size();
+    double recall = true_pairs == 0
+                        ? 1.0
+                        : static_cast<double>(tp) / true_pairs;
+
+    Fuser fuser;
+    FusionStats stats;
+    Result<Relation> fused =
+        fuser.Fuse(combined.rel, clusters.value(), "fused", &stats);
+    if (!fused.ok()) continue;
+
+    table.AddRow({Fmt(overlap, 2), std::to_string(combined.rel.size()),
+                  std::to_string(clusters.value().num_clusters),
+                  Fmt(precision), Fmt(recall),
+                  std::to_string(stats.nulls_filled), Fmt(ms, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: at overlap 0.00 no true duplicate exists, so\n"
+      "precision is vacuously 0 over a handful of twin-property false\n"
+      "positives and recall vacuously 1. Once real duplicates exist,\n"
+      "precision sits near 0.8 and recall around 0.6-0.7 — extraction\n"
+      "noise both hides duplicates (postcode typos break the blocking\n"
+      "key; bedroom-area corruption lowers similarity) and never rises\n"
+      "with overlap, while nulls filled grows with overlap as fusion\n"
+      "recovers values across portals.\n");
+  return 0;
+}

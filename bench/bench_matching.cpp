@@ -1,0 +1,122 @@
+// Experiment E10 — matching ablation (§2.1: "attribute correspondences
+// may need to be derived by schema matchers"; Table 1: instance matching
+// needs instances): measures match quality of schema-name matching alone
+// vs schema+instance evidence, as source attribute names degrade from
+// the paper's portal names to fully cryptic ones.
+//
+// Expected shape: name-based matching collapses as names degrade;
+// instance evidence keeps identifying value-bearing columns, so the
+// combined matcher degrades far more gracefully.
+#include <map>
+
+#include "bench/bench_util.h"
+#include "match/combiner.h"
+#include "match/instance_matcher.h"
+#include "match/schema_matcher.h"
+
+namespace {
+
+using namespace vada;
+
+/// Ground-truth correspondence for a renamed rightmove-style source.
+/// Position i of the source corresponds to kTargetOf[i].
+const char* kTargetOf[] = {"price", "street", "postcode",
+                           "bedrooms", "type", "description"};
+
+Relation RenameSource(const Relation& src,
+                      const std::vector<std::string>& names) {
+  Relation out(Schema::Untyped(src.name() + "_renamed", names));
+  for (const Tuple& row : src.rows()) out.InsertUnchecked(row);
+  return out;
+}
+
+struct MatchQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+MatchQuality Evaluate(const std::vector<MatchCandidate>& matches,
+                      const Relation& source) {
+  std::map<std::string, std::string> predicted;  // source attr -> target
+  for (const MatchCandidate& m : matches) {
+    predicted[m.source_attribute] = m.target_attribute;
+  }
+  size_t tp = 0;
+  for (size_t i = 0; i < 6; ++i) {
+    const std::string& attr = source.schema().attributes()[i].name;
+    auto it = predicted.find(attr);
+    if (it != predicted.end() && it->second == kTargetOf[i]) ++tp;
+  }
+  MatchQuality q;
+  q.precision = predicted.empty()
+                    ? 0.0
+                    : static_cast<double>(tp) / predicted.size();
+  q.recall = static_cast<double>(tp) / 6.0;
+  q.f1 = (q.precision + q.recall) > 0
+             ? 2 * q.precision * q.recall / (q.precision + q.recall)
+             : 0.0;
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vada::bench;
+
+  std::printf("E10: schema-only vs schema+instance matching under "
+              "attribute-name degradation\n\n");
+
+  Scenario sc = MakeScenario(77, 250, 35);
+  Schema target = PaperTargetSchema();
+
+  struct NameSet {
+    const char* label;
+    std::vector<std::string> names;
+  };
+  std::vector<NameSet> name_sets = {
+      {"identical", {"price", "street", "postcode", "bedrooms", "type",
+                     "description"}},
+      {"portal synonyms", {"cost", "road", "post_code", "beds", "category",
+                           "details"}},
+      {"abbreviated", {"prc", "strt", "pcd", "bdrms", "typ", "descr"}},
+      {"cryptic", {"f1", "f2", "f3", "f4", "f5", "f6"}},
+  };
+
+  Table table({"source attribute names", "schema-only F1",
+               "schema+instance F1"});
+
+  for (const NameSet& ns : name_sets) {
+    Relation source = RenameSource(sc.rightmove, ns.names);
+
+    // Schema-only.
+    SchemaMatcher schema_matcher;
+    std::vector<MatchCandidate> schema_matches =
+        schema_matcher.Match(source.schema(), target);
+    MatchQuality schema_q =
+        Evaluate(CombineMatches(schema_matches), source);
+
+    // Schema + instance evidence against the reference address data (for
+    // string columns) and the deprivation/postcode universe.
+    InstanceMatcher instance_matcher;
+    std::vector<MatchCandidate> all = schema_matches;
+    std::vector<MatchCandidate> inst = instance_matcher.Match(
+        source, sc.address, target.relation_name(),
+        {{"street", "street"}, {"postcode", "postcode"}, {"city", "city"}});
+    for (MatchCandidate& m : inst) {
+      if (target.AttributeIndex(m.target_attribute).has_value()) {
+        all.push_back(m);
+      }
+    }
+    MatchQuality combined_q = Evaluate(CombineMatches(all), source);
+
+    table.AddRow({ns.label, Fmt(schema_q.f1), Fmt(combined_q.f1)});
+  }
+  table.Print();
+  std::printf(
+      "\nexpected shape: schema-only F1 decays with name degradation; "
+      "instance evidence holds up the value-bearing columns "
+      "(street/postcode), so the combined column dominates schema-only "
+      "everywhere and especially at 'cryptic'.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// A second domain: wrangling open-government air-quality measurements
+// with cryptically named source columns. Schema matching alone cannot
+// resolve columns called "f1".."f4"; associating reference data (the data
+// context) enables the instance matcher, which identifies them from the
+// values. This is the paper's point (ii): the impact of data context.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "wrangler/session.h"
+
+namespace {
+
+using vada::Relation;
+using vada::Schema;
+using vada::Tuple;
+using vada::Value;
+
+/// Synthetic sensor feed with opaque column names: f1=station id,
+/// f2=pollutant, f3=reading, f4=postcode.
+Relation MakeSensorFeed(int rows, uint64_t seed,
+                        const std::vector<std::string>& stations,
+                        const std::vector<std::string>& postcodes) {
+  vada::Rng rng(seed);
+  Relation rel(Schema::Untyped("sensor_feed", {"f1", "f2", "f3", "f4"}));
+  const char* pollutants[] = {"NO2", "PM2.5", "PM10", "O3"};
+  for (int i = 0; i < rows; ++i) {
+    size_t st = rng.Index(stations.size());
+    rel.InsertUnchecked(
+        Tuple({Value::String(stations[st]),
+               Value::String(pollutants[rng.Index(4)]),
+               Value::Double(5.0 + 60.0 * rng.UniformDouble()),
+               Value::String(postcodes[st % postcodes.size()])}));
+  }
+  return rel;
+}
+
+/// Reference data: the official station registry.
+Relation MakeStationRegistry(const std::vector<std::string>& stations,
+                             const std::vector<std::string>& postcodes) {
+  Relation rel(Schema::Untyped("station_registry", {"station", "postcode"}));
+  for (size_t i = 0; i < stations.size(); ++i) {
+    rel.InsertUnchecked(Tuple({Value::String(stations[i]),
+                               Value::String(postcodes[i % postcodes.size()])}));
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vada;
+
+  std::vector<std::string> stations = {"MAN-Picc", "MAN-Oxford", "SAL-Quays",
+                                       "STK-Centre", "BUR-East"};
+  std::vector<std::string> postcodes = {"M1 1AA", "M13 9PL", "M50 3AZ",
+                                        "SK1 3TA", "BL9 0AA"};
+
+  Relation feed = MakeSensorFeed(400, 99, stations, postcodes);
+  Relation registry = MakeStationRegistry(stations, postcodes);
+
+  WranglingSession session;
+  Status s = session.SetTargetSchema(Schema::Untyped(
+      "air_quality", {"station", "pollutant", "reading", "postcode"}));
+  if (s.ok()) s = session.AddSource(feed);
+  if (s.ok()) s = session.Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const Relation* bootstrap = session.result();
+  std::printf("=== bootstrap (schema matching only) ===\n");
+  std::printf("result rows: %zu  (cryptic names f1..f4 defeat name-based "
+              "matching)\n",
+              bootstrap == nullptr ? 0 : bootstrap->size());
+
+  // Attach the station registry as reference data: instance matching can
+  // now identify f1 as the station column and f4 as the postcode column.
+  s = session.AddDataContext(registry, RelationRole::kReference,
+                             {{"station", "station"},
+                              {"postcode", "postcode"}});
+  if (s.ok()) s = session.Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "data-context run failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n=== with data context (instance matching enabled) ===\n");
+  const Relation* matches = session.kb().FindRelation("match");
+  if (matches != nullptr) {
+    std::printf("consolidated matches:\n%s", matches->ToDebugString(12).c_str());
+  }
+  const Relation* result = session.result();
+  std::printf("result rows: %zu\n%s", result == nullptr ? 0 : result->size(),
+              result == nullptr ? "" : result->ToDebugString(5).c_str());
+
+  std::printf("\norchestration executions:\n");
+  for (const auto& [name, count] : session.trace().ExecutionCounts()) {
+    std::printf("  %-24s %zu\n", name.c_str(), count);
+  }
+  return 0;
+}

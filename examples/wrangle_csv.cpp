@@ -1,0 +1,208 @@
+// A command-line wrangler: point it at CSV files, name a target schema,
+// get a wrangled CSV back — the session API as a shippable tool.
+//
+//   wrangle_csv --target name,price,postcode \
+//               --source shops_a.csv --source shops_b.csv \
+//               [--reference addr.csv --bind postcode=pc --bind street=str] \
+//               [--out result.csv] [--save-kb kb_dir] [--trace] [--explain N]
+//
+// Every flag maps 1:1 onto a WranglingSession call, so this file doubles
+// as an API walkthrough.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "kb/csv.h"
+#include "kb/persistence.h"
+#include "wrangler/session.h"
+
+namespace {
+
+using namespace vada;
+
+struct Args {
+  std::vector<std::string> target_attributes;
+  std::vector<std::string> source_paths;
+  std::string reference_path;
+  std::vector<ContextCorrespondence> bindings;
+  std::string out_path;
+  std::string save_kb_dir;
+  bool trace = false;
+  int explain_rows = 0;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: wrangle_csv --target a,b,c --source f.csv [--source g.csv ...]\n"
+      "                   [--reference ref.csv --bind target_attr=ref_attr ...]\n"
+      "                   [--out result.csv] [--save-kb dir] [--trace]\n"
+      "                   [--explain N]\n");
+}
+
+/// Relation name from a path: "data/shops_a.csv" -> "shops_a".
+std::string RelationNameFor(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string base = (slash == std::string::npos) ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base = base.substr(0, dot);
+  std::string out;
+  for (char c : base) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out.empty() ? "source" : out;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--target") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->target_attributes = Split(v, ',');
+    } else if (flag == "--source") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->source_paths.push_back(v);
+    } else if (flag == "--reference") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->reference_path = v;
+    } else if (flag == "--bind") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      std::vector<std::string> parts = Split(v, '=');
+      if (parts.size() != 2) return false;
+      args->bindings.push_back({parts[0], parts[1]});
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (flag == "--save-kb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_kb_dir = v;
+    } else if (flag == "--trace") {
+      args->trace = true;
+    } else if (flag == "--explain") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->explain_rows = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return !args->target_attributes.empty() && !args->source_paths.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  WranglingSession session;
+  Status s = session.SetTargetSchema(
+      Schema::Untyped("target", args.target_attributes));
+  if (!s.ok()) {
+    std::fprintf(stderr, "target schema: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  for (const std::string& path : args.source_paths) {
+    Result<Relation> rel = ReadCsvFile(path, RelationNameFor(path));
+    if (!rel.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   rel.status().ToString().c_str());
+      return 1;
+    }
+    s = session.AddSource(rel.value());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "source %s: %zu rows\n", rel.value().name().c_str(),
+                 rel.value().size());
+  }
+
+  if (!args.reference_path.empty()) {
+    if (args.bindings.empty()) {
+      std::fprintf(stderr,
+                   "--reference needs at least one --bind target=ref\n");
+      return 2;
+    }
+    Result<Relation> ref =
+        ReadCsvFile(args.reference_path, RelationNameFor(args.reference_path));
+    if (!ref.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.reference_path.c_str(),
+                   ref.status().ToString().c_str());
+      return 1;
+    }
+    s = session.AddDataContext(ref.value(), RelationRole::kReference,
+                               args.bindings);
+    if (!s.ok()) {
+      std::fprintf(stderr, "data context: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  s = session.Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "wrangling failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const Relation* result = session.result();
+  if (result == nullptr) {
+    std::fprintf(stderr, "no result produced\n");
+    return 1;
+  }
+  std::fprintf(stderr, "result: %zu rows via mappings:", result->size());
+  for (const std::string& id : session.selected_mappings()) {
+    std::fprintf(stderr, " %s", id.c_str());
+  }
+  std::fprintf(stderr, "\n");
+
+  if (args.out_path.empty()) {
+    std::fputs(ToCsv(*result).c_str(), stdout);
+  } else {
+    s = WriteCsvFile(*result, args.out_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", args.out_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!args.save_kb_dir.empty()) {
+    s = SaveKnowledgeBase(session.kb(), args.save_kb_dir);
+    if (!s.ok()) {
+      std::fprintf(stderr, "save-kb: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "knowledge base saved to %s\n",
+                 args.save_kb_dir.c_str());
+  }
+
+  if (args.trace) {
+    std::fprintf(stderr, "%s", session.trace().ToString().c_str());
+  }
+  for (int i = 0; i < args.explain_rows &&
+                  i < static_cast<int>(result->size()); ++i) {
+    Result<std::string> explanation =
+        session.ExplainResultRow(result->rows()[i]);
+    if (explanation.ok()) {
+      std::fprintf(stderr, "%s", explanation.value().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#ifndef VADA_COMMON_HASH_H_
+#define VADA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace vada {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  *seed ^= std::hash<T>()(value) + 0x9E3779B9u + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace vada
+
+#endif  // VADA_COMMON_HASH_H_

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace vada {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Logger::SetLevel(LogLevel level) { g_level = level; }
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::Log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s: %s\n", LogLevelName(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace vada

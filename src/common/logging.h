@@ -1,0 +1,59 @@
+#ifndef VADA_COMMON_LOGGING_H_
+#define VADA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace vada {
+
+/// Severity levels for the library logger, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns "DEBUG", "INFO", "WARN" or "ERROR".
+const char* LogLevelName(LogLevel level);
+
+/// Minimal process-wide logger writing to stderr. Thread-compatible: the
+/// level is plain state set once at startup; concurrent Log calls from one
+/// thread interleave whole lines.
+class Logger {
+ public:
+  /// Sets the minimum severity that will be emitted. Default: kWarning,
+  /// so library users are not spammed unless they opt in.
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one line "[LEVEL] component: message" if `level` is enabled.
+  static void Log(LogLevel level, const std::string& component,
+                  const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Stream-building helper behind VADA_LOG; collects the message and emits
+/// it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogMessage() { Logger::Log(level_, component_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace vada
+
+/// Usage: VADA_LOG(kInfo, "orchestrator") << "ran " << name;
+#define VADA_LOG(level, component)                                       \
+  ::vada::internal_logging::LogMessage(::vada::LogLevel::level, component) \
+      .stream()
+
+#endif  // VADA_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace vada {
+
+uint64_t Rng::Next() {
+  // SplitMix64: passes BigCrush, trivially seedable, fully portable.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+double Rng::UniformDouble() {
+  return (Next() >> 11) * (1.0 / 9007199254740992.0);  // 53-bit mantissa
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Index(size_t size) { return static_cast<size_t>(Next() % size); }
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; draws until u1 is nonzero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  double u2 = UniformDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+}  // namespace vada

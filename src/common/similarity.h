@@ -1,0 +1,40 @@
+#ifndef VADA_COMMON_SIMILARITY_H_
+#define VADA_COMMON_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vada {
+
+/// String-similarity primitives shared by schema matching, instance
+/// matching and duplicate detection. All functions return a score in
+/// [0, 1] where 1 means identical, unless stated otherwise.
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(len); both empty -> 1.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity, the base of Jaro-Winkler.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler with the standard prefix scale 0.1 and prefix cap 4.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the padded character q-gram multiset-as-set.
+/// `q` must be >= 1.
+double QGramJaccard(std::string_view a, std::string_view b, int q);
+
+/// Jaccard similarity of two token sets (case-sensitive; callers lowercase).
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+/// Dice coefficient of two token sets: 2|A∩B| / (|A|+|B|).
+double TokenDice(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+
+}  // namespace vada
+
+#endif  // VADA_COMMON_SIMILARITY_H_

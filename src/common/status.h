@@ -1,0 +1,117 @@
+#ifndef VADA_COMMON_STATUS_H_
+#define VADA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vada {
+
+/// Error codes used across the VADA library. Modeled after the
+/// RocksDB/Abseil status idiom: no exceptions cross any API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+};
+
+/// Returns the canonical lowercase name of `code`, e.g. "invalid_argument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result for operations with no payload.
+///
+/// Example:
+///   Status s = kb.AssertFact("match", tuple);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "ok" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Holds either a `T` or a non-OK Status.
+///
+/// Example:
+///   Result<Program> p = Parser::Parse(text);
+///   if (!p.ok()) return p.status();
+///   Use(p.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok(). Accessing the value of an error result is a
+  /// programming error; callers must check ok() first.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vada
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK. Implementation-file convenience only.
+#define VADA_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::vada::Status vada_status_macro_tmp = (expr);  \
+    if (!vada_status_macro_tmp.ok()) {              \
+      return vada_status_macro_tmp;                 \
+    }                                               \
+  } while (false)
+
+#endif  // VADA_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+#ifndef VADA_COMMON_STRINGS_H_
+#define VADA_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vada {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Splits an identifier into lowercase word tokens on '_', '-', ' ', '.'
+/// and camelCase boundaries: "crimeRank_id" -> {"crime", "rank", "id"}.
+std::vector<std::string> TokenizeIdentifier(std::string_view name);
+
+/// True if every character is an ASCII digit (and text is non-empty).
+bool IsDigits(std::string_view text);
+
+}  // namespace vada
+
+#endif  // VADA_COMMON_STRINGS_H_

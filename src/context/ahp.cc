@@ -1,0 +1,78 @@
+#include "context/ahp.h"
+
+#include <cmath>
+
+namespace vada {
+
+double SaatyRandomIndex(size_t n) {
+  // Saaty (1980) random index table; values beyond 10 plateau at ~1.49.
+  static const double kRi[] = {0.0,  0.0,  0.0,  0.58, 0.90, 1.12,
+                               1.24, 1.32, 1.41, 1.45, 1.49};
+  if (n < sizeof(kRi) / sizeof(kRi[0])) return kRi[n];
+  return 1.49;
+}
+
+Result<AhpResult> ComputeAhp(const std::vector<std::vector<double>>& matrix) {
+  const size_t n = matrix.size();
+  if (n == 0) {
+    return Status::InvalidArgument("AHP matrix is empty");
+  }
+  for (const std::vector<double>& row : matrix) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("AHP matrix is not square");
+    }
+    for (double v : row) {
+      if (!(v > 0.0)) {
+        return Status::InvalidArgument(
+            "AHP matrix entries must be positive");
+      }
+    }
+  }
+
+  // Power iteration on the comparison matrix.
+  std::vector<double> w(n, 1.0 / static_cast<double>(n));
+  double lambda = static_cast<double>(n);
+  const int kMaxIterations = 500;
+  const double kTolerance = 1e-12;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    std::vector<double> next(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        next[i] += matrix[i][j] * w[j];
+      }
+    }
+    double sum = 0.0;
+    for (double v : next) sum += v;
+    if (sum <= 0.0) {
+      return Status::Internal("AHP power iteration degenerated");
+    }
+    for (double& v : next) v /= sum;
+    // Rayleigh-style estimate: average of (Aw)_i / w_i.
+    double est = 0.0;
+    std::vector<double> aw(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) aw[i] += matrix[i][j] * next[j];
+      est += aw[i] / next[i];
+    }
+    est /= static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - w[i]);
+    w = std::move(next);
+    lambda = est;
+    if (delta < kTolerance) break;
+  }
+
+  AhpResult result;
+  result.weights = std::move(w);
+  result.lambda_max = lambda;
+  if (n > 1) {
+    result.consistency_index =
+        (lambda - static_cast<double>(n)) / (static_cast<double>(n) - 1.0);
+    double ri = SaatyRandomIndex(n);
+    result.consistency_ratio =
+        (ri > 0.0) ? result.consistency_index / ri : 0.0;
+  }
+  return result;
+}
+
+}  // namespace vada

@@ -1,0 +1,40 @@
+#ifndef VADA_CONTEXT_AHP_H_
+#define VADA_CONTEXT_AHP_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace vada {
+
+/// Output of an Analytic Hierarchy Process weight derivation.
+struct AhpResult {
+  /// Normalised priority weights (sum to 1), one per criterion.
+  std::vector<double> weights;
+  /// Principal eigenvalue of the comparison matrix.
+  double lambda_max = 0.0;
+  /// Consistency index (lambda_max - n) / (n - 1).
+  double consistency_index = 0.0;
+  /// Consistency ratio CI / RI(n); <= 0.1 is conventionally acceptable.
+  /// 0 when n <= 2 (always consistent).
+  double consistency_ratio = 0.0;
+};
+
+/// Derives priority weights from a positive reciprocal pairwise-comparison
+/// matrix (Saaty's AHP), via power iteration for the principal eigenvector.
+///
+/// The paper's user context (§2.2) is exactly such a set of pairwise
+/// statements ("completeness crimerank very strongly more important than
+/// accuracy property.type"); this function turns them into the weights
+/// that drive multi-dimensional mapping selection.
+///
+/// Requirements: square, n >= 1, all entries > 0. Reciprocity is not
+/// enforced bit-for-bit but deviations degrade the consistency ratio.
+Result<AhpResult> ComputeAhp(const std::vector<std::vector<double>>& matrix);
+
+/// Saaty random consistency index for matrices of size n (0 for n <= 2).
+double SaatyRandomIndex(size_t n);
+
+}  // namespace vada
+
+#endif  // VADA_CONTEXT_AHP_H_

@@ -1,0 +1,317 @@
+#include "datalog/ast.h"
+
+#include <set>
+
+namespace vada::datalog {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Term Term::Constant(Value v) {
+  Term t;
+  t.kind_ = Kind::kConstant;
+  t.value_ = std::move(v);
+  return t;
+}
+
+Term Term::Variable(std::string name) {
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.var_ = std::move(name);
+  return t;
+}
+
+Term Term::Aggregate(AggFunc func, std::string var) {
+  Term t;
+  t.kind_ = Kind::kAggregate;
+  t.agg_func_ = func;
+  t.var_ = std::move(var);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return value_.ToLiteral();
+    case Kind::kVariable:
+      return var_;
+    case Kind::kAggregate:
+      return std::string(AggFuncName(agg_func_)) + "<" + var_ + ">";
+  }
+  return "?";
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Term::Kind::kConstant:
+      return a.value_ == b.value_;
+    case Term::Kind::kVariable:
+      return a.var_ == b.var_;
+    case Term::Kind::kAggregate:
+      return a.agg_func_ == b.agg_func_ && a.var_ == b.var_;
+  }
+  return false;
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kNone:
+      return "";
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+}  // namespace
+
+Literal Literal::Positive(Atom a) {
+  Literal l;
+  l.kind = Kind::kAtom;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Negative(Atom a) {
+  Literal l;
+  l.kind = Kind::kNegatedAtom;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Comparison(Term lhs, CompareOp op, Term rhs) {
+  Literal l;
+  l.kind = Kind::kComparison;
+  l.lhs = std::move(lhs);
+  l.compare_op = op;
+  l.rhs = std::move(rhs);
+  return l;
+}
+
+Literal Literal::Assignment(std::string var, Term operand1, ArithOp op,
+                            Term operand2) {
+  Literal l;
+  l.kind = Kind::kAssignment;
+  l.assign_var = std::move(var);
+  l.lhs = std::move(operand1);
+  l.arith_op = op;
+  l.rhs = std::move(operand2);
+  return l;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return atom.ToString();
+    case Kind::kNegatedAtom:
+      return "not " + atom.ToString();
+    case Kind::kComparison:
+      return lhs.ToString() + " " + CompareOpName(compare_op) + " " +
+             rhs.ToString();
+    case Kind::kAssignment: {
+      std::string out = assign_var + " = " + lhs.ToString();
+      if (arith_op != ArithOp::kNone) {
+        out += std::string(" ") + ArithOpName(arith_op) + " " + rhs.ToString();
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool Rule::HasAggregates() const {
+  for (const Term& t : head.terms) {
+    if (t.is_aggregate()) return true;
+  }
+  return false;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::vector<std::string> Program::HeadPredicates() const {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  for (const Rule& r : rules) {
+    if (seen.insert(r.head.predicate).second) out.push_back(r.head.predicate);
+  }
+  return out;
+}
+
+Status ValidateRule(const Rule& rule) {
+  if (rule.head.predicate.empty()) {
+    return Status::InvalidArgument("rule has empty head predicate");
+  }
+  // Aggregates may appear only in heads; body terms must not be aggregates.
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == Literal::Kind::kAtom ||
+        lit.kind == Literal::Kind::kNegatedAtom) {
+      for (const Term& t : lit.atom.terms) {
+        if (t.is_aggregate()) {
+          return Status::InvalidArgument("aggregate term in body of rule " +
+                                         rule.ToString());
+        }
+      }
+    } else {
+      if (lit.lhs.is_aggregate() || lit.rhs.is_aggregate()) {
+        return Status::InvalidArgument("aggregate term in builtin of rule " +
+                                       rule.ToString());
+      }
+    }
+  }
+
+  // Compute the set of variables bindable by positive atoms and then by
+  // assignments whose operands become bound (fixpoint).
+  std::set<std::string> bound;
+  for (const Literal& lit : rule.body) {
+    if (lit.kind == Literal::Kind::kAtom) {
+      for (const Term& t : lit.atom.terms) {
+        if (t.is_variable()) bound.insert(t.var());
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAssignment) continue;
+      if (bound.count(lit.assign_var) > 0) continue;
+      bool operands_ok = (!lit.lhs.is_variable() || bound.count(lit.lhs.var())) &&
+                         (lit.arith_op == ArithOp::kNone ||
+                          !lit.rhs.is_variable() || bound.count(lit.rhs.var()));
+      if (operands_ok) {
+        bound.insert(lit.assign_var);
+        changed = true;
+      }
+    }
+  }
+
+  auto require_bound = [&bound, &rule](const Term& t,
+                                       const char* where) -> Status {
+    if (t.is_variable() && bound.count(t.var()) == 0) {
+      return Status::InvalidArgument("unsafe rule (" + rule.ToString() +
+                                     "): variable " + t.var() + " in " + where +
+                                     " is not bound by a positive atom");
+    }
+    return Status::OK();
+  };
+
+  for (const Term& t : rule.head.terms) {
+    if (t.is_aggregate() || t.is_variable()) {
+      const std::string& v = t.var();
+      if (!t.is_constant() && bound.count(v) == 0) {
+        return Status::InvalidArgument("unsafe rule (" + rule.ToString() +
+                                       "): head variable " + v +
+                                       " is not bound by a positive atom");
+      }
+    }
+  }
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kNegatedAtom:
+        for (const Term& t : lit.atom.terms) {
+          VADA_RETURN_IF_ERROR(require_bound(t, "negated atom"));
+        }
+        break;
+      case Literal::Kind::kComparison:
+        VADA_RETURN_IF_ERROR(require_bound(lit.lhs, "comparison"));
+        VADA_RETURN_IF_ERROR(require_bound(lit.rhs, "comparison"));
+        break;
+      case Literal::Kind::kAssignment:
+        VADA_RETURN_IF_ERROR(require_bound(lit.lhs, "assignment"));
+        if (lit.arith_op != ArithOp::kNone) {
+          VADA_RETURN_IF_ERROR(require_bound(lit.rhs, "assignment"));
+        }
+        break;
+      case Literal::Kind::kAtom:
+        break;
+    }
+  }
+
+  // A fact must be ground.
+  if (rule.IsFact()) {
+    for (const Term& t : rule.head.terms) {
+      if (!t.is_constant()) {
+        return Status::InvalidArgument("fact " + rule.ToString() +
+                                       " is not ground");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Program::Validate() const {
+  for (const Rule& r : rules) {
+    VADA_RETURN_IF_ERROR(ValidateRule(r));
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vada::datalog

@@ -1,0 +1,80 @@
+#include "datalog/database.h"
+
+namespace vada::datalog {
+
+namespace {
+const std::vector<Tuple>& EmptyFacts() {
+  static const std::vector<Tuple>* empty = new std::vector<Tuple>();
+  return *empty;
+}
+}  // namespace
+
+bool Database::Insert(const std::string& predicate, Tuple t) {
+  PredicateStore& store = stores_[predicate];
+  if (!store.arity_set) {
+    store.arity = t.size();
+    store.arity_set = true;
+    store.indexes.resize(store.arity);
+  } else if (t.size() != store.arity) {
+    return false;
+  }
+  auto [it, added] = store.set.insert(t);
+  if (!added) return false;
+  size_t idx = store.facts.size();
+  for (size_t pos = 0; pos < store.arity; ++pos) {
+    store.indexes[pos][t.at(pos)].push_back(idx);
+  }
+  store.facts.push_back(std::move(t));
+  return true;
+}
+
+void Database::LoadRelation(const Relation& relation) {
+  for (const Tuple& row : relation.rows()) {
+    Insert(relation.name(), row);
+  }
+}
+
+bool Database::Contains(const std::string& predicate, const Tuple& t) const {
+  auto it = stores_.find(predicate);
+  return it != stores_.end() && it->second.set.count(t) > 0;
+}
+
+const std::vector<Tuple>& Database::facts(const std::string& predicate) const {
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) return EmptyFacts();
+  return it->second.facts;
+}
+
+const std::vector<size_t>* Database::Lookup(const std::string& predicate,
+                                            size_t position,
+                                            const Value& value) const {
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) return nullptr;
+  const PredicateStore& store = it->second;
+  if (position >= store.indexes.size()) return nullptr;
+  auto vit = store.indexes[position].find(value);
+  if (vit == store.indexes[position].end()) return nullptr;
+  return &vit->second;
+}
+
+size_t Database::FactCount(const std::string& predicate) const {
+  auto it = stores_.find(predicate);
+  return it == stores_.end() ? 0 : it->second.facts.size();
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [name, store] : stores_) total += store.facts.size();
+  return total;
+}
+
+std::vector<std::string> Database::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) out.push_back(name);
+  return out;
+}
+
+void Database::Clear() { stores_.clear(); }
+
+}  // namespace vada::datalog

@@ -1,0 +1,65 @@
+#ifndef VADA_DATALOG_DATABASE_H_
+#define VADA_DATALOG_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kb/relation.h"
+#include "kb/tuple.h"
+
+namespace vada::datalog {
+
+/// Fact storage for the Datalog engine: predicate name -> set of tuples,
+/// with hash indexes on every column position so joins can seek instead
+/// of scan. Tuples of one predicate must share an arity (checked).
+class Database {
+ public:
+  Database() = default;
+
+  /// Inserts `t`; returns whether it was new. Establishes the predicate's
+  /// arity on first insert; later arity mismatches are ignored and return
+  /// false (callers go through validated rules so this is defensive).
+  bool Insert(const std::string& predicate, Tuple t);
+
+  /// Loads every row of `relation` under its relation name.
+  void LoadRelation(const Relation& relation);
+
+  bool Contains(const std::string& predicate, const Tuple& t) const;
+
+  /// All facts of `predicate` in insertion order; empty for unknown.
+  const std::vector<Tuple>& facts(const std::string& predicate) const;
+
+  /// Indexes of facts whose column `position` equals `value`; nullptr
+  /// when the predicate is unknown, the position is out of range or no
+  /// fact matches.
+  const std::vector<size_t>* Lookup(const std::string& predicate,
+                                    size_t position, const Value& value) const;
+
+  size_t FactCount(const std::string& predicate) const;
+  size_t TotalFacts() const;
+
+  /// Known predicate names, sorted.
+  std::vector<std::string> Predicates() const;
+
+  void Clear();
+
+ private:
+  struct PredicateStore {
+    size_t arity = 0;
+    bool arity_set = false;
+    std::vector<Tuple> facts;
+    std::unordered_set<Tuple, TupleHash> set;
+    // indexes[pos][value] -> fact indexes
+    std::vector<std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+        indexes;
+  };
+
+  std::map<std::string, PredicateStore> stores_;
+};
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_DATABASE_H_

@@ -1,0 +1,767 @@
+#include "datalog/evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace vada::datalog {
+
+std::optional<int> CompareValues(const Value& a, const Value& b) {
+  std::optional<double> da = a.AsDouble();
+  std::optional<double> db = b.AsDouble();
+  if (da.has_value() && db.has_value()) {
+    if (*da < *db) return -1;
+    if (*da > *db) return 1;
+    return 0;
+  }
+  if (a.type() != b.type()) return std::nullopt;
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+std::optional<Value> ApplyArith(ArithOp op, const Value& a, const Value& b) {
+  std::optional<double> da = a.AsDouble();
+  std::optional<double> db = b.AsDouble();
+  if (!da.has_value() || !db.has_value()) return std::nullopt;
+  bool both_int =
+      a.type() == ValueType::kInt && b.type() == ValueType::kInt;
+  switch (op) {
+    case ArithOp::kAdd:
+      return both_int ? Value::Int(a.int_value() + b.int_value())
+                      : Value::Double(*da + *db);
+    case ArithOp::kSub:
+      return both_int ? Value::Int(a.int_value() - b.int_value())
+                      : Value::Double(*da - *db);
+    case ArithOp::kMul:
+      return both_int ? Value::Int(a.int_value() * b.int_value())
+                      : Value::Double(*da * *db);
+    case ArithOp::kDiv:
+      if (*db == 0.0) return std::nullopt;
+      return Value::Double(*da / *db);
+    case ArithOp::kNone:
+      return a;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool EvalComparison(CompareOp op, const Value& a, const Value& b) {
+  std::optional<int> cmp = CompareValues(a, b);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp.has_value() && *cmp == 0;
+    case CompareOp::kNe:
+      return !cmp.has_value() || *cmp != 0;
+    case CompareOp::kLt:
+      return cmp.has_value() && *cmp < 0;
+    case CompareOp::kLe:
+      return cmp.has_value() && *cmp <= 0;
+    case CompareOp::kGt:
+      return cmp.has_value() && *cmp > 0;
+    case CompareOp::kGe:
+      return cmp.has_value() && *cmp >= 0;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule compilation: variables become dense slots; literals are put into a
+// bind-aware execution order once, not per tuple.
+// ---------------------------------------------------------------------------
+
+struct CompiledTerm {
+  bool is_var = false;
+  int slot = -1;   // when is_var
+  Value constant;  // when !is_var
+};
+
+struct CompiledAtom {
+  std::string predicate;
+  std::vector<CompiledTerm> terms;
+};
+
+struct CompiledLiteral {
+  Literal::Kind kind = Literal::Kind::kAtom;
+  CompiledAtom atom;
+  CompareOp compare_op = CompareOp::kEq;
+  CompiledTerm lhs;
+  CompiledTerm rhs;
+  int assign_slot = -1;
+  ArithOp arith_op = ArithOp::kNone;
+  bool recursive = false;  // atom over a same-stratum predicate
+};
+
+struct AggSpec {
+  size_t head_position;
+  AggFunc func;
+  int slot;  // slot of the aggregated variable
+};
+
+struct CompiledRule {
+  CompiledAtom head;
+  std::vector<AggSpec> aggregates;  // empty for normal rules
+  std::vector<CompiledLiteral> body;
+  std::vector<size_t> recursive_positions;  // body indexes of recursive atoms
+  int num_slots = 0;
+  std::string text;  // for error messages
+};
+
+class RuleCompiler {
+ public:
+  explicit RuleCompiler(const std::set<std::string>& stratum_preds)
+      : stratum_preds_(stratum_preds) {}
+
+  CompiledRule Compile(const Rule& rule) {
+    CompiledRule out;
+    out.text = rule.ToString();
+
+    // Execution order: start from the declared order but hoist builtins
+    // and negations as early as their variables allow, and prefer atoms
+    // that share variables with what is already bound (greedy).
+    std::vector<const Literal*> pending;
+    pending.reserve(rule.body.size());
+    for (const Literal& l : rule.body) pending.push_back(&l);
+
+    std::set<std::string> bound;
+    std::vector<const Literal*> ordered;
+    while (!pending.empty()) {
+      // 1. Any ready builtin/negation?
+      bool placed = false;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const Literal& l = *pending[i];
+        if (IsReadyNonAtom(l, bound)) {
+          ordered.push_back(&l);
+          BindVars(l, &bound);
+          pending.erase(pending.begin() + i);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) continue;
+      // 2. Best positive atom: most bound terms; ties by declared order.
+      int best = -1;
+      int best_score = -1;
+      for (size_t i = 0; i < pending.size(); ++i) {
+        const Literal& l = *pending[i];
+        if (l.kind != Literal::Kind::kAtom) continue;
+        int score = 0;
+        for (const Term& t : l.atom.terms) {
+          if (t.is_constant() || (t.is_variable() && bound.count(t.var()))) {
+            ++score;
+          }
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = static_cast<int>(i);
+        }
+      }
+      if (best >= 0) {
+        const Literal& l = *pending[best];
+        ordered.push_back(&l);
+        BindVars(l, &bound);
+        pending.erase(pending.begin() + best);
+        continue;
+      }
+      // 3. Only non-ready builtins/negations left. Program validation
+      // guarantees this cannot happen for safe rules; emit in order as a
+      // defensive fallback.
+      ordered.push_back(pending.front());
+      BindVars(*pending.front(), &bound);
+      pending.erase(pending.begin());
+    }
+
+    for (const Literal* l : ordered) {
+      out.body.push_back(CompileLiteral(*l));
+      if (out.body.back().kind == Literal::Kind::kAtom &&
+          out.body.back().recursive) {
+        out.recursive_positions.push_back(out.body.size() - 1);
+      }
+    }
+
+    // Head (aggregates recorded separately; their head slot stays -1 and
+    // is filled from the aggregation result).
+    for (size_t i = 0; i < rule.head.terms.size(); ++i) {
+      const Term& t = rule.head.terms[i];
+      if (t.is_aggregate()) {
+        out.aggregates.push_back(
+            AggSpec{i, t.agg_func(), SlotOf(t.var())});
+        CompiledTerm ct;
+        ct.is_var = false;
+        ct.constant = Value::Null();  // placeholder, overwritten per group
+        out.head.terms.push_back(ct);
+      } else {
+        out.head.terms.push_back(CompileTerm(t));
+      }
+    }
+    out.head.predicate = rule.head.predicate;
+    out.num_slots = static_cast<int>(slots_.size());
+    return out;
+  }
+
+ private:
+  static bool IsReadyNonAtom(const Literal& l,
+                             const std::set<std::string>& bound) {
+    switch (l.kind) {
+      case Literal::Kind::kAtom:
+        return false;
+      case Literal::Kind::kNegatedAtom:
+        for (const Term& t : l.atom.terms) {
+          if (t.is_variable() && bound.count(t.var()) == 0) return false;
+        }
+        return true;
+      case Literal::Kind::kComparison:
+        if (l.lhs.is_variable() && bound.count(l.lhs.var()) == 0) return false;
+        if (l.rhs.is_variable() && bound.count(l.rhs.var()) == 0) return false;
+        return true;
+      case Literal::Kind::kAssignment:
+        if (l.lhs.is_variable() && bound.count(l.lhs.var()) == 0) return false;
+        if (l.arith_op != ArithOp::kNone && l.rhs.is_variable() &&
+            bound.count(l.rhs.var()) == 0) {
+          return false;
+        }
+        return true;
+    }
+    return false;
+  }
+
+  static void BindVars(const Literal& l, std::set<std::string>* bound) {
+    switch (l.kind) {
+      case Literal::Kind::kAtom:
+        for (const Term& t : l.atom.terms) {
+          if (t.is_variable()) bound->insert(t.var());
+        }
+        break;
+      case Literal::Kind::kAssignment:
+        bound->insert(l.assign_var);
+        break;
+      case Literal::Kind::kNegatedAtom:
+      case Literal::Kind::kComparison:
+        break;
+    }
+  }
+
+  int SlotOf(const std::string& var) {
+    auto it = slots_.find(var);
+    if (it != slots_.end()) return it->second;
+    int slot = static_cast<int>(slots_.size());
+    slots_.emplace(var, slot);
+    return slot;
+  }
+
+  CompiledTerm CompileTerm(const Term& t) {
+    CompiledTerm ct;
+    if (t.is_variable()) {
+      ct.is_var = true;
+      ct.slot = SlotOf(t.var());
+    } else {
+      ct.is_var = false;
+      ct.constant = t.value();
+    }
+    return ct;
+  }
+
+  CompiledLiteral CompileLiteral(const Literal& l) {
+    CompiledLiteral cl;
+    cl.kind = l.kind;
+    switch (l.kind) {
+      case Literal::Kind::kAtom:
+      case Literal::Kind::kNegatedAtom:
+        cl.atom.predicate = l.atom.predicate;
+        for (const Term& t : l.atom.terms) {
+          cl.atom.terms.push_back(CompileTerm(t));
+        }
+        cl.recursive = stratum_preds_.count(l.atom.predicate) > 0 &&
+                       l.kind == Literal::Kind::kAtom;
+        break;
+      case Literal::Kind::kComparison:
+        cl.compare_op = l.compare_op;
+        cl.lhs = CompileTerm(l.lhs);
+        cl.rhs = CompileTerm(l.rhs);
+        break;
+      case Literal::Kind::kAssignment:
+        cl.assign_slot = SlotOf(l.assign_var);
+        cl.arith_op = l.arith_op;
+        cl.lhs = CompileTerm(l.lhs);
+        cl.rhs = CompileTerm(l.rhs);
+        break;
+    }
+    return cl;
+  }
+
+  const std::set<std::string>& stratum_preds_;
+  std::map<std::string, int> slots_;
+};
+
+// ---------------------------------------------------------------------------
+// Rule execution.
+// ---------------------------------------------------------------------------
+
+/// Mutable binding environment with a trail for backtracking.
+class BindingEnv {
+ public:
+  explicit BindingEnv(int num_slots)
+      : values_(num_slots), bound_(num_slots, false) {}
+
+  bool is_bound(int slot) const { return bound_[slot]; }
+  const Value& value(int slot) const { return values_[slot]; }
+
+  void Bind(int slot, Value v) {
+    values_[slot] = std::move(v);
+    bound_[slot] = true;
+    trail_.push_back(slot);
+  }
+
+  size_t Mark() const { return trail_.size(); }
+
+  void UnwindTo(size_t mark) {
+    while (trail_.size() > mark) {
+      bound_[trail_.back()] = false;
+      trail_.pop_back();
+    }
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+  std::vector<int> trail_;
+};
+
+/// Evaluates one compiled rule body, invoking `on_solution` for every
+/// complete binding. `delta_position` (or npos) designates the body atom
+/// that must range over `delta` instead of `db` (semi-naive).
+class RuleExecutor {
+ public:
+  RuleExecutor(const CompiledRule& rule, const Database& db,
+               const Database* delta, size_t delta_position)
+      : rule_(rule),
+        db_(db),
+        delta_(delta),
+        delta_position_(delta_position),
+        env_(rule.num_slots) {}
+
+  template <typename Fn>
+  void ForEachSolution(Fn&& on_solution) {
+    Descend(0, on_solution);
+  }
+
+  BindingEnv& env() { return env_; }
+
+  /// Ground instances of the rule's positive body atoms under the current
+  /// (complete) bindings — the premises of the derivation just emitted.
+  std::vector<std::pair<std::string, Tuple>> GroundPositiveAtoms() const {
+    std::vector<std::pair<std::string, Tuple>> out;
+    for (const CompiledLiteral& lit : rule_.body) {
+      if (lit.kind != Literal::Kind::kAtom) continue;
+      std::vector<Value> values;
+      values.reserve(lit.atom.terms.size());
+      bool ok = true;
+      for (const CompiledTerm& t : lit.atom.terms) {
+        std::optional<Value> v = TermValue(t);
+        if (!v.has_value()) {
+          ok = false;
+          break;
+        }
+        values.push_back(std::move(*v));
+      }
+      if (ok) out.push_back({lit.atom.predicate, Tuple(std::move(values))});
+    }
+    return out;
+  }
+
+ private:
+  std::optional<Value> TermValue(const CompiledTerm& t) const {
+    if (!t.is_var) return t.constant;
+    if (!env_.is_bound(t.slot)) return std::nullopt;
+    return env_.value(t.slot);
+  }
+
+  template <typename Fn>
+  void Descend(size_t index, Fn&& on_solution) {
+    if (index == rule_.body.size()) {
+      on_solution(env_);
+      return;
+    }
+    const CompiledLiteral& lit = rule_.body[index];
+    switch (lit.kind) {
+      case Literal::Kind::kAtom: {
+        const Database& source =
+            (index == delta_position_ && delta_ != nullptr) ? *delta_ : db_;
+        EvalAtom(lit, source, index, on_solution);
+        return;
+      }
+      case Literal::Kind::kNegatedAtom: {
+        std::vector<Value> ground;
+        ground.reserve(lit.atom.terms.size());
+        for (const CompiledTerm& t : lit.atom.terms) {
+          std::optional<Value> v = TermValue(t);
+          if (!v.has_value()) return;  // unsafe (validated away); fail closed
+          ground.push_back(std::move(*v));
+        }
+        if (!db_.Contains(lit.atom.predicate, Tuple(std::move(ground)))) {
+          Descend(index + 1, on_solution);
+        }
+        return;
+      }
+      case Literal::Kind::kComparison: {
+        std::optional<Value> a = TermValue(lit.lhs);
+        std::optional<Value> b = TermValue(lit.rhs);
+        if (!a.has_value() || !b.has_value()) return;
+        if (EvalComparison(lit.compare_op, *a, *b)) {
+          Descend(index + 1, on_solution);
+        }
+        return;
+      }
+      case Literal::Kind::kAssignment: {
+        std::optional<Value> a = TermValue(lit.lhs);
+        if (!a.has_value()) return;
+        std::optional<Value> result;
+        if (lit.arith_op == ArithOp::kNone) {
+          result = *a;
+        } else {
+          std::optional<Value> b = TermValue(lit.rhs);
+          if (!b.has_value()) return;
+          result = ApplyArith(lit.arith_op, *a, *b);
+        }
+        if (!result.has_value()) return;  // arithmetic failure: literal false
+        if (env_.is_bound(lit.assign_slot)) {
+          std::optional<int> cmp = CompareValues(env_.value(lit.assign_slot),
+                                                 *result);
+          if (cmp.has_value() && *cmp == 0) Descend(index + 1, on_solution);
+          return;
+        }
+        size_t mark = env_.Mark();
+        env_.Bind(lit.assign_slot, std::move(*result));
+        Descend(index + 1, on_solution);
+        env_.UnwindTo(mark);
+        return;
+      }
+    }
+  }
+
+  template <typename Fn>
+  void EvalAtom(const CompiledLiteral& lit, const Database& source,
+                size_t index, Fn&& on_solution) {
+    // Choose a seek column: first term that is ground under the current
+    // bindings.
+    int seek_pos = -1;
+    Value seek_value;
+    for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
+      std::optional<Value> v = TermValue(lit.atom.terms[i]);
+      if (v.has_value()) {
+        seek_pos = static_cast<int>(i);
+        seek_value = std::move(*v);
+        break;
+      }
+    }
+    const std::vector<Tuple>& all = source.facts(lit.atom.predicate);
+    const std::vector<size_t>* candidates = nullptr;
+    if (seek_pos >= 0) {
+      candidates = source.Lookup(lit.atom.predicate,
+                                 static_cast<size_t>(seek_pos), seek_value);
+      if (candidates == nullptr) return;  // no fact matches the bound column
+    }
+    size_t count = (candidates != nullptr) ? candidates->size() : all.size();
+    for (size_t ci = 0; ci < count; ++ci) {
+      const Tuple& fact =
+          (candidates != nullptr) ? all[(*candidates)[ci]] : all[ci];
+      if (fact.size() != lit.atom.terms.size()) continue;
+      size_t mark = env_.Mark();
+      bool ok = true;
+      for (size_t i = 0; i < lit.atom.terms.size() && ok; ++i) {
+        const CompiledTerm& t = lit.atom.terms[i];
+        if (!t.is_var) {
+          ok = (t.constant == fact.at(i));
+        } else if (env_.is_bound(t.slot)) {
+          ok = (env_.value(t.slot) == fact.at(i));
+        } else {
+          env_.Bind(t.slot, fact.at(i));
+        }
+      }
+      if (ok) Descend(index + 1, on_solution);
+      env_.UnwindTo(mark);
+    }
+  }
+
+  const CompiledRule& rule_;
+  const Database& db_;
+  const Database* delta_;
+  size_t delta_position_;
+  BindingEnv env_;
+};
+
+constexpr size_t kNoDelta = static_cast<size_t>(-1);
+
+/// Builds the head tuple of a non-aggregate rule from a solution.
+Tuple BuildHead(const CompiledRule& rule, const BindingEnv& env) {
+  std::vector<Value> values;
+  values.reserve(rule.head.terms.size());
+  for (const CompiledTerm& t : rule.head.terms) {
+    values.push_back(t.is_var ? env.value(t.slot) : t.constant);
+  }
+  return Tuple(std::move(values));
+}
+
+/// Evaluates a non-aggregate rule and collects candidate head tuples.
+/// When `premises_out` is non-null it receives, parallel to `out`, the
+/// ground positive body atoms of each solution (for provenance).
+void EvaluateRule(
+    const CompiledRule& rule, const Database& db, const Database* delta,
+    size_t delta_position, std::vector<Tuple>* out,
+    std::vector<std::vector<std::pair<std::string, Tuple>>>* premises_out =
+        nullptr) {
+  RuleExecutor exec(rule, db, delta, delta_position);
+  exec.ForEachSolution([&](const BindingEnv& env) {
+    out->push_back(BuildHead(rule, env));
+    if (premises_out != nullptr) {
+      premises_out->push_back(exec.GroundPositiveAtoms());
+    }
+  });
+}
+
+/// Evaluates an aggregate rule: groups body solutions by the non-aggregate
+/// head terms; each aggregate ranges over the *distinct values* its
+/// variable takes within the group (set semantics).
+void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
+                           std::vector<Tuple>* out) {
+  struct GroupState {
+    std::vector<std::set<Value>> distinct;  // one per aggregate
+  };
+  std::map<Tuple, GroupState> groups;
+
+  RuleExecutor exec(rule, db, nullptr, kNoDelta);
+  exec.ForEachSolution([&](const BindingEnv& env) {
+    std::vector<Value> key;
+    for (size_t i = 0; i < rule.head.terms.size(); ++i) {
+      bool is_agg = false;
+      for (const AggSpec& spec : rule.aggregates) {
+        if (spec.head_position == i) {
+          is_agg = true;
+          break;
+        }
+      }
+      if (is_agg) continue;
+      const CompiledTerm& t = rule.head.terms[i];
+      key.push_back(t.is_var ? env.value(t.slot) : t.constant);
+    }
+    GroupState& state = groups[Tuple(std::move(key))];
+    if (state.distinct.empty()) state.distinct.resize(rule.aggregates.size());
+    for (size_t a = 0; a < rule.aggregates.size(); ++a) {
+      state.distinct[a].insert(env.value(rule.aggregates[a].slot));
+    }
+  });
+
+  for (const auto& [key, state] : groups) {
+    std::vector<Value> values(rule.head.terms.size());
+    size_t key_index = 0;
+    for (size_t i = 0; i < rule.head.terms.size(); ++i) {
+      bool is_agg = false;
+      for (size_t a = 0; a < rule.aggregates.size(); ++a) {
+        if (rule.aggregates[a].head_position == i) {
+          const std::set<Value>& vals = state.distinct[a];
+          switch (rule.aggregates[a].func) {
+            case AggFunc::kCount:
+              values[i] = Value::Int(static_cast<int64_t>(vals.size()));
+              break;
+            case AggFunc::kMin:
+              values[i] = vals.empty() ? Value::Null() : *vals.begin();
+              break;
+            case AggFunc::kMax:
+              values[i] = vals.empty() ? Value::Null() : *vals.rbegin();
+              break;
+            case AggFunc::kSum:
+            case AggFunc::kAvg: {
+              double sum = 0.0;
+              bool all_int = true;
+              size_t n = 0;
+              for (const Value& v : vals) {
+                std::optional<double> d = v.AsDouble();
+                if (!d.has_value()) continue;
+                if (v.type() != ValueType::kInt) all_int = false;
+                sum += *d;
+                ++n;
+              }
+              if (rule.aggregates[a].func == AggFunc::kAvg) {
+                values[i] = (n == 0) ? Value::Null() : Value::Double(sum / n);
+              } else {
+                values[i] = all_int ? Value::Int(static_cast<int64_t>(sum))
+                                    : Value::Double(sum);
+              }
+              break;
+            }
+          }
+          is_agg = true;
+          break;
+        }
+      }
+      if (!is_agg) {
+        values[i] = key.at(key_index++);
+      }
+    }
+    out->push_back(Tuple(std::move(values)));
+  }
+}
+
+}  // namespace
+
+Evaluator::Evaluator(Program program, EvalOptions options)
+    : program_(std::move(program)), options_(options) {}
+
+Status Evaluator::Prepare() {
+  VADA_RETURN_IF_ERROR(program_.Validate());
+  Result<Stratification> strat = Stratify(program_);
+  if (!strat.ok()) return strat.status();
+  stratification_ = std::move(strat).value();
+  prepared_ = true;
+  return Status::OK();
+}
+
+Status Evaluator::Run(Database* db, EvalStats* stats,
+                      Provenance* provenance) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("Evaluator::Prepare() was not called");
+  }
+  EvalStats local_stats;
+  EvalStats* st = (stats != nullptr) ? stats : &local_stats;
+
+  for (const std::vector<std::string>& stratum : stratification_.strata) {
+    std::set<std::string> stratum_preds(stratum.begin(), stratum.end());
+
+    // Compile this stratum's rules.
+    std::vector<CompiledRule> normal_rules;
+    std::vector<CompiledRule> aggregate_rules;
+    for (const Rule& r : program_.rules) {
+      if (stratum_preds.count(r.head.predicate) == 0) continue;
+      RuleCompiler compiler(stratum_preds);
+      CompiledRule cr = compiler.Compile(r);
+      if (cr.aggregates.empty()) {
+        normal_rules.push_back(std::move(cr));
+      } else {
+        aggregate_rules.push_back(std::move(cr));
+      }
+    }
+
+    // Aggregate rules first: stratification guarantees their bodies are
+    // complete (all body predicates lie in strictly lower strata).
+    for (const CompiledRule& rule : aggregate_rules) {
+      ++st->rule_applications;
+      std::vector<Tuple> produced;
+      EvaluateAggregateRule(rule, *db, &produced);
+      for (Tuple& t : produced) {
+        if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
+          // Aggregates summarise whole groups; record the rule alone.
+          provenance->Record(rule.head.predicate, t, Derivation{rule.text, {}});
+        }
+        if (db->Insert(rule.head.predicate, std::move(t))) {
+          ++st->facts_derived;
+        }
+      }
+    }
+
+    if (normal_rules.empty()) continue;
+
+    if (!options_.semi_naive) {
+      // Naive fixpoint: re-evaluate everything until no new facts.
+      for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+        ++st->iterations;
+        bool any_new = false;
+        for (const CompiledRule& rule : normal_rules) {
+          ++st->rule_applications;
+          std::vector<Tuple> produced;
+          std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
+          EvaluateRule(rule, *db, nullptr, kNoDelta, &produced,
+                       provenance != nullptr ? &premises : nullptr);
+          for (size_t i = 0; i < produced.size(); ++i) {
+            Tuple& t = produced[i];
+            if (provenance != nullptr &&
+                !db->Contains(rule.head.predicate, t)) {
+              provenance->Record(rule.head.predicate, t,
+                                 Derivation{rule.text, premises[i]});
+            }
+            if (db->Insert(rule.head.predicate, std::move(t))) {
+              ++st->facts_derived;
+              any_new = true;
+            }
+          }
+        }
+        if (!any_new) break;
+        if (iter + 1 == options_.max_iterations) {
+          return Status::Internal("naive evaluation exceeded max_iterations");
+        }
+      }
+      continue;
+    }
+
+    // Semi-naive: round 0 evaluates every rule in full; later rounds
+    // evaluate only recursive rules, once per recursive occurrence with
+    // that occurrence restricted to the previous round's delta.
+    Database delta;
+    ++st->iterations;
+    for (const CompiledRule& rule : normal_rules) {
+      ++st->rule_applications;
+      std::vector<Tuple> produced;
+      std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
+      EvaluateRule(rule, *db, nullptr, kNoDelta, &produced,
+                   provenance != nullptr ? &premises : nullptr);
+      for (size_t i = 0; i < produced.size(); ++i) {
+        Tuple& t = produced[i];
+        if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
+          provenance->Record(rule.head.predicate, t,
+                             Derivation{rule.text, premises[i]});
+        }
+        if (db->Insert(rule.head.predicate, t)) {
+          ++st->facts_derived;
+          delta.Insert(rule.head.predicate, std::move(t));
+        }
+      }
+    }
+
+    for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      if (delta.TotalFacts() == 0) break;
+      ++st->iterations;
+      Database next_delta;
+      for (const CompiledRule& rule : normal_rules) {
+        if (rule.recursive_positions.empty()) continue;
+        for (size_t pos : rule.recursive_positions) {
+          if (delta.FactCount(rule.body[pos].atom.predicate) == 0) continue;
+          ++st->rule_applications;
+          std::vector<Tuple> produced;
+          std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
+          EvaluateRule(rule, *db, &delta, pos, &produced,
+                       provenance != nullptr ? &premises : nullptr);
+          for (size_t i = 0; i < produced.size(); ++i) {
+            Tuple& t = produced[i];
+            if (provenance != nullptr &&
+                !db->Contains(rule.head.predicate, t)) {
+              provenance->Record(rule.head.predicate, t,
+                                 Derivation{rule.text, premises[i]});
+            }
+            if (db->Insert(rule.head.predicate, t)) {
+              ++st->facts_derived;
+              next_delta.Insert(rule.head.predicate, std::move(t));
+            }
+          }
+        }
+      }
+      delta = std::move(next_delta);
+      if (iter + 1 == options_.max_iterations && delta.TotalFacts() != 0) {
+        return Status::Internal("semi-naive evaluation exceeded max_iterations");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> Query(const Program& program, Database* db,
+                                 const std::string& goal_predicate,
+                                 const EvalOptions& options) {
+  Evaluator eval(program, options);
+  VADA_RETURN_IF_ERROR(eval.Prepare());
+  VADA_RETURN_IF_ERROR(eval.Run(db));
+  std::vector<Tuple> out = db->facts(goal_predicate);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vada::datalog

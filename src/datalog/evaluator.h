@@ -1,0 +1,85 @@
+#ifndef VADA_DATALOG_EVALUATOR_H_
+#define VADA_DATALOG_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/provenance.h"
+#include "datalog/stratify.h"
+
+namespace vada::datalog {
+
+/// Evaluation strategy and safety limits.
+struct EvalOptions {
+  /// Semi-naive (delta-driven) fixpoint vs. naive re-derivation. Naive is
+  /// kept as the paper-ablation baseline (bench E9) and as an oracle for
+  /// differential testing.
+  bool semi_naive = true;
+  /// Hard cap on fixpoint iterations per stratum (safety valve; Datalog
+  /// always terminates, so hitting this indicates an engine bug).
+  size_t max_iterations = 1000000;
+};
+
+/// Counters describing one evaluation run.
+struct EvalStats {
+  size_t iterations = 0;         ///< total fixpoint rounds across strata
+  size_t facts_derived = 0;      ///< new IDB facts added
+  size_t rule_applications = 0;  ///< rule body evaluations attempted
+};
+
+/// Bottom-up evaluator for validated, stratifiable programs.
+///
+/// Facts already in the database act as the EDB; derived facts are added
+/// in place. Typical use:
+///
+///   Result<Program> p = Parser::Parse("tc(X,Y) :- edge(X,Y). ...");
+///   Database db;                 // load EDB facts
+///   Evaluator eval(std::move(p).value());
+///   Status s = eval.Prepare();   // validates + stratifies
+///   s = eval.Run(&db);
+///   const std::vector<Tuple>& answers = db.facts("tc");
+class Evaluator {
+ public:
+  explicit Evaluator(Program program, EvalOptions options = EvalOptions());
+
+  /// Validates and stratifies the program; must be called (once) before
+  /// Run. Separated from the constructor so errors surface as Status.
+  Status Prepare();
+
+  /// Evaluates all strata to fixpoint against `db`. When `provenance` is
+  /// non-null, records one derivation (rule + ground positive premises)
+  /// per newly derived fact — see Provenance::Explain.
+  /// Pre-condition: Prepare() returned OK.
+  Status Run(Database* db, EvalStats* stats = nullptr,
+             Provenance* provenance = nullptr);
+
+  const Stratification& stratification() const { return stratification_; }
+
+ private:
+  Program program_;
+  EvalOptions options_;
+  Stratification stratification_;
+  bool prepared_ = false;
+};
+
+/// One-shot helper: validates, stratifies and runs `program` against
+/// `db`, then returns the facts of `goal_predicate` (sorted, for
+/// deterministic comparison).
+Result<std::vector<Tuple>> Query(const Program& program, Database* db,
+                                 const std::string& goal_predicate,
+                                 const EvalOptions& options = EvalOptions());
+
+/// Three-way comparison with int/double coercion: -1, 0, 1, or nullopt
+/// when the values are of different, non-numeric types.
+std::optional<int> CompareValues(const Value& a, const Value& b);
+
+/// Applies `op`; int op int stays int (except division, always double).
+/// nullopt on non-numeric operands or division by zero.
+std::optional<Value> ApplyArith(ArithOp op, const Value& a, const Value& b);
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_EVALUATOR_H_

@@ -1,0 +1,54 @@
+#include "datalog/kb_adapter.h"
+
+#include <set>
+
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+
+namespace vada::datalog {
+
+void LoadKnowledgeBase(const KnowledgeBase& kb, Database* db) {
+  for (const std::string& name : kb.RelationNames()) {
+    const Relation* rel = kb.FindRelation(name);
+    if (rel != nullptr) db->LoadRelation(*rel);
+  }
+}
+
+void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
+                             Database* db) {
+  std::set<std::string> derived;
+  for (const Rule& rule : program.rules) {
+    derived.insert(rule.head.predicate);
+  }
+  std::set<std::string> loaded;
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kAtom &&
+          lit.kind != Literal::Kind::kNegatedAtom) {
+        continue;
+      }
+      const std::string& pred = lit.atom.predicate;
+      if (derived.count(pred) > 0 || !loaded.insert(pred).second) continue;
+      const Relation* rel = kb.FindRelation(pred);
+      if (rel != nullptr) db->LoadRelation(*rel);
+    }
+  }
+}
+
+Result<std::vector<Tuple>> QueryKnowledgeBase(
+    const Program& program, const KnowledgeBase& kb,
+    const std::string& goal_predicate) {
+  Database db;
+  LoadReferencedRelations(program, kb, &db);
+  return Query(program, &db, goal_predicate);
+}
+
+Result<std::vector<Tuple>> QueryKnowledgeBase(
+    const std::string& source, const KnowledgeBase& kb,
+    const std::string& goal_predicate) {
+  Result<Program> program = Parser::Parse(source);
+  if (!program.ok()) return program.status();
+  return QueryKnowledgeBase(program.value(), kb, goal_predicate);
+}
+
+}  // namespace vada::datalog

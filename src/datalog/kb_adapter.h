@@ -1,0 +1,46 @@
+#ifndef VADA_DATALOG_KB_ADAPTER_H_
+#define VADA_DATALOG_KB_ADAPTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "kb/knowledge_base.h"
+
+namespace vada::datalog {
+
+/// Loads every relation of `kb` into `db` (predicate name = relation
+/// name). The knowledge base stays the source of truth; the database is
+/// a per-evaluation scratch copy, which keeps the reasoner free of
+/// mutation hazards against concurrently updated relations.
+void LoadKnowledgeBase(const KnowledgeBase& kb, Database* db);
+
+/// Loads only the relations `program` actually reads: body-atom
+/// predicates that are not themselves derived by the program. Dependency
+/// checks and Vadalog transducers run hundreds of times per wrangle, and
+/// snapshotting the full knowledge base (source instances included) per
+/// evaluation dominates orchestration cost at scale — this keeps each
+/// check proportional to the metadata it touches.
+void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
+                             Database* db);
+
+/// Evaluates `program` over a snapshot of `kb` and returns the derived
+/// facts for `goal_predicate`, sorted. This is the primitive behind
+/// transducer input-dependency checks and Vadalog-specified mappings.
+Result<std::vector<Tuple>> QueryKnowledgeBase(const Program& program,
+                                              const KnowledgeBase& kb,
+                                              const std::string& goal_predicate);
+
+/// Parses `source`, then QueryKnowledgeBase. Convenience used by the
+/// orchestrator, where dependency queries live as text in transducer
+/// declarations (paper §2: "input and output dependencies defined as
+/// Datalog queries over the knowledge base").
+Result<std::vector<Tuple>> QueryKnowledgeBase(const std::string& source,
+                                              const KnowledgeBase& kb,
+                                              const std::string& goal_predicate);
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_KB_ADAPTER_H_

@@ -1,0 +1,217 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vada::datalog {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&tokens, &line](TokenKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: '%' or "//" to end of line.
+    if (c == '%' || (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      std::string word(source.substr(start, i - start));
+      if (word == "not") {
+        push(TokenKind::kNot);
+      } else if (std::isupper(static_cast<unsigned char>(word[0])) ||
+                 word[0] == '_') {
+        push(TokenKind::kVariable, std::move(word));
+      } else {
+        push(TokenKind::kIdent, std::move(word));
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) &&
+         (tokens.empty() || (tokens.back().kind != TokenKind::kInt &&
+                             tokens.back().kind != TokenKind::kDouble &&
+                             tokens.back().kind != TokenKind::kVariable &&
+                             tokens.back().kind != TokenKind::kRParen)))) {
+      // A '-' directly before digits is a negative literal unless the
+      // previous token could end an arithmetic operand.
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        if (source[i] == '.') {
+          // ".." or ". " (end of clause) must not be swallowed.
+          if (i + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+            break;
+          }
+          is_double = true;
+        }
+        ++i;
+      }
+      // Exponent part (e.g. 1e-3).
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (source[j] == '+' || source[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text(source.substr(start, i - start));
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        char d = source[i];
+        if (d == '\\' && i + 1 < n) {
+          payload += source[i + 1];
+          i += 2;
+          continue;
+        }
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\n') ++line;
+        payload += d;
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kString, std::move(payload));
+      continue;
+    }
+    // Punctuation and operators.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && source[i + 1] == b;
+    };
+    if (two(':', '-')) {
+      push(TokenKind::kImplies);
+      i += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokenKind::kNe);
+      i += 2;
+      continue;
+    }
+    if (two('<', '>')) {
+      push(TokenKind::kNe);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenKind::kLe);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenKind::kGe);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        break;
+      case ')':
+        push(TokenKind::kRParen);
+        break;
+      case ',':
+        push(TokenKind::kComma);
+        break;
+      case '.':
+        push(TokenKind::kDot);
+        break;
+      case '=':
+        push(TokenKind::kEq);
+        break;
+      case '<':
+        push(TokenKind::kLt);
+        break;
+      case '>':
+        push(TokenKind::kGt);
+        break;
+      case '+':
+        push(TokenKind::kPlus);
+        break;
+      case '-':
+        push(TokenKind::kMinus);
+        break;
+      case '*':
+        push(TokenKind::kStar);
+        break;
+      case '/':
+        push(TokenKind::kSlash);
+        break;
+      case '!':
+        push(TokenKind::kNot);
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+    ++i;
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace vada::datalog

@@ -1,0 +1,53 @@
+#ifndef VADA_DATALOG_LEXER_H_
+#define VADA_DATALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vada::datalog {
+
+/// Token kinds produced by the Vadalog-lite lexer.
+enum class TokenKind {
+  kIdent,     ///< lowercase-initial identifier (predicate or symbol constant)
+  kVariable,  ///< uppercase- or underscore-initial identifier
+  kInt,
+  kDouble,
+  kString,    ///< double-quoted; backslash escapes quote and backslash
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,   ///< ":-"
+  kNot,       ///< keyword "not" (or "!")
+  kEq,        ///< "="
+  kNe,        ///< "!=" or "<>"
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< raw text (identifier/variable/string payload)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;       ///< 1-based source line, for error messages
+};
+
+/// Tokenizes Vadalog-lite source. Comments run from '%' or "//" to end of
+/// line. Returns a token list ending with kEnd, or a parse error naming
+/// the offending line.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_LEXER_H_

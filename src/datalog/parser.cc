@@ -1,0 +1,270 @@
+#include "datalog/parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "datalog/lexer.h"
+
+namespace vada::datalog {
+
+namespace {
+
+/// Token-stream cursor with one-token lookahead helpers.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+    return tokens_[i];
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at line " +
+                              std::to_string(Peek().line));
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + what);
+    }
+    Next();
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+std::optional<AggFunc> AggFuncFromName(const std::string& name) {
+  if (name == "count") return AggFunc::kCount;
+  if (name == "sum") return AggFunc::kSum;
+  if (name == "min") return AggFunc::kMin;
+  if (name == "max") return AggFunc::kMax;
+  if (name == "avg") return AggFunc::kAvg;
+  return std::nullopt;
+}
+
+std::optional<CompareOp> CompareOpFromToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEq:
+      return CompareOp::kEq;
+    case TokenKind::kNe:
+      return CompareOp::kNe;
+    case TokenKind::kLt:
+      return CompareOp::kLt;
+    case TokenKind::kLe:
+      return CompareOp::kLe;
+    case TokenKind::kGt:
+      return CompareOp::kGt;
+    case TokenKind::kGe:
+      return CompareOp::kGe;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<ArithOp> ArithOpFromToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlus:
+      return ArithOp::kAdd;
+    case TokenKind::kMinus:
+      return ArithOp::kSub;
+    case TokenKind::kStar:
+      return ArithOp::kMul;
+    case TokenKind::kSlash:
+      return ArithOp::kDiv;
+    default:
+      return std::nullopt;
+  }
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : cursor_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!cursor_.AtEnd()) {
+      Result<Rule> rule = ParseClause();
+      if (!rule.ok()) return rule.status();
+      program.rules.push_back(std::move(rule).value());
+    }
+    Status s = program.Validate();
+    if (!s.ok()) return s;
+    return program;
+  }
+
+  Result<Rule> ParseClause() {
+    Rule rule;
+    Result<Atom> head = ParseAtom(/*allow_aggregates=*/true);
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head).value();
+    if (cursor_.Peek().kind == TokenKind::kImplies) {
+      cursor_.Next();
+      while (true) {
+        Result<Literal> lit = ParseLiteral();
+        if (!lit.ok()) return lit.status();
+        rule.body.push_back(std::move(lit).value());
+        if (cursor_.Peek().kind == TokenKind::kComma) {
+          cursor_.Next();
+          continue;
+        }
+        break;
+      }
+    }
+    VADA_RETURN_IF_ERROR(cursor_.Expect(TokenKind::kDot, "'.'"));
+    return rule;
+  }
+
+ private:
+  Result<Literal> ParseLiteral() {
+    if (cursor_.Peek().kind == TokenKind::kNot) {
+      cursor_.Next();
+      Result<Atom> atom = ParseAtom(/*allow_aggregates=*/false);
+      if (!atom.ok()) return atom.status();
+      return Literal::Negative(std::move(atom).value());
+    }
+    // Atom: identifier followed by '('.
+    if (cursor_.Peek().kind == TokenKind::kIdent &&
+        cursor_.Peek(1).kind == TokenKind::kLParen) {
+      Result<Atom> atom = ParseAtom(/*allow_aggregates=*/false);
+      if (!atom.ok()) return atom.status();
+      return Literal::Positive(std::move(atom).value());
+    }
+    // Assignment: VAR '=' term [arith term].
+    if (cursor_.Peek().kind == TokenKind::kVariable &&
+        cursor_.Peek(1).kind == TokenKind::kEq) {
+      std::string var = cursor_.Next().text;
+      cursor_.Next();  // '='
+      Result<Term> lhs = ParseTerm();
+      if (!lhs.ok()) return lhs.status();
+      std::optional<ArithOp> arith = ArithOpFromToken(cursor_.Peek().kind);
+      if (arith.has_value()) {
+        cursor_.Next();
+        Result<Term> rhs = ParseTerm();
+        if (!rhs.ok()) return rhs.status();
+        return Literal::Assignment(std::move(var), std::move(lhs).value(),
+                                   *arith, std::move(rhs).value());
+      }
+      return Literal::Assignment(std::move(var), std::move(lhs).value(),
+                                 ArithOp::kNone, Term::Constant(Value::Null()));
+    }
+    // Comparison: term op term.
+    Result<Term> lhs = ParseTerm();
+    if (!lhs.ok()) return lhs.status();
+    std::optional<CompareOp> op = CompareOpFromToken(cursor_.Peek().kind);
+    if (!op.has_value()) {
+      return cursor_.Error("expected comparison operator");
+    }
+    cursor_.Next();
+    Result<Term> rhs = ParseTerm();
+    if (!rhs.ok()) return rhs.status();
+    return Literal::Comparison(std::move(lhs).value(), *op,
+                               std::move(rhs).value());
+  }
+
+  Result<Atom> ParseAtom(bool allow_aggregates) {
+    if (cursor_.Peek().kind != TokenKind::kIdent) {
+      return cursor_.Error("expected predicate name");
+    }
+    Atom atom;
+    atom.predicate = cursor_.Next().text;
+    VADA_RETURN_IF_ERROR(cursor_.Expect(TokenKind::kLParen, "'('"));
+    if (cursor_.Peek().kind == TokenKind::kRParen) {
+      cursor_.Next();
+      return atom;
+    }
+    while (true) {
+      // Aggregate term: aggfunc '<' VAR '>'.
+      if (allow_aggregates && cursor_.Peek().kind == TokenKind::kIdent &&
+          AggFuncFromName(cursor_.Peek().text).has_value() &&
+          cursor_.Peek(1).kind == TokenKind::kLt) {
+        AggFunc func = *AggFuncFromName(cursor_.Next().text);
+        cursor_.Next();  // '<'
+        if (cursor_.Peek().kind != TokenKind::kVariable) {
+          return cursor_.Error("expected variable inside aggregate");
+        }
+        std::string var = cursor_.Next().text;
+        VADA_RETURN_IF_ERROR(cursor_.Expect(TokenKind::kGt, "'>'"));
+        atom.terms.push_back(Term::Aggregate(func, std::move(var)));
+      } else {
+        Result<Term> term = ParseTerm();
+        if (!term.ok()) return term.status();
+        atom.terms.push_back(std::move(term).value());
+      }
+      if (cursor_.Peek().kind == TokenKind::kComma) {
+        cursor_.Next();
+        continue;
+      }
+      break;
+    }
+    VADA_RETURN_IF_ERROR(cursor_.Expect(TokenKind::kRParen, "')'"));
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& t = cursor_.Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable: {
+        std::string name = cursor_.Next().text;
+        return Term::Variable(std::move(name));
+      }
+      case TokenKind::kInt: {
+        int64_t v = cursor_.Next().int_value;
+        return Term::Constant(Value::Int(v));
+      }
+      case TokenKind::kDouble: {
+        double v = cursor_.Next().double_value;
+        return Term::Constant(Value::Double(v));
+      }
+      case TokenKind::kString: {
+        std::string s = cursor_.Next().text;
+        return Term::Constant(Value::String(std::move(s)));
+      }
+      case TokenKind::kIdent: {
+        std::string word = cursor_.Next().text;
+        if (word == "true") return Term::Constant(Value::Bool(true));
+        if (word == "false") return Term::Constant(Value::Bool(false));
+        if (word == "null") return Term::Constant(Value::Null());
+        return Term::Constant(Value::String(std::move(word)));
+      }
+      default:
+        return cursor_.Error("expected term");
+    }
+  }
+
+  TokenCursor cursor_;
+};
+
+}  // namespace
+
+Result<Program> Parser::Parse(std::string_view source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  ParserImpl impl(std::move(tokens).value());
+  return impl.ParseProgram();
+}
+
+Result<Rule> Parser::ParseRule(std::string_view source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  ParserImpl impl(std::move(tokens).value());
+  Result<Rule> rule = impl.ParseClause();
+  if (!rule.ok()) return rule.status();
+  Status s = ValidateRule(rule.value());
+  if (!s.ok()) return s;
+  return rule;
+}
+
+}  // namespace vada::datalog

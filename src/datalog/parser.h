@@ -1,0 +1,38 @@
+#ifndef VADA_DATALOG_PARSER_H_
+#define VADA_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace vada::datalog {
+
+/// Recursive-descent parser for Vadalog-lite.
+///
+/// Grammar (informally):
+///   program  := clause*
+///   clause   := atom [ ":-" literal ("," literal)* ] "."
+///   literal  := "not" atom | atom | builtin
+///   builtin  := VAR "=" term [ ("+"|"-"|"*"|"/") term ]   (assignment)
+///             | term ("="|"!="|"<>"|"<"|"<="|">"|">=") term (comparison)
+///   term     := VAR | INT | DOUBLE | STRING | IDENT
+/// Head atoms may additionally contain aggregate terms:
+///   count<X>, sum<X>, min<X>, max<X>, avg<X>
+/// Symbol identifiers (lowercase) denote string constants; `true`,
+/// `false` and `null` are the usual literals. Comments: '%' or "//".
+///
+/// Assignment `X = t` binds X when unbound and filters on equality when
+/// already bound (unification semantics).
+class Parser {
+ public:
+  /// Parses a whole program and validates it (safety, aggregates).
+  static Result<Program> Parse(std::string_view source);
+
+  /// Parses exactly one clause.
+  static Result<Rule> ParseRule(std::string_view source);
+};
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_PARSER_H_

@@ -1,0 +1,48 @@
+#include "datalog/provenance.h"
+
+namespace vada::datalog {
+
+void Provenance::Record(const std::string& predicate, const Tuple& fact,
+                        Derivation derivation) {
+  derivations_.emplace(std::make_pair(predicate, fact),
+                       std::move(derivation));
+}
+
+bool Provenance::Has(const std::string& predicate, const Tuple& fact) const {
+  return derivations_.count({predicate, fact}) > 0;
+}
+
+const Derivation* Provenance::Find(const std::string& predicate,
+                                   const Tuple& fact) const {
+  auto it = derivations_.find({predicate, fact});
+  return it == derivations_.end() ? nullptr : &it->second;
+}
+
+std::string Provenance::Explain(const std::string& predicate,
+                                const Tuple& fact, size_t max_depth) const {
+  std::string out;
+  ExplainInto(predicate, fact, 0, max_depth, "", &out);
+  return out;
+}
+
+void Provenance::ExplainInto(const std::string& predicate, const Tuple& fact,
+                             size_t depth, size_t max_depth,
+                             const std::string& indent,
+                             std::string* out) const {
+  *out += indent + predicate + fact.ToString();
+  const Derivation* derivation = Find(predicate, fact);
+  if (derivation == nullptr) {
+    *out += "  (edb)\n";
+    return;
+  }
+  if (depth >= max_depth) {
+    *out += "  (...)\n";
+    return;
+  }
+  *out += "\n" + indent + "  by: " + derivation->rule + "\n";
+  for (const auto& [pred, premise] : derivation->premises) {
+    ExplainInto(pred, premise, depth + 1, max_depth, indent + "  |- ", out);
+  }
+}
+
+}  // namespace vada::datalog

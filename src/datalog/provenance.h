@@ -1,0 +1,63 @@
+#ifndef VADA_DATALOG_PROVENANCE_H_
+#define VADA_DATALOG_PROVENANCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kb/tuple.h"
+
+namespace vada::datalog {
+
+/// Why a fact was derived: the rule that fired and the ground positive
+/// body atoms it fired on (one derivation per fact — the first one found;
+/// Datalog facts may have many proofs, one suffices for explanation).
+struct Derivation {
+  std::string rule;  ///< rule text, e.g. "tc(X, Y) :- edge(X, Z), tc(Z, Y)."
+  std::vector<std::pair<std::string, Tuple>> premises;
+};
+
+/// Provenance side-table filled by the evaluator when
+/// EvalOptions::record_provenance is set. Supports "why is this fact in
+/// the result?" queries as a derivation tree — the fact-level analogue of
+/// the architecture's browsable orchestration trace.
+class Provenance {
+ public:
+  Provenance() = default;
+
+  /// Records a derivation for (predicate, fact); first writer wins.
+  void Record(const std::string& predicate, const Tuple& fact,
+              Derivation derivation);
+
+  bool Has(const std::string& predicate, const Tuple& fact) const;
+
+  /// The stored derivation, or nullptr for EDB/unknown facts.
+  const Derivation* Find(const std::string& predicate,
+                         const Tuple& fact) const;
+
+  /// Renders the derivation tree rooted at (predicate, fact):
+  ///
+  ///   tc(1, 3)
+  ///     by: tc(X, Y) :- edge(X, Z), tc(Z, Y).
+  ///     |- edge(1, 2)  (edb)
+  ///     |- tc(2, 3)
+  ///        by: tc(X, Y) :- edge(X, Y).
+  ///        |- edge(2, 3)  (edb)
+  ///
+  /// Depth-capped to keep output bounded on deep recursions.
+  std::string Explain(const std::string& predicate, const Tuple& fact,
+                      size_t max_depth = 8) const;
+
+  size_t size() const { return derivations_.size(); }
+
+ private:
+  void ExplainInto(const std::string& predicate, const Tuple& fact,
+                   size_t depth, size_t max_depth, const std::string& indent,
+                   std::string* out) const;
+
+  std::map<std::pair<std::string, Tuple>, Derivation> derivations_;
+};
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_PROVENANCE_H_

@@ -1,0 +1,178 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vada::datalog {
+
+namespace {
+
+struct Edge {
+  int from;
+  int to;
+  bool strict;  // negation/aggregation edge
+};
+
+/// Iterative Tarjan SCC over an adjacency list; returns component id per
+/// node, with component ids in reverse topological order (a node's
+/// successors have component ids <= its own id... Tarjan emits SCCs in
+/// reverse topological order, so edges go from higher component ids to
+/// lower or equal). We renumber afterwards, so only grouping matters.
+std::vector<int> TarjanScc(int n, const std::vector<std::vector<int>>& adj) {
+  std::vector<int> index(n, -1), lowlink(n, 0), component(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  struct Frame {
+    int node;
+    size_t child;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      int v = f.node;
+      if (f.child < adj[v].size()) {
+        int w = adj[v][f.child++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == v) break;
+          }
+          ++next_component;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program) {
+  // Collect IDB predicates (those with rules) and assign dense ids.
+  std::map<std::string, int> id_of;
+  std::vector<std::string> name_of;
+  auto intern = [&](const std::string& name) {
+    auto it = id_of.find(name);
+    if (it != id_of.end()) return it->second;
+    int id = static_cast<int>(name_of.size());
+    id_of.emplace(name, id);
+    name_of.push_back(name);
+    return id;
+  };
+  std::set<std::string> idb;
+  for (const Rule& r : program.rules) idb.insert(r.head.predicate);
+  for (const std::string& p : idb) intern(p);
+
+  // Build edges among IDB predicates only; EDB predicates cannot be part
+  // of cycles and live implicitly below stratum 0.
+  std::vector<Edge> edges;
+  for (const Rule& r : program.rules) {
+    int head = intern(r.head.predicate);
+    bool head_aggregates = r.HasAggregates();
+    for (const Literal& lit : r.body) {
+      if (lit.kind != Literal::Kind::kAtom &&
+          lit.kind != Literal::Kind::kNegatedAtom) {
+        continue;
+      }
+      if (idb.count(lit.atom.predicate) == 0) continue;
+      bool strict =
+          head_aggregates || lit.kind == Literal::Kind::kNegatedAtom;
+      edges.push_back({intern(lit.atom.predicate), head, strict});
+    }
+  }
+
+  const int n = static_cast<int>(name_of.size());
+  std::vector<std::vector<int>> adj(n);
+  for (const Edge& e : edges) adj[e.from].push_back(e.to);
+  std::vector<int> component = TarjanScc(n, adj);
+  int num_components = 0;
+  for (int c : component) num_components = std::max(num_components, c + 1);
+
+  // Reject strict edges inside a component.
+  for (const Edge& e : edges) {
+    if (e.strict && component[e.from] == component[e.to]) {
+      return Status::InvalidArgument(
+          "program is not stratifiable: predicate " + name_of[e.to] +
+          " depends on " + name_of[e.from] +
+          " through negation/aggregation inside a cycle");
+    }
+  }
+
+  // Longest-path stratum levels over the component DAG.
+  std::vector<std::vector<std::pair<int, bool>>> cadj(num_components);
+  std::vector<int> indegree(num_components, 0);
+  std::set<std::tuple<int, int, bool>> seen_edges;
+  for (const Edge& e : edges) {
+    int cf = component[e.from], ct = component[e.to];
+    if (cf == ct) continue;
+    if (!seen_edges.insert({cf, ct, e.strict}).second) continue;
+    cadj[cf].push_back({ct, e.strict});
+    ++indegree[ct];
+  }
+  std::vector<int> level(num_components, 0);
+  std::vector<int> queue;
+  for (int c = 0; c < num_components; ++c) {
+    if (indegree[c] == 0) queue.push_back(c);
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    int c = queue[qi];
+    for (const auto& [to, strict] : cadj[c]) {
+      level[to] = std::max(level[to], level[c] + (strict ? 1 : 0));
+      if (--indegree[to] == 0) queue.push_back(to);
+    }
+  }
+
+  // Group components by (level, then topological position) into strata;
+  // components at the same level are still evaluated separately to keep
+  // per-stratum rule sets small, ordered by dependency. We emit one
+  // stratum per component, sorted by level then by reverse Tarjan order
+  // (Tarjan emits reverse-topological component ids, so higher component
+  // id = earlier in topological order).
+  std::vector<int> order(num_components);
+  for (int c = 0; c < num_components; ++c) order[c] = c;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (level[a] != level[b]) return level[a] < level[b];
+    return a > b;  // reverse Tarjan id = topological order
+  });
+
+  Stratification out;
+  for (int c : order) {
+    std::vector<std::string> members;
+    for (int v = 0; v < n; ++v) {
+      if (component[v] == c) members.push_back(name_of[v]);
+    }
+    std::sort(members.begin(), members.end());
+    int stratum_index = static_cast<int>(out.strata.size());
+    for (const std::string& m : members) out.stratum_of[m] = stratum_index;
+    out.strata.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace vada::datalog

@@ -1,0 +1,33 @@
+#ifndef VADA_DATALOG_STRATIFY_H_
+#define VADA_DATALOG_STRATIFY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace vada::datalog {
+
+/// Result of stratifying a program: strata of IDB predicates, lowest
+/// first. Predicates without rules (EDB) are not listed; they are
+/// implicitly below every stratum.
+struct Stratification {
+  /// stratum index -> predicates evaluated together (one SCC-group).
+  std::vector<std::vector<std::string>> strata;
+  /// predicate -> stratum index.
+  std::map<std::string, int> stratum_of;
+};
+
+/// Computes a stratification of `program`.
+///
+/// Edges: every body predicate of a rule points to the head predicate.
+/// Negated body atoms — and *all* body atoms of a rule whose head carries
+/// aggregates — induce strict edges. Fails with kInvalidArgument when a
+/// strict edge lies inside a cycle (non-stratifiable negation/aggregation).
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_STRATIFY_H_

@@ -1,0 +1,37 @@
+#include "extract/open_government.h"
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace vada {
+
+Relation GenerateAddressReference(const GroundTruth& truth,
+                                  const OpenGovernmentOptions& options) {
+  Rng rng(options.seed);
+  Relation out(Schema::Untyped("address", {"street", "city", "postcode"}));
+  // One row per distinct street in the universe (reference data is clean
+  // and deduplicated by construction).
+  std::set<std::string> seen;
+  for (const Tuple& row : truth.properties.rows()) {
+    const std::string& street = row.at(1).string_value();
+    if (seen.count(street) > 0) continue;
+    seen.insert(street);
+    if (!rng.Bernoulli(options.coverage)) continue;
+    out.InsertUnchecked(Tuple({row.at(1), row.at(2), row.at(3)}));
+  }
+  return out;
+}
+
+Relation GenerateDeprivation(const GroundTruth& truth,
+                             const OpenGovernmentOptions& options) {
+  Rng rng(options.seed + 1);
+  Relation out(Schema::Untyped("deprivation", {"postcode", "crime"}));
+  for (const Tuple& row : truth.crime.rows()) {
+    if (!rng.Bernoulli(options.coverage)) continue;
+    out.InsertUnchecked(row);
+  }
+  return out;
+}
+
+}  // namespace vada

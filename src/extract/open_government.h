@@ -1,0 +1,33 @@
+#ifndef VADA_EXTRACT_OPEN_GOVERNMENT_H_
+#define VADA_EXTRACT_OPEN_GOVERNMENT_H_
+
+#include <cstdint>
+
+#include "extract/real_estate.h"
+#include "kb/relation.h"
+
+namespace vada {
+
+/// Options for generating open-government data sets from the universe.
+struct OpenGovernmentOptions {
+  /// Fraction of the universe covered (1.0 = complete reference data;
+  /// lower values drive the data-context coverage sweep, bench E5).
+  double coverage = 1.0;
+  uint64_t seed = 11;
+};
+
+/// The paper's data-context reference data (Fig. 2(c)):
+/// address(street, city, postcode) — one clean row per street.
+Relation GenerateAddressReference(
+    const GroundTruth& truth,
+    const OpenGovernmentOptions& options = OpenGovernmentOptions());
+
+/// The paper's open-government source (Fig. 2(a)):
+/// deprivation(postcode, crime) — crime rank per postcode.
+Relation GenerateDeprivation(
+    const GroundTruth& truth,
+    const OpenGovernmentOptions& options = OpenGovernmentOptions());
+
+}  // namespace vada
+
+#endif  // VADA_EXTRACT_OPEN_GOVERNMENT_H_

@@ -1,0 +1,197 @@
+#include "extract/real_estate.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+
+namespace vada {
+
+namespace {
+
+const char* kStreetNames[] = {"High",    "Station", "Church",  "Park",
+                              "Victoria", "Mill",    "School",  "Queen",
+                              "King",     "New",     "Green",   "Manor",
+                              "Windsor",  "Albert",  "Grange",  "Springfield"};
+const char* kStreetKinds[] = {"Street", "Road", "Lane", "Avenue", "Close",
+                              "Drive"};
+const char* kCities[] = {"Manchester", "Salford", "Stockport", "Oldham",
+                         "Bury"};
+const char* kTypes[] = {"detached", "semi-detached", "terraced", "flat",
+                        "bungalow"};
+
+/// Portal-specific vocabulary variants per canonical type, in the same
+/// order as kTypes.
+const char* kTypeVariants[] = {"Detached House", "Semi Detached",
+                               "Terraced House", "Apartment", "Bungalow Home"};
+
+std::string MakePostcode(Rng* rng) {
+  static const char* kAreas[] = {"M", "SK", "OL", "BL", "WA"};
+  std::string out = kAreas[rng->Index(5)];
+  out += std::to_string(rng->UniformInt(1, 45));
+  out += " ";
+  out += std::to_string(rng->UniformInt(0, 9));
+  out += static_cast<char>('A' + rng->UniformInt(0, 25));
+  out += static_cast<char>('A' + rng->UniformInt(0, 25));
+  return out;
+}
+
+}  // namespace
+
+GroundTruth GeneratePropertyUniverse(const PropertyUniverseOptions& options) {
+  Rng rng(options.seed);
+  GroundTruth truth;
+
+  // Postcodes (unique) with a city and a desirability factor each.
+  std::vector<std::string> cities;
+  std::vector<double> desirability;
+  std::set<std::string> seen_postcodes;
+  while (truth.postcodes.size() < options.num_postcodes) {
+    std::string pc = MakePostcode(&rng);
+    if (!seen_postcodes.insert(pc).second) continue;
+    truth.postcodes.push_back(pc);
+    cities.push_back(kCities[rng.Index(5)]);
+    desirability.push_back(0.6 + 0.8 * rng.UniformDouble());
+  }
+
+  // Crime rank: a permutation of 1..num_postcodes (1 = safest).
+  std::vector<int64_t> ranks(options.num_postcodes);
+  std::iota(ranks.begin(), ranks.end(), int64_t{1});
+  rng.Shuffle(&ranks);
+  for (size_t i = 0; i < options.num_postcodes; ++i) {
+    truth.crime.InsertUnchecked(
+        Tuple({Value::String(truth.postcodes[i]), Value::Int(ranks[i])}));
+  }
+
+  // Streets: 2-4 per postcode, globally unique names so street -> postcode
+  // is a true functional dependency.
+  std::vector<std::vector<std::string>> streets_of(options.num_postcodes);
+  std::set<std::string> seen_streets;
+  for (size_t p = 0; p < options.num_postcodes; ++p) {
+    size_t n = static_cast<size_t>(rng.UniformInt(2, 4));
+    while (streets_of[p].size() < n) {
+      std::string name = std::string(kStreetNames[rng.Index(16)]) + " " +
+                         kStreetKinds[rng.Index(6)];
+      if (!seen_streets.insert(name).second) {
+        // Disambiguate colliding names deterministically.
+        name += " " + std::to_string(seen_streets.size());
+        if (!seen_streets.insert(name).second) continue;
+      }
+      streets_of[p].push_back(name);
+    }
+  }
+
+  for (size_t i = 0; i < options.num_properties; ++i) {
+    size_t p = rng.Index(options.num_postcodes);
+    const std::string& street = streets_of[p][rng.Index(streets_of[p].size())];
+    int64_t bedrooms = 1 + static_cast<int64_t>(rng.Index(6));
+    if (bedrooms > 4 && rng.Bernoulli(0.6)) bedrooms -= 2;  // skew small
+    size_t type_idx = rng.Index(5);
+    double base = 90000.0 + 55000.0 * static_cast<double>(bedrooms);
+    base *= desirability[p];
+    base *= (type_idx == 3) ? 0.8 : 1.0;  // flats cheaper
+    // Per-property variance (condition, garden, ...): keeps two same-size
+    // same-street properties from having indistinguishable prices.
+    base *= 0.85 + 0.3 * rng.UniformDouble();
+    int64_t price = static_cast<int64_t>(base / 1000.0) * 1000;
+    // The listing reference (#id) mirrors real portal descriptions and is
+    // what keeps two distinct same-street same-size properties from being
+    // indistinguishable to duplicate detection.
+    std::string description = std::to_string(bedrooms) + " bed " +
+                              kTypes[type_idx] + " on " + street + " #" +
+                              std::to_string(i);
+    truth.properties.InsertUnchecked(Tuple(
+        {Value::Int(static_cast<int64_t>(i)), Value::String(street),
+         Value::String(cities[p]), Value::String(truth.postcodes[p]),
+         Value::Int(bedrooms), Value::Int(price),
+         Value::String(kTypes[type_idx]), Value::String(description)}));
+  }
+  return truth;
+}
+
+Relation ExtractPortal(const GroundTruth& truth,
+                       const std::string& relation_name,
+                       const std::vector<std::string>& attribute_names,
+                       const ExtractionErrorOptions& options) {
+  Relation out(Schema::Untyped(relation_name, attribute_names));
+  Rng rng(options.seed);
+
+  // Truth columns: id street city postcode bedrooms price type description.
+  for (const Tuple& row : truth.properties.rows()) {
+    if (!rng.Bernoulli(options.coverage)) continue;
+
+    Value price = row.at(5);
+    Value street = row.at(1);
+    Value postcode = row.at(3);
+    Value bedrooms = row.at(4);
+    Value type = row.at(6);
+    Value description = row.at(7);
+
+    if (options.price_noise > 0.0 && rng.Bernoulli(0.8)) {
+      double jitter =
+          1.0 + options.price_noise * (2.0 * rng.UniformDouble() - 1.0);
+      price = Value::Int(
+          static_cast<int64_t>(price.int_value() * jitter / 500.0) * 500);
+    }
+    if (rng.Bernoulli(options.bedrooms_area_rate)) {
+      // The paper's extraction bug: master-bedroom area (sqm) instead of
+      // the bedroom count.
+      bedrooms = Value::Int(rng.UniformInt(9, 40));
+    }
+    if (rng.Bernoulli(options.postcode_typo_rate)) {
+      std::string pc = postcode.string_value();
+      size_t pos = rng.Index(pc.size());
+      pc[pos] = static_cast<char>('A' + rng.UniformInt(0, 25));
+      postcode = Value::String(pc);
+    }
+    if (rng.Bernoulli(options.type_vocabulary_rate)) {
+      for (size_t k = 0; k < 5; ++k) {
+        if (type.string_value() == kTypes[k]) {
+          type = Value::String(kTypeVariants[k]);
+          break;
+        }
+      }
+    }
+
+    std::vector<Value> cells = {price, street, postcode, bedrooms, type,
+                                description};
+    for (Value& v : cells) {
+      if (rng.Bernoulli(options.missing_rate)) v = Value::Null();
+    }
+    out.InsertUnchecked(Tuple(std::move(cells)));
+  }
+  return out;
+}
+
+Relation ExtractRightmove(const GroundTruth& truth,
+                          const ExtractionErrorOptions& options) {
+  return ExtractPortal(
+      truth, "rightmove",
+      {"price", "street", "postcode", "bedrooms", "type", "description"},
+      options);
+}
+
+Relation ExtractOnthemarket(const GroundTruth& truth,
+                            const ExtractionErrorOptions& options) {
+  return ExtractPortal(
+      truth, "onthemarket",
+      {"cost", "road", "post_code", "beds", "category", "details"}, options);
+}
+
+size_t CountImplausibleBedrooms(const Relation& listing,
+                                const std::string& bedrooms_attribute,
+                                int64_t max_plausible) {
+  std::optional<size_t> idx =
+      listing.schema().AttributeIndex(bedrooms_attribute);
+  if (!idx.has_value()) return 0;
+  size_t count = 0;
+  for (const Tuple& row : listing.rows()) {
+    const Value& v = row.at(*idx);
+    std::optional<double> d = v.AsDouble();
+    if (d.has_value() && *d > static_cast<double>(max_plausible)) ++count;
+  }
+  return count;
+}
+
+}  // namespace vada

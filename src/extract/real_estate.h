@@ -1,0 +1,89 @@
+#ifndef VADA_EXTRACT_REAL_ESTATE_H_
+#define VADA_EXTRACT_REAL_ESTATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kb/relation.h"
+
+namespace vada {
+
+/// Options for generating the hidden "true" property universe behind the
+/// demonstration scenario (paper §2.1).
+struct PropertyUniverseOptions {
+  size_t num_properties = 400;
+  size_t num_postcodes = 50;
+  uint64_t seed = 42;
+};
+
+/// The ground truth the simulated web sources are extracted from. It
+/// substitutes for the live estate-agent sites + DIADEM extraction the
+/// paper demonstrates with (see DESIGN.md §2): downstream components only
+/// observe the noisy extracted relations, never this object, except for
+/// evaluation (precision/accuracy against truth).
+struct GroundTruth {
+  /// ground_truth(id, street, city, postcode, bedrooms, price, type,
+  /// description)
+  Relation properties{Schema::Untyped("ground_truth",
+                                      {"id", "street", "city", "postcode",
+                                       "bedrooms", "price", "type",
+                                       "description"})};
+  /// crime_truth(postcode, crime) — rank per postcode, 1 = safest.
+  Relation crime{Schema::Untyped("crime_truth", {"postcode", "crime"})};
+  std::vector<std::string> postcodes;
+};
+
+/// Deterministically generates a coherent universe: postcodes own streets
+/// (street -> postcode and postcode -> city are true FDs, which is what
+/// CFD learning later rediscovers), prices correlate with bedrooms and
+/// postcode desirability, crime rank is a permutation over postcodes.
+GroundTruth GeneratePropertyUniverse(
+    const PropertyUniverseOptions& options = PropertyUniverseOptions());
+
+/// Error model of one simulated deep-web extraction, reproducing the
+/// error classes the paper names plus common extraction noise.
+struct ExtractionErrorOptions {
+  /// Fraction of the universe this portal lists.
+  double coverage = 0.7;
+  /// P(any given cell is extracted as null).
+  double missing_rate = 0.08;
+  /// The paper's flagship error (§2.3): "automatic web data extraction
+  /// may be using the area of the master bedroom as the number of
+  /// bedrooms" — with this probability the bedrooms cell becomes a
+  /// square-metre area (9..40).
+  double bedrooms_area_rate = 0.10;
+  /// P(postcode gets a character typo), breaking joins/reference checks.
+  double postcode_typo_rate = 0.05;
+  /// P(type uses a portal-specific vocabulary variant).
+  double type_vocabulary_rate = 0.25;
+  /// Relative price jitter (uniform +-).
+  double price_noise = 0.02;
+  uint64_t seed = 7;
+};
+
+/// Extracts a portal listing with the given attribute names (positional:
+/// price, street, postcode, bedrooms, type, description). Using portal-
+/// specific names exercises schema matching, per §2.1: "in practice
+/// attribute correspondences may need to be derived by schema matchers".
+Relation ExtractPortal(const GroundTruth& truth,
+                       const std::string& relation_name,
+                       const std::vector<std::string>& attribute_names,
+                       const ExtractionErrorOptions& options);
+
+/// The paper's two deep-web sources with their demo-scenario schemas.
+Relation ExtractRightmove(const GroundTruth& truth,
+                          const ExtractionErrorOptions& options);
+Relation ExtractOnthemarket(const GroundTruth& truth,
+                            const ExtractionErrorOptions& options);
+
+/// Counts rows whose bedrooms cell is an implausible bedroom count
+/// (> `max_plausible`) — the observable symptom of the area-extraction
+/// error; used by benches to measure feedback effectiveness.
+size_t CountImplausibleBedrooms(const Relation& listing,
+                                const std::string& bedrooms_attribute,
+                                int64_t max_plausible = 8);
+
+}  // namespace vada
+
+#endif  // VADA_EXTRACT_REAL_ESTATE_H_

@@ -1,0 +1,48 @@
+#include "feedback/feedback.h"
+
+namespace vada {
+
+const char* FeedbackPolarityName(FeedbackPolarity polarity) {
+  switch (polarity) {
+    case FeedbackPolarity::kCorrect:
+      return "correct";
+    case FeedbackPolarity::kIncorrect:
+      return "incorrect";
+  }
+  return "?";
+}
+
+std::string FeedbackItem::ToString() const {
+  std::string out = tuple.ToString();
+  if (!attribute.empty()) out += "." + attribute;
+  out += " is ";
+  out += FeedbackPolarityName(polarity);
+  return out;
+}
+
+void FeedbackStore::Add(FeedbackItem item) { items_.push_back(std::move(item)); }
+
+void FeedbackStore::Clear() { items_.clear(); }
+
+std::vector<const FeedbackItem*> FeedbackStore::ItemsForAttribute(
+    const std::string& attribute) const {
+  std::vector<const FeedbackItem*> out;
+  for (const FeedbackItem& item : items_) {
+    if (item.attribute == attribute) out.push_back(&item);
+  }
+  return out;
+}
+
+Relation FeedbackStore::ToRelation(const std::string& relation_name) const {
+  Relation rel(
+      Schema::Untyped(relation_name, {"tuple_key", "attribute", "polarity"}));
+  for (const FeedbackItem& item : items_) {
+    rel.InsertUnchecked(
+        Tuple({Value::String(std::to_string(item.tuple.Hash())),
+               Value::String(item.attribute),
+               Value::String(FeedbackPolarityName(item.polarity))}));
+  }
+  return rel;
+}
+
+}  // namespace vada

@@ -1,0 +1,173 @@
+#include "fusion/dedup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/similarity.h"
+#include "common/strings.h"
+
+namespace vada {
+
+namespace {
+
+double ValueSimilarity(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return 0.0;
+  if (a == b) return 1.0;
+  std::optional<double> da = a.AsDouble();
+  std::optional<double> db = b.AsDouble();
+  if (da.has_value() && db.has_value()) {
+    // Numbers only count as similar within a tight relative band (5%):
+    // two different properties' prices must not read as near-duplicates.
+    double scale = std::max({std::fabs(*da), std::fabs(*db), 1e-9});
+    double banded = std::fabs(*da - *db) / (0.05 * scale);
+    return banded >= 1.0 ? 0.0 : 1.0 - banded;
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    const std::string& sa = a.string_value();
+    const std::string& sb = b.string_value();
+    // Long strings (descriptions) share templates; character similarity
+    // over-scores them, so compare word sets instead.
+    if (sa.size() >= 16 || sb.size() >= 16) {
+      std::vector<std::string> ta;
+      std::vector<std::string> tb;
+      for (const std::string& w : Split(sa, ' ')) {
+        if (!w.empty()) ta.push_back(w);
+      }
+      for (const std::string& w : Split(sb, ' ')) {
+        if (!w.empty()) tb.push_back(w);
+      }
+      return TokenJaccard(ta, tb);
+    }
+    return JaroWinklerSimilarity(sa, sb);
+  }
+  return 0.0;
+}
+
+/// Union-find with path compression.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+DuplicateDetector::DuplicateDetector(DedupOptions options)
+    : options_(std::move(options)) {}
+
+double DuplicateDetector::RecordSimilarity(const Relation& rel, size_t row_a,
+                                           size_t row_b) const {
+  const Tuple& a = rel.rows()[row_a];
+  const Tuple& b = rel.rows()[row_b];
+  std::vector<size_t> indexes;
+  if (options_.compare_attributes.empty()) {
+    for (size_t i = 0; i < rel.schema().arity(); ++i) indexes.push_back(i);
+  } else {
+    for (const std::string& attr : options_.compare_attributes) {
+      std::optional<size_t> i = rel.schema().AttributeIndex(attr);
+      if (i.has_value()) indexes.push_back(*i);
+    }
+  }
+  if (indexes.empty()) return 0.0;
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t i : indexes) {
+    // A null on either side is absence of evidence, not disagreement —
+    // a portal that omitted the crime rank must not veto a duplicate.
+    if (a.at(i).is_null() || b.at(i).is_null()) continue;
+    sum += ValueSimilarity(a.at(i), b.at(i));
+    ++counted;
+  }
+  size_t required = std::min(options_.min_shared_fields, indexes.size());
+  if (counted < required) return 0.0;
+  if (counted == 0) return 0.0;
+  return sum / static_cast<double>(counted);
+}
+
+Result<std::vector<DuplicatePair>> DuplicateDetector::FindDuplicates(
+    const Relation& rel) const {
+  // Build blocks.
+  std::map<std::string, std::vector<size_t>> blocks;
+  if (options_.blocking_attributes.empty()) {
+    std::vector<size_t>& all = blocks[""];
+    for (size_t r = 0; r < rel.size(); ++r) all.push_back(r);
+  } else {
+    std::vector<size_t> key_idx;
+    for (const std::string& attr : options_.blocking_attributes) {
+      std::optional<size_t> i = rel.schema().AttributeIndex(attr);
+      if (!i.has_value()) {
+        return Status::NotFound("blocking attribute " + attr + " not in " +
+                                rel.schema().ToString());
+      }
+      key_idx.push_back(*i);
+    }
+    for (size_t r = 0; r < rel.size(); ++r) {
+      std::string key;
+      bool has_null = false;
+      for (size_t i : key_idx) {
+        const Value& v = rel.rows()[r].at(i);
+        if (v.is_null()) {
+          has_null = true;
+          break;
+        }
+        key += v.ToString();
+        key += '\x1f';
+      }
+      // Rows with null blocking keys cannot be safely blocked; they are
+      // left unpaired (a conservative choice documented here).
+      if (!has_null) blocks[key].push_back(r);
+    }
+  }
+
+  std::vector<DuplicatePair> out;
+  for (const auto& [key, rows] : blocks) {
+    size_t pairs = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t j = i + 1; j < rows.size(); ++j) {
+        if (++pairs > options_.max_pairs_per_block) break;
+        double sim = RecordSimilarity(rel, rows[i], rows[j]);
+        if (sim >= options_.threshold) {
+          out.push_back(DuplicatePair{rows[i], rows[j], sim});
+        }
+      }
+      if (pairs > options_.max_pairs_per_block) break;
+    }
+  }
+  return out;
+}
+
+Result<DuplicateClusters> DuplicateDetector::Cluster(
+    const Relation& rel) const {
+  Result<std::vector<DuplicatePair>> pairs = FindDuplicates(rel);
+  if (!pairs.ok()) return pairs.status();
+  UnionFind uf(rel.size());
+  for (const DuplicatePair& p : pairs.value()) {
+    uf.Union(p.row_a, p.row_b);
+  }
+  DuplicateClusters out;
+  out.cluster_of.resize(rel.size());
+  std::map<size_t, size_t> dense;
+  for (size_t r = 0; r < rel.size(); ++r) {
+    size_t root = uf.Find(r);
+    auto [it, added] = dense.emplace(root, dense.size());
+    out.cluster_of[r] = it->second;
+  }
+  out.num_clusters = dense.size();
+  return out;
+}
+
+}  // namespace vada

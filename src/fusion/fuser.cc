@@ -1,0 +1,71 @@
+#include "fusion/fuser.h"
+
+namespace vada {
+
+Fuser::Fuser(FusionOptions options) : options_(std::move(options)) {}
+
+Result<Relation> Fuser::Fuse(const Relation& rel,
+                             const DuplicateClusters& clusters,
+                             const std::string& result_name,
+                             FusionStats* stats) const {
+  if (clusters.cluster_of.size() != rel.size()) {
+    return Status::InvalidArgument(
+        "cluster assignment size does not match relation size");
+  }
+  if (!options_.row_weights.empty() &&
+      options_.row_weights.size() != rel.size()) {
+    return Status::InvalidArgument(
+        "row_weights size does not match relation size");
+  }
+
+  FusionStats local;
+  FusionStats* st = (stats != nullptr) ? stats : &local;
+  st->input_rows = rel.size();
+
+  std::vector<std::vector<size_t>> members(clusters.num_clusters);
+  for (size_t r = 0; r < rel.size(); ++r) {
+    members[clusters.cluster_of[r]].push_back(r);
+  }
+
+  Relation out(Schema(result_name, rel.schema().attributes()));
+  const size_t arity = rel.schema().arity();
+  for (const std::vector<size_t>& cluster : members) {
+    if (cluster.empty()) continue;
+    std::vector<Value> fused(arity);
+    for (size_t col = 0; col < arity; ++col) {
+      // Weighted vote among non-null values.
+      std::map<Value, double> votes;
+      size_t non_null_members = 0;
+      for (size_t r : cluster) {
+        const Value& v = rel.rows()[r].at(col);
+        if (v.is_null()) continue;
+        ++non_null_members;
+        double w =
+            options_.row_weights.empty() ? 1.0 : options_.row_weights[r];
+        votes[v] += w;
+      }
+      if (votes.empty()) {
+        fused[col] = Value::Null();
+        continue;
+      }
+      const Value* best = nullptr;
+      double best_votes = -1.0;
+      for (const auto& [v, w] : votes) {
+        if (w > best_votes) {
+          best_votes = w;
+          best = &v;
+        }
+      }
+      fused[col] = *best;
+      if (votes.size() > 1) ++st->conflicts_resolved;
+      if (non_null_members < cluster.size() && cluster.size() > 1) {
+        ++st->nulls_filled;
+      }
+    }
+    VADA_RETURN_IF_ERROR(out.InsertUnchecked(Tuple(std::move(fused))));
+  }
+  st->output_rows = out.size();
+  return out;
+}
+
+}  // namespace vada

@@ -1,0 +1,49 @@
+#ifndef VADA_FUSION_FUSER_H_
+#define VADA_FUSION_FUSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fusion/dedup.h"
+#include "kb/relation.h"
+
+namespace vada {
+
+/// Options for conflict-resolving fusion.
+struct FusionOptions {
+  /// Per-row weights (e.g. source quality); empty = all rows weight 1.
+  /// Indexed parallel to the relation's rows.
+  std::vector<double> row_weights;
+};
+
+/// Statistics of one fusion run.
+struct FusionStats {
+  size_t input_rows = 0;
+  size_t output_rows = 0;
+  size_t conflicts_resolved = 0;  ///< cells where cluster members disagreed
+  size_t nulls_filled = 0;        ///< cells null in some member, filled by another
+};
+
+/// The paper's Data Fusion transducer ("a data fusion transducer may
+/// start to evaluate when duplicates have been detected"): collapses each
+/// duplicate cluster to one tuple, resolving per-attribute conflicts by
+/// weighted majority vote among non-null values.
+class Fuser {
+ public:
+  explicit Fuser(FusionOptions options = FusionOptions());
+
+  /// Fuses `rel` given its duplicate clustering. The output relation has
+  /// the same schema (renamed to `result_name`).
+  Result<Relation> Fuse(const Relation& rel, const DuplicateClusters& clusters,
+                        const std::string& result_name,
+                        FusionStats* stats = nullptr) const;
+
+ private:
+  FusionOptions options_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_FUSION_FUSER_H_

@@ -1,0 +1,48 @@
+#ifndef VADA_KB_CATALOG_H_
+#define VADA_KB_CATALOG_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vada {
+
+/// The role a relation plays in the wrangling process. Roles are what
+/// transducer input dependencies quantify over ("source schemas exist",
+/// "the target has reference data", ...), mirroring the paper's user
+/// context / data context / source / target distinction.
+enum class RelationRole {
+  kSource = 0,      ///< extracted source data (e.g. Rightmove)
+  kTarget,          ///< the user-declared target schema
+  kReference,       ///< data context: reference data (complete value lists)
+  kMaster,          ///< data context: master data (entities of interest)
+  kExample,         ///< data context: example instances
+  kMetadata,        ///< transducer-produced metadata (matches, metrics, ...)
+  kResult,          ///< wrangled result instances
+};
+
+const char* RelationRoleName(RelationRole role);
+
+/// Registry mapping relation names to their wrangling role. Owned by the
+/// KnowledgeBase; separate so it can be inspected/tested in isolation.
+class Catalog {
+ public:
+  void SetRole(const std::string& relation_name, RelationRole role);
+  std::optional<RelationRole> GetRole(const std::string& relation_name) const;
+  void Remove(const std::string& relation_name);
+
+  /// Relation names with the given role, sorted.
+  std::vector<std::string> RelationsWithRole(RelationRole role) const;
+
+  /// True if `relation_name` provides data-context information
+  /// (reference, master or example role).
+  bool IsDataContext(const std::string& relation_name) const;
+
+ private:
+  std::map<std::string, RelationRole> roles_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_CATALOG_H_

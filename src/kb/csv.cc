@@ -1,0 +1,197 @@
+#include "kb/csv.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace vada {
+
+namespace {
+
+/// Splits CSV text into rows of raw (unquoted) cells. Handles quoted
+/// fields with embedded separators/newlines and doubled quotes.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
+                                                       char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+  size_t i = 0;
+  auto end_cell = [&] {
+    row.push_back(cell);
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(row);
+    row.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cell += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && cell.empty() && !cell_was_quoted) {
+      in_quotes = true;
+      cell_was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      end_cell();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;  // swallow; the '\n' (if any) ends the row
+      if (i >= text.size() || text[i] != '\n') end_row();
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    cell += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  if (!cell.empty() || !row.empty() || cell_was_quoted) end_row();
+  return rows;
+}
+
+std::string EscapeCell(const std::string& cell, char sep) {
+  bool needs_quotes = false;
+  for (char c : cell) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ParseCsv(std::string_view text,
+                          const std::string& relation_name,
+                          const CsvOptions& options) {
+  Result<std::vector<std::vector<std::string>>> rows_or =
+      Tokenize(text, options.separator);
+  if (!rows_or.ok()) return rows_or.status();
+  const std::vector<std::vector<std::string>>& raw = rows_or.value();
+  if (raw.empty()) {
+    return Status::ParseError("CSV text for " + relation_name + " is empty");
+  }
+
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    names = raw[0];
+    first_data_row = 1;
+  } else {
+    for (size_t i = 0; i < raw[0].size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  Schema schema = Schema::Untyped(relation_name, names);
+  VADA_RETURN_IF_ERROR(schema.Validate());
+  Relation rel(std::move(schema));
+
+  for (size_t r = first_data_row; r < raw.size(); ++r) {
+    const std::vector<std::string>& cells = raw[r];
+    if (cells.size() != names.size()) {
+      return Status::ParseError(
+          "CSV row " + std::to_string(r + 1) + " of " + relation_name + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(names.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      if (cell.empty()) {
+        values.push_back(Value::Null());
+      } else if (options.infer_types) {
+        values.push_back(Value::FromText(cell));
+      } else {
+        values.push_back(Value::String(cell));
+      }
+    }
+    VADA_RETURN_IF_ERROR(rel.InsertUnchecked(Tuple(std::move(values))));
+  }
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const std::string& relation_name,
+                             const CsvOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open CSV file " + path);
+  }
+  std::string text;
+  char buf[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseCsv(text, relation_name, options);
+}
+
+std::string ToCsv(const Relation& relation, char separator) {
+  std::string out;
+  const std::vector<Attribute>& attrs = relation.schema().attributes();
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += separator;
+    out += EscapeCell(attrs[i].name, separator);
+  }
+  out += '\n';
+  for (const Tuple& row : relation.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += separator;
+      out += EscapeCell(row.at(i).ToString(/*null_as_empty=*/true), separator);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    char separator) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  std::string text = ToCsv(relation, separator);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace vada

@@ -1,0 +1,43 @@
+#ifndef VADA_KB_CSV_H_
+#define VADA_KB_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "kb/relation.h"
+
+namespace vada {
+
+/// Options controlling CSV import.
+struct CsvOptions {
+  char separator = ',';
+  /// First row is the header (attribute names). If false, attributes are
+  /// named c0, c1, ...
+  bool has_header = true;
+  /// Parse cells through Value::FromText (typed import). When false every
+  /// non-empty cell becomes a string; empty cells are nulls either way.
+  bool infer_types = true;
+};
+
+/// Parses RFC4180-style CSV text (quoted fields, embedded separators,
+/// doubled quotes, \n / \r\n line ends) into a relation named
+/// `relation_name` with kAny attribute types.
+Result<Relation> ParseCsv(std::string_view text, const std::string& relation_name,
+                          const CsvOptions& options = CsvOptions());
+
+/// Reads and parses a CSV file.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const std::string& relation_name,
+                             const CsvOptions& options = CsvOptions());
+
+/// Renders `relation` as CSV with a header row; nulls become empty fields.
+std::string ToCsv(const Relation& relation, char separator = ',');
+
+/// Writes ToCsv(relation) to `path`.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    char separator = ',');
+
+}  // namespace vada
+
+#endif  // VADA_KB_CSV_H_

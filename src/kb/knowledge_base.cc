@@ -1,0 +1,164 @@
+#include "kb/knowledge_base.h"
+
+namespace vada {
+
+void KnowledgeBase::Bump(const std::string& name) {
+  ++versions_[name];
+  ++global_version_;
+}
+
+Status KnowledgeBase::CreateRelation(Schema schema) {
+  VADA_RETURN_IF_ERROR(schema.Validate());
+  const std::string name = schema.relation_name();
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation " + name + " already exists");
+  }
+  relations_.emplace(name, Relation(std::move(schema)));
+  Bump(name);
+  return Status::OK();
+}
+
+Status KnowledgeBase::EnsureRelation(const Schema& schema) {
+  auto it = relations_.find(schema.relation_name());
+  if (it == relations_.end()) return CreateRelation(schema);
+  if (!(it->second.schema() == schema)) {
+    return Status::FailedPrecondition(
+        "relation " + schema.relation_name() +
+        " exists with a different schema: " + it->second.schema().ToString() +
+        " vs " + schema.ToString());
+  }
+  return Status::OK();
+}
+
+bool KnowledgeBase::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+const Relation* KnowledgeBase::FindRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Result<const Relation*> KnowledgeBase::GetRelation(
+    const std::string& name) const {
+  const Relation* rel = FindRelation(name);
+  if (rel == nullptr) {
+    return Status::NotFound("relation " + name + " not in knowledge base");
+  }
+  return rel;
+}
+
+Status KnowledgeBase::Insert(const std::string& relation_name, Tuple tuple) {
+  auto it = relations_.find(relation_name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + relation_name +
+                            " not in knowledge base");
+  }
+  bool added = false;
+  VADA_RETURN_IF_ERROR(it->second.Insert(std::move(tuple), &added));
+  if (added) Bump(relation_name);
+  return Status::OK();
+}
+
+Status KnowledgeBase::Assert(const std::string& relation_name,
+                             std::initializer_list<Value> values) {
+  return Insert(relation_name, Tuple(values));
+}
+
+Status KnowledgeBase::InsertAll(const Relation& relation) {
+  VADA_RETURN_IF_ERROR(EnsureRelation(relation.schema()));
+  auto it = relations_.find(relation.name());
+  bool any = false;
+  for (const Tuple& row : relation.rows()) {
+    bool added = false;
+    VADA_RETURN_IF_ERROR(it->second.Insert(row, &added));
+    any = any || added;
+  }
+  if (any) Bump(relation.name());
+  return Status::OK();
+}
+
+Status KnowledgeBase::Retract(const std::string& relation_name,
+                              const Tuple& tuple) {
+  auto it = relations_.find(relation_name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + relation_name +
+                            " not in knowledge base");
+  }
+  if (it->second.Erase(tuple)) Bump(relation_name);
+  return Status::OK();
+}
+
+Status KnowledgeBase::ClearRelation(const std::string& relation_name) {
+  auto it = relations_.find(relation_name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + relation_name +
+                            " not in knowledge base");
+  }
+  if (!it->second.empty()) {
+    it->second.Clear();
+    Bump(relation_name);
+  }
+  return Status::OK();
+}
+
+Status KnowledgeBase::DropRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation " + name + " not in knowledge base");
+  }
+  relations_.erase(it);
+  versions_.erase(name);
+  catalog_.Remove(name);
+  ++global_version_;
+  return Status::OK();
+}
+
+Status KnowledgeBase::ReplaceRelation(const Relation& relation) {
+  auto it = relations_.find(relation.name());
+  if (it == relations_.end()) {
+    VADA_RETURN_IF_ERROR(CreateRelation(relation.schema()));
+    it = relations_.find(relation.name());
+  } else if (!(it->second.schema() == relation.schema())) {
+    return Status::FailedPrecondition(
+        "relation " + relation.name() + " exists with a different schema");
+  }
+  it->second = relation;
+  Bump(relation.name());
+  return Status::OK();
+}
+
+Status KnowledgeBase::ReplaceRelationIfChanged(const Relation& relation,
+                                               bool* changed) {
+  auto it = relations_.find(relation.name());
+  if (it != relations_.end() && it->second.schema() == relation.schema() &&
+      it->second.size() == relation.size()) {
+    bool same = true;
+    for (const Tuple& row : relation.rows()) {
+      if (!it->second.Contains(row)) {
+        same = false;
+        break;
+      }
+    }
+    if (same) {
+      if (changed != nullptr) *changed = false;
+      return Status::OK();
+    }
+  }
+  if (changed != nullptr) *changed = true;
+  return ReplaceRelation(relation);
+}
+
+uint64_t KnowledgeBase::relation_version(const std::string& name) const {
+  auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> KnowledgeBase::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+}  // namespace vada

@@ -1,0 +1,103 @@
+#ifndef VADA_KB_KNOWLEDGE_BASE_H_
+#define VADA_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/catalog.h"
+#include "kb/relation.h"
+
+namespace vada {
+
+/// The VADA Knowledge Base (paper §2): the repository for all data of
+/// relevance to the wrangling process — extensional source data, the
+/// target schema, data context, user context, feedback, and the metadata
+/// transducers create (matches, mappings, quality metrics, traces).
+///
+/// Every successful mutation bumps both a per-relation version and a
+/// global version. The orchestrator uses versions to decide when a
+/// transducer's input dependencies may have newly become satisfiable,
+/// which is how "a transducer ... becomes available for execution when
+/// that data is available in the knowledge base" is realised.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  // Not copyable (relations can be large; copies are almost always bugs).
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+
+  /// Creates an empty relation; fails with kAlreadyExists if present.
+  Status CreateRelation(Schema schema);
+
+  /// Creates the relation if absent; fails with kFailedPrecondition if a
+  /// relation with the same name but different schema exists.
+  Status EnsureRelation(const Schema& schema);
+
+  bool HasRelation(const std::string& name) const;
+
+  /// Read access; nullptr when absent.
+  const Relation* FindRelation(const std::string& name) const;
+
+  /// Read access with error reporting.
+  Result<const Relation*> GetRelation(const std::string& name) const;
+
+  /// Inserts one tuple; bumps versions only when the tuple is new.
+  Status Insert(const std::string& relation_name, Tuple tuple);
+
+  /// Convenience for short control facts:
+  ///   kb.Assert("match", {Value::String("a"), Value::String("b")});
+  Status Assert(const std::string& relation_name,
+                std::initializer_list<Value> values);
+
+  /// Ensures `relation.schema()` exists and inserts all rows.
+  Status InsertAll(const Relation& relation);
+
+  /// Removes one tuple; bumps versions when the tuple was present.
+  Status Retract(const std::string& relation_name, const Tuple& tuple);
+
+  /// Removes all rows of `relation_name` (schema stays registered).
+  Status ClearRelation(const std::string& relation_name);
+
+  /// Removes the relation, its versions and its catalog role.
+  Status DropRelation(const std::string& name);
+
+  /// Replaces the contents of `relation.name()` with `relation`'s rows
+  /// (creating it if needed). Single version bump.
+  Status ReplaceRelation(const Relation& relation);
+
+  /// Like ReplaceRelation but bumps versions only when the row set (or
+  /// schema) actually differs. Transducers use this so that re-running on
+  /// unchanged inputs is a no-op — the convergence condition of the
+  /// dynamic orchestrator. Sets `*changed` (optional) accordingly.
+  Status ReplaceRelationIfChanged(const Relation& relation,
+                                  bool* changed = nullptr);
+
+  /// Version counters: 0 for unknown relations; bumped on every mutation.
+  uint64_t relation_version(const std::string& name) const;
+  uint64_t global_version() const { return global_version_; }
+
+  /// All relation names, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  void Bump(const std::string& name);
+
+  std::map<std::string, Relation> relations_;
+  std::map<std::string, uint64_t> versions_;
+  uint64_t global_version_ = 0;
+  Catalog catalog_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_KNOWLEDGE_BASE_H_

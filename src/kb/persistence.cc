@@ -1,0 +1,196 @@
+#include "kb/persistence.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "kb/csv.h"
+
+namespace vada {
+
+namespace {
+
+Result<std::string> ReadFileText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string text;
+  char buf[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+Status WriteFileText(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) return Status::Internal("short write " + path);
+  return Status::OK();
+}
+
+Result<AttributeType> AttributeTypeFromName(const std::string& name) {
+  if (name == "any") return AttributeType::kAny;
+  if (name == "bool") return AttributeType::kBool;
+  if (name == "int") return AttributeType::kInt;
+  if (name == "double") return AttributeType::kDouble;
+  if (name == "string") return AttributeType::kString;
+  return Status::ParseError("unknown attribute type " + name);
+}
+
+Result<RelationRole> RoleFromName(const std::string& name) {
+  for (RelationRole role :
+       {RelationRole::kSource, RelationRole::kTarget, RelationRole::kReference,
+        RelationRole::kMaster, RelationRole::kExample, RelationRole::kMetadata,
+        RelationRole::kResult}) {
+    if (name == RelationRoleName(role)) return role;
+  }
+  return Status::ParseError("unknown relation role " + name);
+}
+
+}  // namespace
+
+std::string EncodeCell(const Value& value) {
+  // Doubles need round-trip precision (the display form %g, 6 digits,
+  // would corrupt them) AND a decimal marker, or whole-valued doubles
+  // like 1.0 would decode as integers.
+  if (value.type() == ValueType::kDouble) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value.double_value());
+    std::string out = buf;
+    if (out.find_first_of(".eEnN") == std::string::npos) out += ".0";
+    return out;
+  }
+  return value.ToLiteral();
+}
+
+Result<Value> DecodeCell(const std::string& text) {
+  if (text.empty()) return Value::Null();
+  if (text[0] == '"') {
+    // Quoted string literal with backslash escapes.
+    std::string out;
+    for (size_t i = 1; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\\' && i + 1 < text.size()) {
+        out += text[++i];
+        continue;
+      }
+      if (c == '"') {
+        if (i + 1 != text.size()) {
+          return Status::ParseError("trailing characters after string: " +
+                                    text);
+        }
+        return Value::String(std::move(out));
+      }
+      out += c;
+    }
+    return Status::ParseError("unterminated string literal: " + text);
+  }
+  if (text == "NULL") return Value::Null();
+  Value v = Value::FromText(text);
+  if (v.type() == ValueType::kString) {
+    return Status::ParseError("unquoted non-literal cell: " + text);
+  }
+  return v;
+}
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb,
+                         const std::string& directory) {
+  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create directory " + directory);
+  }
+
+  std::string manifest = "vada-kb\tv1\n";
+  for (const std::string& name : kb.RelationNames()) {
+    const Relation* rel = kb.FindRelation(name);
+    if (rel == nullptr) continue;
+
+    std::vector<std::string> attr_specs;
+    for (const Attribute& a : rel->schema().attributes()) {
+      attr_specs.push_back(a.name + ":" + AttributeTypeName(a.type));
+    }
+    std::optional<RelationRole> role = kb.catalog().GetRole(name);
+    manifest += name + "\t" +
+                (role.has_value() ? RelationRoleName(*role) : "-") + "\t" +
+                Join(attr_specs, "|") + "\n";
+
+    // Typed-literal cells, then standard CSV escaping.
+    Relation encoded(Schema::Untyped(name, rel->schema().AttributeNames()));
+    for (const Tuple& row : rel->rows()) {
+      std::vector<Value> cells;
+      cells.reserve(row.size());
+      for (const Value& v : row.values()) {
+        cells.push_back(Value::String(EncodeCell(v)));
+      }
+      VADA_RETURN_IF_ERROR(encoded.InsertUnchecked(Tuple(std::move(cells))));
+    }
+    VADA_RETURN_IF_ERROR(
+        WriteFileText(directory + "/" + name + ".csv", ToCsv(encoded)));
+  }
+  return WriteFileText(directory + "/manifest.tsv", manifest);
+}
+
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& directory) {
+  Result<std::string> manifest = ReadFileText(directory + "/manifest.tsv");
+  if (!manifest.ok()) return manifest.status();
+
+  KnowledgeBase kb;
+  std::vector<std::string> lines = Split(manifest.value(), '\n');
+  if (lines.empty() || !StartsWith(lines[0], "vada-kb")) {
+    return Status::ParseError(directory + " is not a vada-kb directory");
+  }
+  for (size_t li = 1; li < lines.size(); ++li) {
+    if (Trim(lines[li]).empty()) continue;
+    std::vector<std::string> fields = Split(lines[li], '\t');
+    if (fields.size() != 3) {
+      return Status::ParseError("bad manifest line: " + lines[li]);
+    }
+    const std::string& name = fields[0];
+
+    std::vector<Attribute> attrs;
+    if (!fields[2].empty()) {
+      for (const std::string& spec : Split(fields[2], '|')) {
+        size_t colon = spec.rfind(':');
+        if (colon == std::string::npos) {
+          return Status::ParseError("bad attribute spec: " + spec);
+        }
+        Result<AttributeType> type =
+            AttributeTypeFromName(spec.substr(colon + 1));
+        if (!type.ok()) return type.status();
+        attrs.push_back(Attribute{spec.substr(0, colon), type.value()});
+      }
+    }
+    VADA_RETURN_IF_ERROR(kb.CreateRelation(Schema(name, attrs)));
+    if (fields[1] != "-") {
+      Result<RelationRole> role = RoleFromName(fields[1]);
+      if (!role.ok()) return role.status();
+      kb.catalog().SetRole(name, role.value());
+    }
+
+    // Rows: raw (string) CSV cells holding typed literals.
+    Result<std::string> text = ReadFileText(directory + "/" + name + ".csv");
+    if (!text.ok()) return text.status();
+    CsvOptions csv_options;
+    csv_options.infer_types = false;
+    Result<Relation> encoded = ParseCsv(text.value(), name, csv_options);
+    if (!encoded.ok()) return encoded.status();
+    for (const Tuple& row : encoded.value().rows()) {
+      std::vector<Value> cells;
+      cells.reserve(row.size());
+      for (const Value& cell : row.values()) {
+        Result<Value> decoded =
+            DecodeCell(cell.is_null() ? "" : cell.string_value());
+        if (!decoded.ok()) return decoded.status();
+        cells.push_back(std::move(decoded).value());
+      }
+      VADA_RETURN_IF_ERROR(kb.Insert(name, Tuple(std::move(cells))));
+    }
+  }
+  return kb;
+}
+
+}  // namespace vada

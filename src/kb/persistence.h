@@ -1,0 +1,37 @@
+#ifndef VADA_KB_PERSISTENCE_H_
+#define VADA_KB_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+
+namespace vada {
+
+/// Saves `kb` as a directory:
+///   <dir>/manifest.tsv          one line per relation:
+///                               name <TAB> role <TAB> attr:type|attr:type
+///   <dir>/<relation>.csv        rows, one file per relation
+///
+/// Cell encoding is *typed*: each cell is written as a Value literal
+/// (strings double-quoted/escaped, numbers and booleans bare, nulls
+/// empty) and then CSV-escaped, so "42" the string and 42 the integer
+/// round-trip losslessly — unlike naive CSV export.
+///
+/// The directory is created if absent; existing relation files are
+/// overwritten. Relation names are used as file names verbatim (they are
+/// identifier-like by construction).
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& directory);
+
+/// Loads a knowledge base previously written by SaveKnowledgeBase,
+/// restoring schemas, rows and catalog roles. Versions restart at the
+/// load-time state (they are session-local orchestration bookkeeping).
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& directory);
+
+/// Cell-level helpers (exposed for tests): Value <-> typed literal text.
+std::string EncodeCell(const Value& value);
+Result<Value> DecodeCell(const std::string& text);
+
+}  // namespace vada
+
+#endif  // VADA_KB_PERSISTENCE_H_

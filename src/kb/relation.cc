@@ -1,0 +1,127 @@
+#include "kb/relation.h"
+
+#include <algorithm>
+
+namespace vada {
+
+Status Relation::CheckTuple(const Tuple& t, bool type_check) const {
+  if (t.size() != schema_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  if (type_check) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!IsCompatible(schema_.attributes()[i].type, t.at(i).type())) {
+        return Status::InvalidArgument(
+            "value " + t.at(i).ToLiteral() + " incompatible with attribute " +
+            schema_.attributes()[i].name + ":" +
+            AttributeTypeName(schema_.attributes()[i].type) + " of relation " +
+            name());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Relation::Insert(Tuple t, bool* added) {
+  VADA_RETURN_IF_ERROR(CheckTuple(t, /*type_check=*/true));
+  bool is_new = index_.insert(t).second;
+  if (is_new) rows_.push_back(std::move(t));
+  if (added != nullptr) *added = is_new;
+  return Status::OK();
+}
+
+Status Relation::InsertUnchecked(Tuple t, bool* added) {
+  VADA_RETURN_IF_ERROR(CheckTuple(t, /*type_check=*/false));
+  bool is_new = index_.insert(t).second;
+  if (is_new) rows_.push_back(std::move(t));
+  if (added != nullptr) *added = is_new;
+  return Status::OK();
+}
+
+bool Relation::Erase(const Tuple& t) {
+  if (index_.erase(t) == 0) return false;
+  auto it = std::find(rows_.begin(), rows_.end(), t);
+  if (it != rows_.end()) rows_.erase(it);
+  return true;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  index_.clear();
+}
+
+Result<Relation> Relation::Project(
+    const std::vector<std::string>& attribute_names,
+    const std::string& new_name) const {
+  std::vector<size_t> indexes;
+  std::vector<Attribute> attrs;
+  for (const std::string& n : attribute_names) {
+    std::optional<size_t> idx = schema_.AttributeIndex(n);
+    if (!idx.has_value()) {
+      return Status::NotFound("attribute " + n + " not in " + schema_.ToString());
+    }
+    indexes.push_back(*idx);
+    attrs.push_back(schema_.attributes()[*idx]);
+  }
+  Relation out(Schema(new_name, std::move(attrs)));
+  for (const Tuple& row : rows_) {
+    Status s = out.InsertUnchecked(row.Project(indexes));
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+Result<Relation> Relation::SelectEquals(const std::string& attribute,
+                                        const Value& value) const {
+  std::optional<size_t> idx = schema_.AttributeIndex(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + attribute + " not in " +
+                            schema_.ToString());
+  }
+  Relation out(schema_);
+  for (const Tuple& row : rows_) {
+    if (row.at(*idx) == value) {
+      Status s = out.InsertUnchecked(row);
+      if (!s.ok()) return s;
+    }
+  }
+  return out;
+}
+
+Result<double> Relation::NonNullFraction(const std::string& attribute) const {
+  std::optional<size_t> idx = schema_.AttributeIndex(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound("attribute " + attribute + " not in " +
+                            schema_.ToString());
+  }
+  if (rows_.empty()) return 1.0;
+  size_t non_null = 0;
+  for (const Tuple& row : rows_) {
+    if (!row.at(*idx).is_null()) ++non_null;
+  }
+  return static_cast<double>(non_null) / static_cast<double>(rows_.size());
+}
+
+std::vector<Tuple> Relation::SortedRows() const {
+  std::vector<Tuple> out = rows_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Relation::ToDebugString(size_t max_rows) const {
+  std::string out = schema_.ToString() + " [" + std::to_string(rows_.size()) +
+                    " rows]\n";
+  size_t shown = 0;
+  for (const Tuple& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += "  ...\n";
+      break;
+    }
+    out += "  " + row.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace vada

@@ -1,0 +1,69 @@
+#ifndef VADA_KB_RELATION_H_
+#define VADA_KB_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/schema.h"
+#include "kb/tuple.h"
+
+namespace vada {
+
+/// A set-semantics relation instance: a schema plus deduplicated rows in
+/// insertion order. Insertions are type-checked against the schema.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.relation_name(); }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Inserts `t` if absent; reports arity/type violations. Sets `*added`
+  /// (optional) to whether the row was new.
+  Status Insert(Tuple t, bool* added = nullptr);
+
+  /// Insert without schema type-checking (arity still enforced).
+  /// Used by internal engines that construct well-typed tuples in bulk.
+  Status InsertUnchecked(Tuple t, bool* added = nullptr);
+
+  /// Removes `t` if present; returns whether a row was removed.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+
+  void Clear();
+
+  /// New relation (named `new_name`) with only the given attributes.
+  Result<Relation> Project(const std::vector<std::string>& attribute_names,
+                           const std::string& new_name) const;
+
+  /// New relation with the rows where `attribute` equals `value`.
+  Result<Relation> SelectEquals(const std::string& attribute,
+                                const Value& value) const;
+
+  /// Fraction of non-null cells in `attribute` (1.0 for empty relation).
+  Result<double> NonNullFraction(const std::string& attribute) const;
+
+  /// Sorted copy of the rows (for deterministic output in tests/benches).
+  std::vector<Tuple> SortedRows() const;
+
+  /// Multi-line table rendering for examples and traces.
+  std::string ToDebugString(size_t max_rows = 20) const;
+
+ private:
+  Status CheckTuple(const Tuple& t, bool type_check) const;
+
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_RELATION_H_

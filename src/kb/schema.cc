@@ -1,0 +1,97 @@
+#include "kb/schema.h"
+
+#include <set>
+
+namespace vada {
+
+const char* AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kAny:
+      return "any";
+    case AttributeType::kBool:
+      return "bool";
+    case AttributeType::kInt:
+      return "int";
+    case AttributeType::kDouble:
+      return "double";
+    case AttributeType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+bool IsCompatible(AttributeType attr_type, ValueType value_type) {
+  if (value_type == ValueType::kNull) return true;
+  switch (attr_type) {
+    case AttributeType::kAny:
+      return true;
+    case AttributeType::kBool:
+      return value_type == ValueType::kBool;
+    case AttributeType::kInt:
+      return value_type == ValueType::kInt;
+    case AttributeType::kDouble:
+      return value_type == ValueType::kDouble ||
+             value_type == ValueType::kInt;  // ints widen losslessly
+    case AttributeType::kString:
+      return value_type == ValueType::kString;
+  }
+  return false;
+}
+
+Schema Schema::Untyped(std::string relation_name,
+                       std::vector<std::string> attribute_names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(attribute_names.size());
+  for (std::string& n : attribute_names) {
+    attrs.push_back(Attribute{std::move(n), AttributeType::kAny});
+  }
+  return Schema(std::move(relation_name), std::move(attrs));
+}
+
+std::optional<size_t> Schema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Schema::AttributeNames() const {
+  std::vector<std::string> out;
+  out.reserve(attributes_.size());
+  for (const Attribute& a : attributes_) out.push_back(a.name);
+  return out;
+}
+
+Status Schema::Validate() const {
+  if (relation_name_.empty()) {
+    return Status::InvalidArgument("schema has empty relation name");
+  }
+  std::set<std::string> seen;
+  for (const Attribute& a : attributes_) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("schema " + relation_name_ +
+                                     " has an empty attribute name");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("schema " + relation_name_ +
+                                     " repeats attribute " + a.name);
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = relation_name_ + "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    if (attributes_[i].type != AttributeType::kAny) {
+      out += ":";
+      out += AttributeTypeName(attributes_[i].type);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace vada

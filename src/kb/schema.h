@@ -1,0 +1,83 @@
+#ifndef VADA_KB_SCHEMA_H_
+#define VADA_KB_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/value.h"
+
+namespace vada {
+
+/// Declared type of an attribute. kAny admits every value type; typed
+/// attributes still always admit nulls (SQL-style).
+enum class AttributeType : uint8_t {
+  kAny = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* AttributeTypeName(AttributeType type);
+
+/// True if a value of `value_type` may be stored in an attribute declared
+/// as `attr_type` (null is always admissible).
+bool IsCompatible(AttributeType attr_type, ValueType value_type);
+
+/// A named, optionally typed column.
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kAny;
+};
+
+/// A relation schema: relation name plus ordered attribute list.
+/// Attribute names are unique within a schema (enforced by Validate()).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string relation_name, std::vector<Attribute> attributes)
+      : relation_name_(std::move(relation_name)),
+        attributes_(std::move(attributes)) {}
+
+  /// Convenience: all-kAny attributes from names.
+  static Schema Untyped(std::string relation_name,
+                        std::vector<std::string> attribute_names);
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Index of `name`, or nullopt.
+  std::optional<size_t> AttributeIndex(const std::string& name) const;
+
+  /// Names in declaration order.
+  std::vector<std::string> AttributeNames() const;
+
+  /// Checks non-empty relation name and attribute-name uniqueness.
+  Status Validate() const;
+
+  /// "name(attr1:type, attr2, ...)" (type omitted when kAny).
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    if (a.relation_name_ != b.relation_name_) return false;
+    if (a.attributes_.size() != b.attributes_.size()) return false;
+    for (size_t i = 0; i < a.attributes_.size(); ++i) {
+      if (a.attributes_[i].name != b.attributes_[i].name ||
+          a.attributes_[i].type != b.attributes_[i].type) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::string relation_name_;
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_SCHEMA_H_

@@ -1,0 +1,33 @@
+#include "kb/tuple.h"
+
+#include "common/hash.h"
+
+namespace vada {
+
+Tuple Tuple::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Value> out;
+  out.reserve(indexes.size());
+  for (size_t i : indexes) out.push_back(values_[i]);
+  return Tuple(std::move(out));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToLiteral();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = values_.size();
+  for (const Value& v : values_) {
+    size_t h = v.Hash();
+    HashCombine(&seed, h);
+  }
+  return seed;
+}
+
+}  // namespace vada

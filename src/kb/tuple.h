@@ -1,0 +1,56 @@
+#ifndef VADA_KB_TUPLE_H_
+#define VADA_KB_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "kb/value.h"
+
+namespace vada {
+
+/// A row: a fixed-arity sequence of values. Tuples have value semantics,
+/// hashability, and a total order, so relations can store them in sets.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Projection onto the given column indexes, in the given order.
+  /// Pre-condition: every index is < size().
+  Tuple Project(const std::vector<size_t>& indexes) const;
+
+  /// "(v1, v2, ...)" with string values quoted.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_TUPLE_H_

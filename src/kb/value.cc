@@ -1,0 +1,127 @@
+#include "kb/value.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <functional>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace vada {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+Value Value::FromText(std::string_view text) {
+  if (text.empty()) return Null();
+  std::string s(text);
+  if (s == "true") return Bool(true);
+  if (s == "false") return Bool(false);
+  // Integer?
+  {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0' && end != s.c_str()) {
+      return Int(static_cast<int64_t>(v));
+    }
+  }
+  // Double?
+  {
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno == 0 && end != nullptr && *end == '\0' && end != s.c_str()) {
+      return Double(v);
+    }
+  }
+  return String(std::move(s));
+}
+
+std::optional<double> Value::AsDouble() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(int_value());
+    case ValueType::kDouble:
+      return double_value();
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string Value::ToString(bool null_as_empty) const {
+  switch (type()) {
+    case ValueType::kNull:
+      return null_as_empty ? "" : "NULL";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case ValueType::kString:
+      return string_value();
+  }
+  return "";
+}
+
+std::string Value::ToLiteral() const {
+  if (type() != ValueType::kString) return ToString();
+  std::string out = "\"";
+  for (char c : string_value()) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(data_.index());
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      HashCombine(&seed, bool_value());
+      break;
+    case ValueType::kInt:
+      HashCombine(&seed, int_value());
+      break;
+    case ValueType::kDouble:
+      HashCombine(&seed, double_value());
+      break;
+    case ValueType::kString:
+      HashCombine(&seed, string_value());
+      break;
+  }
+  return seed;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.data_.index() != b.data_.index()) {
+    return a.data_.index() < b.data_.index();
+  }
+  return a.data_ < b.data_;
+}
+
+}  // namespace vada

@@ -1,0 +1,95 @@
+#ifndef VADA_KB_VALUE_H_
+#define VADA_KB_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace vada {
+
+/// Runtime type tag of a Value. Order matters: it defines the cross-type
+/// ordering used when heterogeneous values are compared (null < bool <
+/// int < double < string).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Returns "null", "bool", "int", "double" or "string".
+const char* ValueTypeName(ValueType type);
+
+/// The single dynamically-typed cell value used throughout the knowledge
+/// base and the Datalog engine. Values are immutable once constructed and
+/// cheap to copy for the non-string cases.
+///
+/// Equality is strict on type: Int(3) != Double(3.0). Use AsDouble() when
+/// numeric coercion is wanted (the Datalog built-ins do).
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  /// Parses `text` into the most specific type: "" -> null, "true"/"false"
+  /// -> bool, integer literal -> int, float literal -> double, otherwise
+  /// string. Used by CSV import and test fixtures.
+  static Value FromText(std::string_view text);
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Pre-condition: type() matches; checked accessors
+  /// below return nullopt instead.
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int and double convert; everything else -> nullopt.
+  std::optional<double> AsDouble() const;
+
+  /// Display form: null -> "" when `null_as_empty`, else "NULL"; strings
+  /// render unquoted. Round-trips through FromText for non-string types.
+  std::string ToString(bool null_as_empty = false) const;
+
+  /// Datalog-literal form: strings are double-quoted and escaped.
+  std::string ToLiteral() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order: by type tag, then by payload.
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : data_(std::move(rep)) {}
+
+  Rep data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_VALUE_H_

@@ -1,0 +1,49 @@
+#include "mapping/mapping.h"
+
+#include "common/strings.h"
+
+namespace vada {
+
+std::string Mapping::ToString() const {
+  return id + ": " + Join(source_relations, " join ") + " -> " +
+         target_relation + " [" + Join(covered_attributes, ", ") + "]\n  " +
+         rule_text;
+}
+
+Relation MappingsToRelation(const std::vector<Mapping>& mappings,
+                            const std::string& relation_name) {
+  Relation rel(Schema::Untyped(
+      relation_name, {"id", "target_relation", "source_relations",
+                      "covered_attributes", "result_predicate", "rule_text"}));
+  for (const Mapping& m : mappings) {
+    rel.InsertUnchecked(Tuple({Value::String(m.id),
+                               Value::String(m.target_relation),
+                               Value::String(Join(m.source_relations, "|")),
+                               Value::String(Join(m.covered_attributes, "|")),
+                               Value::String(m.result_predicate),
+                               Value::String(m.rule_text)}));
+  }
+  return rel;
+}
+
+Result<std::vector<Mapping>> MappingsFromRelation(const Relation& rel) {
+  if (rel.schema().arity() != 6) {
+    return Status::InvalidArgument("mapping relation must have arity 6");
+  }
+  std::vector<Mapping> out;
+  for (const Tuple& t : rel.rows()) {
+    Mapping m;
+    m.id = t.at(0).ToString();
+    m.target_relation = t.at(1).ToString();
+    m.source_relations = Split(t.at(2).ToString(), '|');
+    if (!t.at(3).is_null() && !t.at(3).ToString().empty()) {
+      m.covered_attributes = Split(t.at(3).ToString(), '|');
+    }
+    m.result_predicate = t.at(4).ToString();
+    m.rule_text = t.at(5).ToString();
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace vada

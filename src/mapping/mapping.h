@@ -1,0 +1,43 @@
+#ifndef VADA_MAPPING_MAPPING_H_
+#define VADA_MAPPING_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/relation.h"
+
+namespace vada {
+
+/// A candidate schema mapping. Following the paper (§2: "Vadalog ...
+/// representing schema mappings"), the mapping body IS a Datalog rule
+/// whose head predicate is `result_predicate` and whose body ranges over
+/// the source relations; executing the mapping means evaluating the rule.
+struct Mapping {
+  std::string id;
+  std::vector<std::string> source_relations;
+  std::string target_relation;
+  /// Target attributes this mapping can fill with non-null values.
+  std::vector<std::string> covered_attributes;
+  /// Head predicate of `rule_text` ("mapping_result_<id>").
+  std::string result_predicate;
+  /// The Vadalog rule, e.g.
+  ///   mapping_result_m0(Vtype, null, Vstreet, ...) :- rightmove(...).
+  std::string rule_text;
+
+  std::string ToString() const;
+};
+
+/// Serialises mappings as the KB control relation
+/// mapping(id, target_relation, source_relations, covered_attributes,
+/// result_predicate, rule_text) with '|'-joined lists. Storing rules as
+/// data in the knowledge base is what lets a Mapping Selection transducer
+/// declare "mappings exist" as a Datalog input dependency.
+Relation MappingsToRelation(const std::vector<Mapping>& mappings,
+                            const std::string& relation_name = "mapping");
+
+Result<std::vector<Mapping>> MappingsFromRelation(const Relation& rel);
+
+}  // namespace vada
+
+#endif  // VADA_MAPPING_MAPPING_H_

@@ -1,0 +1,57 @@
+#ifndef VADA_MATCH_INSTANCE_MATCHER_H_
+#define VADA_MATCH_INSTANCE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/relation.h"
+#include "match/match_types.h"
+
+namespace vada {
+
+/// Options for instance-based matching.
+struct InstanceMatcherOptions {
+  double min_score = 0.25;
+  /// Distinct values sampled per column (caps cost on large relations).
+  size_t max_distinct_values = 2000;
+  /// Weight of value-overlap vs numeric-profile evidence when both apply.
+  double weight_overlap = 0.7;
+  double weight_profile = 0.3;
+};
+
+/// Instance matcher (Table 1: "Instance Matching | Src/Target Instances"):
+/// scores attribute correspondences from the data itself. Works against
+/// any relation holding instances for the target side — typically
+/// reference/master/example data from the data context.
+///
+/// Evidence combined per column pair:
+///  * value overlap: Jaccard of distinct rendered values;
+///  * numeric profile: similarity of (mean, stddev) for numeric columns.
+class InstanceMatcher {
+ public:
+  explicit InstanceMatcher(
+      InstanceMatcherOptions options = InstanceMatcherOptions());
+
+  /// Scores every (source attribute, target attribute) pair using the
+  /// instances in `source` and `target_instances`. `target_attribute_of`
+  /// maps attribute names of `target_instances` to target-schema names
+  /// (empty string = same name); candidates are reported against
+  /// `target_relation_name`.
+  std::vector<MatchCandidate> Match(
+      const Relation& source, const Relation& target_instances,
+      const std::string& target_relation_name,
+      const std::vector<std::pair<std::string, std::string>>&
+          target_attribute_of = {}) const;
+
+  /// Column-pair score in [0, 1]; exposed for tests/ablation.
+  double ColumnScore(const Relation& source, const std::string& source_attr,
+                     const Relation& target, const std::string& target_attr)
+      const;
+
+ private:
+  InstanceMatcherOptions options_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_MATCH_INSTANCE_MATCHER_H_

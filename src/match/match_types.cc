@@ -1,0 +1,104 @@
+#include "match/match_types.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace vada {
+
+std::string MatchCandidate::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", score);
+  return source_relation + "." + source_attribute + " ~ " + target_relation +
+         "." + target_attribute + " (" + buf + ", " + matcher + ")";
+}
+
+Relation MatchesToRelation(const std::vector<MatchCandidate>& matches,
+                           const std::string& relation_name) {
+  Relation rel(Schema::Untyped(relation_name,
+                               {"source_relation", "source_attribute",
+                                "target_relation", "target_attribute",
+                                "score", "matcher"}));
+  for (const MatchCandidate& m : matches) {
+    rel.InsertUnchecked(Tuple(
+        {Value::String(m.source_relation), Value::String(m.source_attribute),
+         Value::String(m.target_relation), Value::String(m.target_attribute),
+         Value::Double(m.score), Value::String(m.matcher)}));
+  }
+  return rel;
+}
+
+Result<std::vector<MatchCandidate>> MatchesFromRelation(const Relation& rel) {
+  if (rel.schema().arity() != 6) {
+    return Status::InvalidArgument("match relation must have arity 6, got " +
+                                   rel.schema().ToString());
+  }
+  std::vector<MatchCandidate> out;
+  for (const Tuple& t : rel.rows()) {
+    for (size_t i : {0, 1, 2, 3, 5}) {
+      if (t.at(i).type() != ValueType::kString) {
+        return Status::InvalidArgument("match tuple has non-string field: " +
+                                       t.ToString());
+      }
+    }
+    std::optional<double> score = t.at(4).AsDouble();
+    if (!score.has_value()) {
+      return Status::InvalidArgument("match tuple has non-numeric score: " +
+                                     t.ToString());
+    }
+    MatchCandidate m;
+    m.source_relation = t.at(0).string_value();
+    m.source_attribute = t.at(1).string_value();
+    m.target_relation = t.at(2).string_value();
+    m.target_attribute = t.at(3).string_value();
+    m.score = *score;
+    m.matcher = t.at(5).string_value();
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<MatchCandidate> BestPerPair(std::vector<MatchCandidate> matches) {
+  std::map<std::tuple<std::string, std::string, std::string>, MatchCandidate>
+      best;
+  for (MatchCandidate& m : matches) {
+    auto key = std::make_tuple(m.source_relation, m.source_attribute,
+                               m.target_attribute);
+    auto it = best.find(key);
+    if (it == best.end() || m.score > it->second.score) {
+      best[key] = std::move(m);
+    }
+  }
+  std::vector<MatchCandidate> out;
+  out.reserve(best.size());
+  for (auto& [key, m] : best) out.push_back(std::move(m));
+  return out;
+}
+
+std::vector<MatchCandidate> GreedyOneToOne(std::vector<MatchCandidate> matches,
+                                           double threshold) {
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const MatchCandidate& a, const MatchCandidate& b) {
+                     return a.score > b.score;
+                   });
+  std::set<std::pair<std::string, std::string>> used_source;  // rel, attr
+  std::set<std::pair<std::string, std::string>> used_target;  // rel, attr
+  std::vector<MatchCandidate> out;
+  for (MatchCandidate& m : matches) {
+    if (m.score < threshold) continue;
+    std::pair<std::string, std::string> src{m.source_relation,
+                                            m.source_attribute};
+    // Target slots are per source relation: two different sources may both
+    // map onto Target.price, but within one source relation each target
+    // attribute is filled at most once.
+    std::pair<std::string, std::string> tgt{
+        m.source_relation + "\x1f" + m.target_relation, m.target_attribute};
+    if (used_source.count(src) > 0 || used_target.count(tgt) > 0) continue;
+    used_source.insert(src);
+    used_target.insert(tgt);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace vada

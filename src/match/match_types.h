@@ -1,0 +1,47 @@
+#ifndef VADA_MATCH_MATCH_TYPES_H_
+#define VADA_MATCH_MATCH_TYPES_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/relation.h"
+
+namespace vada {
+
+/// One attribute-correspondence hypothesis between a source attribute and
+/// a target attribute, with a confidence score in [0, 1].
+struct MatchCandidate {
+  std::string source_relation;
+  std::string source_attribute;
+  std::string target_relation;
+  std::string target_attribute;
+  double score = 0.0;
+  std::string matcher;  ///< which matcher produced the score
+
+  std::string ToString() const;
+};
+
+/// Renders candidates as the KB control relation
+/// match(source_relation, source_attribute, target_relation,
+/// target_attribute, score, matcher) that mapping generation depends on
+/// (Table 1 of the paper).
+Relation MatchesToRelation(const std::vector<MatchCandidate>& matches,
+                           const std::string& relation_name = "match");
+
+/// Parses the relation written by MatchesToRelation back into structs.
+Result<std::vector<MatchCandidate>> MatchesFromRelation(const Relation& rel);
+
+/// Keeps, for every (source_relation, source_attribute, target_attribute)
+/// triple, only the highest-scoring candidate.
+std::vector<MatchCandidate> BestPerPair(std::vector<MatchCandidate> matches);
+
+/// Enforces a 1:1 assignment per source relation: greedily picks the
+/// highest-scoring candidate, discarding candidates whose source or
+/// target attribute is already taken within that relation pair. Drops
+/// candidates below `threshold`.
+std::vector<MatchCandidate> GreedyOneToOne(std::vector<MatchCandidate> matches,
+                                           double threshold);
+
+}  // namespace vada
+
+#endif  // VADA_MATCH_MATCH_TYPES_H_

@@ -1,0 +1,199 @@
+#include "quality/metrics.h"
+
+#include <set>
+
+namespace vada {
+
+std::string RelationQuality::ToString() const {
+  std::string out =
+      "quality over " + std::to_string(row_count) + " rows:\n";
+  for (const auto& [attr, q] : attribute) {
+    char buf[128];
+    if (q.accuracy.has_value()) {
+      std::snprintf(buf, sizeof(buf), "  %s: completeness %.3f accuracy %.3f\n",
+                    attr.c_str(), q.completeness, *q.accuracy);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %s: completeness %.3f\n", attr.c_str(),
+                    q.completeness);
+    }
+    out += buf;
+  }
+  if (consistency.has_value()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  consistency %.3f\n", *consistency);
+    out += buf;
+  }
+  return out;
+}
+
+Relation QualityMetricsToRelation(const std::vector<QualityMetricFact>& facts,
+                                  const std::string& relation_name) {
+  Relation rel(Schema::Untyped(relation_name,
+                               {"entity", "metric", "subject", "value"}));
+  for (const QualityMetricFact& f : facts) {
+    rel.InsertUnchecked(Tuple({Value::String(f.entity), Value::String(f.metric),
+                               Value::String(f.subject),
+                               Value::Double(f.value)}));
+  }
+  return rel;
+}
+
+Result<std::vector<QualityMetricFact>> QualityMetricsFromRelation(
+    const Relation& rel) {
+  if (rel.schema().arity() != 4) {
+    return Status::InvalidArgument("quality_metric relation must have arity 4");
+  }
+  std::vector<QualityMetricFact> out;
+  for (const Tuple& t : rel.rows()) {
+    QualityMetricFact f;
+    f.entity = t.at(0).ToString();
+    f.metric = t.at(1).ToString();
+    f.subject = t.at(2).ToString();
+    std::optional<double> v = t.at(3).AsDouble();
+    if (!v.has_value()) {
+      return Status::InvalidArgument("quality_metric value not numeric: " +
+                                     t.ToString());
+    }
+    f.value = *v;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+void QualityEstimator::SetReference(
+    const Relation* reference_data,
+    std::vector<ContextCorrespondence> correspondences) {
+  reference_data_ = reference_data;
+  reference_correspondences_ = std::move(correspondences);
+}
+
+void QualityEstimator::SetCfds(std::vector<Cfd> cfds,
+                               const Relation* evidence) {
+  checker_.emplace(std::move(cfds), evidence);
+}
+
+void QualityEstimator::SetMaster(
+    const Relation* master_data,
+    std::vector<ContextCorrespondence> correspondences) {
+  master_data_ = master_data;
+  master_correspondences_ = std::move(correspondences);
+}
+
+RelationQuality QualityEstimator::Estimate(const Relation& data) const {
+  RelationQuality out;
+  out.row_count = data.size();
+
+  for (const Attribute& attr : data.schema().attributes()) {
+    AttributeQuality q;
+    Result<double> comp = data.NonNullFraction(attr.name);
+    q.completeness = comp.ok() ? comp.value() : 0.0;
+
+    // Accuracy: fraction of non-null values present in the reference
+    // column, when a correspondence covers this attribute.
+    if (reference_data_ != nullptr) {
+      for (const ContextCorrespondence& c : reference_correspondences_) {
+        if (c.target_attribute != attr.name) continue;
+        std::optional<size_t> ref_idx =
+            reference_data_->schema().AttributeIndex(c.context_attribute);
+        std::optional<size_t> data_idx =
+            data.schema().AttributeIndex(attr.name);
+        if (!ref_idx.has_value() || !data_idx.has_value()) continue;
+        std::set<std::string> reference_values;
+        for (const Tuple& row : reference_data_->rows()) {
+          const Value& v = row.at(*ref_idx);
+          if (!v.is_null()) reference_values.insert(v.ToString());
+        }
+        size_t non_null = 0;
+        size_t confirmed = 0;
+        for (const Tuple& row : data.rows()) {
+          const Value& v = row.at(*data_idx);
+          if (v.is_null()) continue;
+          ++non_null;
+          if (reference_values.count(v.ToString()) > 0) ++confirmed;
+        }
+        q.accuracy = (non_null == 0)
+                         ? 1.0
+                         : static_cast<double>(confirmed) /
+                               static_cast<double>(non_null);
+        break;
+      }
+    }
+    out.attribute[attr.name] = q;
+  }
+
+  if (checker_.has_value()) {
+    out.consistency = checker_->ConsistencyScore(data);
+  }
+
+  // Relevance against master data: joint match on all corresponded
+  // attributes present in both schemas.
+  if (master_data_ != nullptr && !master_correspondences_.empty() &&
+      !data.empty()) {
+    std::vector<size_t> data_idx;
+    std::vector<size_t> master_idx;
+    bool usable = true;
+    for (const ContextCorrespondence& c : master_correspondences_) {
+      std::optional<size_t> di = data.schema().AttributeIndex(
+          c.target_attribute);
+      std::optional<size_t> mi =
+          master_data_->schema().AttributeIndex(c.context_attribute);
+      if (!di.has_value() || !mi.has_value()) {
+        usable = false;
+        break;
+      }
+      data_idx.push_back(*di);
+      master_idx.push_back(*mi);
+    }
+    if (usable) {
+      std::set<Tuple> master_keys;
+      for (const Tuple& row : master_data_->rows()) {
+        std::vector<Value> key;
+        for (size_t i : master_idx) key.push_back(row.at(i));
+        master_keys.insert(Tuple(std::move(key)));
+      }
+      size_t relevant = 0;
+      for (const Tuple& row : data.rows()) {
+        std::vector<Value> key;
+        bool has_null = false;
+        for (size_t i : data_idx) {
+          if (row.at(i).is_null()) {
+            has_null = true;
+            break;
+          }
+          key.push_back(row.at(i));
+        }
+        if (!has_null && master_keys.count(Tuple(std::move(key))) > 0) {
+          ++relevant;
+        }
+      }
+      out.relevance =
+          static_cast<double>(relevant) / static_cast<double>(data.size());
+    }
+  }
+  return out;
+}
+
+std::vector<QualityMetricFact> QualityEstimator::EstimateFacts(
+    const Relation& data, const std::string& entity_name) const {
+  RelationQuality q = Estimate(data);
+  std::vector<QualityMetricFact> out;
+  for (const auto& [attr, aq] : q.attribute) {
+    out.push_back(
+        QualityMetricFact{entity_name, "completeness", attr, aq.completeness});
+    if (aq.accuracy.has_value()) {
+      out.push_back(
+          QualityMetricFact{entity_name, "accuracy", attr, *aq.accuracy});
+    }
+  }
+  if (q.consistency.has_value()) {
+    out.push_back(
+        QualityMetricFact{entity_name, "consistency", "", *q.consistency});
+  }
+  if (q.relevance.has_value()) {
+    out.push_back(
+        QualityMetricFact{entity_name, "relevance", "", *q.relevance});
+  }
+  return out;
+}
+
+}  // namespace vada

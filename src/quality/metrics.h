@@ -1,0 +1,103 @@
+#ifndef VADA_QUALITY_METRICS_H_
+#define VADA_QUALITY_METRICS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "context/data_context.h"
+#include "kb/relation.h"
+#include "quality/cfd.h"
+
+namespace vada {
+
+/// Estimated quality of one attribute of a relation.
+struct AttributeQuality {
+  /// Fraction of non-null values.
+  double completeness = 1.0;
+  /// Fraction of non-null values confirmed by reference data; absent
+  /// when no reference covers the attribute.
+  std::optional<double> accuracy;
+};
+
+/// Estimated quality of a whole relation.
+struct RelationQuality {
+  std::map<std::string, AttributeQuality> attribute;  ///< by attribute name
+  /// 1 - violating-tuple fraction against the available CFDs; absent when
+  /// no CFDs are known (paper §2.3: consistency "needs additional
+  /// information" — it becomes computable once the data context yields
+  /// CFDs).
+  std::optional<double> consistency;
+  /// Fraction of rows describing entities the user cares about, judged
+  /// against master data ("the complete list of properties the user is
+  /// interested in", §2.2); absent without a master binding.
+  std::optional<double> relevance;
+  size_t row_count = 0;
+
+  std::string ToString() const;
+};
+
+/// One quality-metric fact destined for the knowledge base:
+/// quality_metric(entity, metric, subject, value).
+struct QualityMetricFact {
+  std::string entity;   ///< relation or mapping id the metric describes
+  std::string metric;   ///< "completeness" | "accuracy" | "consistency"
+  std::string subject;  ///< attribute name, or "" for whole-entity metrics
+  double value = 0.0;
+};
+
+/// Renders metric facts as the KB relation that Mapping Selection's
+/// input dependency quantifies over (Table 1: "Mapping Selection |
+/// Quality Metrics").
+Relation QualityMetricsToRelation(
+    const std::vector<QualityMetricFact>& facts,
+    const std::string& relation_name = "quality_metric");
+
+Result<std::vector<QualityMetricFact>> QualityMetricsFromRelation(
+    const Relation& rel);
+
+/// Estimates completeness, accuracy and consistency of relations.
+///
+/// Accuracy needs reference data: a value is accurate when it appears in
+/// the corresponding reference column. Consistency needs learned CFDs.
+/// Both inputs are optional — metrics degrade gracefully to completeness
+/// only, matching the paper's pay-as-you-go narrative.
+class QualityEstimator {
+ public:
+  QualityEstimator() = default;
+
+  /// Provides reference data for accuracy: `reference` maps target
+  /// attribute -> (reference relation, reference attribute).
+  void SetReference(const Relation* reference_data,
+                    std::vector<ContextCorrespondence> correspondences);
+
+  /// Provides CFDs (plus evidence relation) for consistency.
+  void SetCfds(std::vector<Cfd> cfds, const Relation* evidence);
+
+  /// Provides master data for relevance: a row is relevant when the
+  /// joint value of all corresponded attributes appears in the master
+  /// data (rows with a null in any corresponded attribute are not
+  /// counted relevant — the entity cannot be identified).
+  void SetMaster(const Relation* master_data,
+                 std::vector<ContextCorrespondence> correspondences);
+
+  /// Full quality report for `data`.
+  RelationQuality Estimate(const Relation& data) const;
+
+  /// Report flattened to KB facts, entity = `entity_name`.
+  std::vector<QualityMetricFact> EstimateFacts(
+      const Relation& data, const std::string& entity_name) const;
+
+ private:
+  const Relation* reference_data_ = nullptr;
+  std::vector<ContextCorrespondence> reference_correspondences_;
+  const Relation* master_data_ = nullptr;
+  std::vector<ContextCorrespondence> master_correspondences_;
+  std::optional<CfdChecker> checker_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_QUALITY_METRICS_H_

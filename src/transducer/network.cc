@@ -1,0 +1,156 @@
+#include "transducer/network.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "datalog/kb_adapter.h"
+
+namespace vada {
+
+ActivityPriorityPolicy::ActivityPriorityPolicy(
+    std::vector<std::string> activity_order) {
+  for (size_t i = 0; i < activity_order.size(); ++i) {
+    rank_[activity_order[i]] = static_cast<int>(i);
+  }
+}
+
+std::vector<std::string> ActivityPriorityPolicy::DefaultActivityOrder() {
+  return {"extraction", "matching",  "mapping",  "execution",
+          "quality",    "repair",    "selection", "fusion",
+          "feedback"};
+}
+
+Transducer* ActivityPriorityPolicy::Choose(
+    const std::vector<Transducer*>& eligible) {
+  Transducer* best = eligible.front();
+  int best_rank = 1 << 20;
+  for (Transducer* t : eligible) {
+    auto it = rank_.find(t->activity());
+    int r = (it == rank_.end()) ? (1 << 20) - 1 : it->second;
+    if (r < best_rank) {
+      best_rank = r;
+      best = t;
+    }
+  }
+  return best;
+}
+
+NetworkTransducer::NetworkTransducer(TransducerRegistry* registry,
+                                     std::unique_ptr<SchedulingPolicy> policy,
+                                     OrchestratorOptions options)
+    : registry_(registry), policy_(std::move(policy)), options_(options) {}
+
+Status NetworkTransducer::SyncControlFacts(KnowledgeBase* kb) {
+  Relation roles(
+      Schema::Untyped("sys_relation_role", {"relation", "role"}));
+  Relation nonempty(Schema::Untyped("sys_relation_nonempty", {"relation"}));
+  Relation attrs(
+      Schema::Untyped("sys_relation_attribute", {"relation", "attribute"}));
+
+  for (const std::string& name : kb->RelationNames()) {
+    if (StartsWith(name, "sys_")) continue;
+    const Relation* rel = kb->FindRelation(name);
+    if (rel == nullptr) continue;
+    std::optional<RelationRole> role = kb->catalog().GetRole(name);
+    if (role.has_value()) {
+      VADA_RETURN_IF_ERROR(roles.InsertUnchecked(
+          Tuple({Value::String(name),
+                 Value::String(RelationRoleName(*role))})));
+    }
+    if (!rel->empty()) {
+      VADA_RETURN_IF_ERROR(
+          nonempty.InsertUnchecked(Tuple({Value::String(name)})));
+    }
+    for (const Attribute& a : rel->schema().attributes()) {
+      VADA_RETURN_IF_ERROR(attrs.InsertUnchecked(
+          Tuple({Value::String(name), Value::String(a.name)})));
+    }
+  }
+  VADA_RETURN_IF_ERROR(kb->ReplaceRelationIfChanged(roles));
+  VADA_RETURN_IF_ERROR(kb->ReplaceRelationIfChanged(nonempty));
+  VADA_RETURN_IF_ERROR(kb->ReplaceRelationIfChanged(attrs));
+  return Status::OK();
+}
+
+Result<bool> NetworkTransducer::IsSatisfied(const Transducer& transducer,
+                                            KnowledgeBase* kb) {
+  VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+  Result<std::vector<Tuple>> ready = datalog::QueryKnowledgeBase(
+      transducer.input_dependency(), *kb, "ready");
+  if (!ready.ok()) {
+    return Status::InvalidArgument(
+        "input dependency of " + transducer.name() +
+        " failed to evaluate: " + ready.status().message());
+  }
+  return !ready.value().empty();
+}
+
+Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
+  OrchestrationStats local;
+  OrchestrationStats* st = (stats != nullptr) ? stats : &local;
+
+  for (size_t step = 0; step < options_.max_steps; ++step) {
+    VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+
+    // Eligibility: dependency satisfied AND the KB moved since last run.
+    std::vector<Transducer*> eligible;
+    for (const std::unique_ptr<Transducer>& t : registry_->transducers()) {
+      auto it = last_run_version_.find(t->name());
+      if (it != last_run_version_.end() &&
+          it->second >= kb->global_version()) {
+        continue;  // nothing new since this transducer last ran
+      }
+      ++st->dependency_checks;
+      Result<std::vector<Tuple>> ready = datalog::QueryKnowledgeBase(
+          t->input_dependency(), *kb, "ready");
+      if (!ready.ok()) {
+        return Status::InvalidArgument(
+            "input dependency of " + t->name() +
+            " failed to evaluate: " + ready.status().message());
+      }
+      if (!ready.value().empty()) eligible.push_back(t.get());
+    }
+    if (eligible.empty()) return Status::OK();  // fixpoint
+
+    Transducer* chosen = policy_->Choose(eligible);
+    uint64_t version_before = kb->global_version();
+    auto t0 = std::chrono::steady_clock::now();
+    Status exec_status = chosen->Execute(kb);
+    auto t1 = std::chrono::steady_clock::now();
+    // Record the version the transducer *saw* — its own writes count as
+    // new information (it re-runs once more and must reach a no-op, which
+    // is how non-idempotent transducer bugs surface at max_steps instead
+    // of silently converging on stale state).
+    last_run_version_[chosen->name()] = version_before;
+    ++st->steps;
+    uint64_t version_after = kb->global_version();
+    if (version_after != version_before) ++st->effective_steps;
+
+    if (options_.record_trace) {
+      TraceEvent event;
+      event.step = next_step_++;
+      event.transducer = chosen->name();
+      event.activity = chosen->activity();
+      for (Transducer* t : eligible) event.eligible.push_back(t->name());
+      event.version_before = version_before;
+      event.version_after = version_after;
+      event.changed_kb = version_after != version_before;
+      event.duration_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (!exec_status.ok()) event.note = exec_status.ToString();
+      trace_.Add(std::move(event));
+    }
+    if (!exec_status.ok()) {
+      return Status(exec_status.code(),
+                    "transducer " + chosen->name() +
+                        " failed: " + exec_status.message());
+    }
+  }
+  return Status::Internal(
+      "orchestration exceeded max_steps (" +
+      std::to_string(options_.max_steps) +
+      "); a registered transducer is likely not idempotent");
+}
+
+}  // namespace vada

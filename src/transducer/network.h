@@ -1,0 +1,115 @@
+#ifndef VADA_TRANSDUCER_NETWORK_H_
+#define VADA_TRANSDUCER_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+#include "transducer/trace.h"
+#include "transducer/transducer.h"
+
+namespace vada {
+
+/// Decides which of the eligible transducers runs next. "It is the
+/// responsibility of a network transducer to select between the
+/// executable transducers" (paper §2.4). Policies are written by
+/// transducer developers or system administrators.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+  virtual const std::string& name() const = 0;
+  /// Pre-condition: `eligible` is non-empty. Must return one element.
+  virtual Transducer* Choose(const std::vector<Transducer*>& eligible) = 0;
+};
+
+/// The paper's generic network-transducer policy: "choosing transducers
+/// for one type of functionality before another, such as data extraction
+/// before mapping, and then using a priority scheme to make more local
+/// decisions". Activities earlier in `activity_order` win; ties fall back
+/// to registration order. Unknown activities rank last.
+class ActivityPriorityPolicy : public SchedulingPolicy {
+ public:
+  explicit ActivityPriorityPolicy(std::vector<std::string> activity_order);
+
+  /// The default VADA ordering: matching, mapping, execution, quality,
+  /// repair, selection, fusion, feedback.
+  static std::vector<std::string> DefaultActivityOrder();
+
+  const std::string& name() const override { return name_; }
+  Transducer* Choose(const std::vector<Transducer*>& eligible) override;
+
+ private:
+  std::string name_ = "activity_priority";
+  std::map<std::string, int> rank_;
+};
+
+/// Registration-order policy — the "no domain knowledge" baseline.
+class FifoPolicy : public SchedulingPolicy {
+ public:
+  const std::string& name() const override { return name_; }
+  Transducer* Choose(const std::vector<Transducer*>& eligible) override {
+    return eligible.front();
+  }
+
+ private:
+  std::string name_ = "fifo";
+};
+
+/// Options for the orchestrator.
+struct OrchestratorOptions {
+  /// Hard step cap: a diverging (non-idempotent) transducer set stops
+  /// with an error instead of spinning.
+  size_t max_steps = 500;
+  bool record_trace = true;
+};
+
+/// Aggregate statistics of one orchestration run.
+struct OrchestrationStats {
+  size_t steps = 0;
+  size_t effective_steps = 0;   ///< steps that changed the KB
+  size_t dependency_checks = 0; ///< input-dependency query evaluations
+};
+
+/// The dynamic orchestrator (the paper's network transducer). Repeatedly:
+///  1. materialises the sys_* control relations describing the KB
+///     (sys_relation_role, sys_relation_nonempty, sys_relation_attribute);
+///  2. finds eligible transducers: input dependency derives `ready` AND
+///     the KB changed since the transducer last ran;
+///  3. lets the scheduling policy pick one and executes it;
+/// until no transducer is eligible (fixpoint) or max_steps is hit.
+class NetworkTransducer {
+ public:
+  NetworkTransducer(TransducerRegistry* registry,
+                    std::unique_ptr<SchedulingPolicy> policy,
+                    OrchestratorOptions options = OrchestratorOptions());
+
+  /// Runs to fixpoint. The trace accumulates across calls (pay-as-you-go
+  /// steps re-enter Run after the user adds context/feedback).
+  Status Run(KnowledgeBase* kb, OrchestrationStats* stats = nullptr);
+
+  /// Evaluates one transducer's input dependency against `kb` (with
+  /// control relations refreshed); exposed for Table 1 benches/tests.
+  Result<bool> IsSatisfied(const Transducer& transducer, KnowledgeBase* kb);
+
+  const ExecutionTrace& trace() const { return trace_; }
+  void ClearTrace() { trace_ = ExecutionTrace(); }
+
+  /// Refreshes the sys_* control relations; normally internal, exposed
+  /// for tests.
+  static Status SyncControlFacts(KnowledgeBase* kb);
+
+ private:
+  TransducerRegistry* registry_;  // not owned
+  std::unique_ptr<SchedulingPolicy> policy_;
+  OrchestratorOptions options_;
+  ExecutionTrace trace_;
+  std::map<std::string, uint64_t> last_run_version_;
+  size_t next_step_ = 0;
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_NETWORK_H_

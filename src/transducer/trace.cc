@@ -1,0 +1,65 @@
+#include "transducer/trace.h"
+
+#include "common/strings.h"
+
+namespace vada {
+
+std::string TraceEvent::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "step %3zu  %-28s [%-10s] v%llu->%llu %s %.2fms",
+                step, transducer.c_str(), activity.c_str(),
+                static_cast<unsigned long long>(version_before),
+                static_cast<unsigned long long>(version_after),
+                changed_kb ? "changed " : "no-op   ", duration_ms);
+  std::string out = buf;
+  if (!note.empty()) out += "  (" + note + ")";
+  out += "  eligible: {" + Join(eligible, ", ") + "}";
+  return out;
+}
+
+void ExecutionTrace::Add(TraceEvent event) {
+  events_.push_back(std::move(event));
+}
+
+void ExecutionTrace::Append(const ExecutionTrace& other) {
+  for (const TraceEvent& e : other.events_) events_.push_back(e);
+}
+
+std::map<std::string, size_t> ExecutionTrace::ExecutionCounts() const {
+  std::map<std::string, size_t> out;
+  for (const TraceEvent& e : events_) ++out[e.transducer];
+  return out;
+}
+
+size_t ExecutionTrace::EffectiveSteps() const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.changed_kb) ++n;
+  }
+  return n;
+}
+
+std::string ExecutionTrace::ToString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ExecutionTrace::ToMarkdown() const {
+  std::string out =
+      "| step | transducer | activity | effect | duration (ms) | eligible |\n"
+      "|---|---|---|---|---|---|\n";
+  for (const TraceEvent& e : events_) {
+    char duration[32];
+    std::snprintf(duration, sizeof(duration), "%.2f", e.duration_ms);
+    out += "| " + std::to_string(e.step) + " | " + e.transducer + " | " +
+           e.activity + " | " + (e.changed_kb ? "changed" : "no-op") + " | " +
+           duration + " | " + std::to_string(e.eligible.size()) + " |\n";
+  }
+  return out;
+}
+
+}  // namespace vada

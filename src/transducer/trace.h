@@ -1,0 +1,58 @@
+#ifndef VADA_TRANSDUCER_TRACE_H_
+#define VADA_TRANSDUCER_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vada {
+
+/// One orchestration step: which transducers were eligible, which ran,
+/// and what it did to the knowledge base.
+struct TraceEvent {
+  size_t step = 0;
+  std::string transducer;
+  std::string activity;
+  std::vector<std::string> eligible;
+  uint64_t version_before = 0;
+  uint64_t version_after = 0;
+  bool changed_kb = false;
+  double duration_ms = 0.0;
+  std::string note;
+
+  std::string ToString() const;
+};
+
+/// The "browsable trace information that shows what transducers are being
+/// orchestrated, their inputs and results" the demonstration promises
+/// (paper §3).
+class ExecutionTrace {
+ public:
+  ExecutionTrace() = default;
+
+  void Add(TraceEvent event);
+  void Append(const ExecutionTrace& other);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  /// Executions per transducer name.
+  std::map<std::string, size_t> ExecutionCounts() const;
+
+  /// Steps that actually changed the knowledge base.
+  size_t EffectiveSteps() const;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+  /// GitHub-flavoured markdown table (for reports / issue comments).
+  std::string ToMarkdown() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_TRACE_H_

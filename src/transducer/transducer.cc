@@ -1,0 +1,77 @@
+#include "transducer/transducer.h"
+
+#include "datalog/evaluator.h"
+#include "datalog/kb_adapter.h"
+#include "datalog/parser.h"
+
+namespace vada {
+
+VadalogTransducer::VadalogTransducer(std::string name, std::string activity,
+                                     std::string input_dependency,
+                                     std::string program_text,
+                                     std::vector<std::string> output_predicates)
+    : Transducer(std::move(name), std::move(activity),
+                 std::move(input_dependency)),
+      program_text_(std::move(program_text)),
+      output_predicates_(std::move(output_predicates)) {}
+
+Status VadalogTransducer::Execute(KnowledgeBase* kb) {
+  Result<datalog::Program> program = datalog::Parser::Parse(program_text_);
+  if (!program.ok()) {
+    return Status::InvalidArgument("transducer " + name() +
+                                   " has unparsable program: " +
+                                   program.status().message());
+  }
+  datalog::Database db;
+  datalog::LoadReferencedRelations(program.value(), *kb, &db);
+  datalog::Evaluator eval(program.value());
+  VADA_RETURN_IF_ERROR(eval.Prepare());
+  VADA_RETURN_IF_ERROR(eval.Run(&db));
+
+  for (const std::string& predicate : output_predicates_) {
+    const std::vector<Tuple>& facts = db.facts(predicate);
+    if (facts.empty()) continue;
+    if (!kb->HasRelation(predicate)) {
+      std::vector<std::string> attrs;
+      for (size_t i = 0; i < facts.front().size(); ++i) {
+        attrs.push_back("c" + std::to_string(i));
+      }
+      VADA_RETURN_IF_ERROR(
+          kb->CreateRelation(Schema::Untyped(predicate, attrs)));
+    }
+    for (const Tuple& t : facts) {
+      VADA_RETURN_IF_ERROR(kb->Insert(predicate, t));
+    }
+  }
+  return Status::OK();
+}
+
+Status TransducerRegistry::Add(std::unique_ptr<Transducer> transducer) {
+  if (transducer == nullptr) {
+    return Status::InvalidArgument("cannot register null transducer");
+  }
+  if (Find(transducer->name()) != nullptr) {
+    return Status::AlreadyExists("transducer " + transducer->name() +
+                                 " already registered");
+  }
+  transducers_.push_back(std::move(transducer));
+  return Status::OK();
+}
+
+Transducer* TransducerRegistry::Find(const std::string& name) const {
+  for (const std::unique_ptr<Transducer>& t : transducers_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> TransducerRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(transducers_.size());
+  for (const std::unique_ptr<Transducer>& t : transducers_) {
+    out.push_back(t->name());
+  }
+  return out;
+}
+
+}  // namespace vada

@@ -1,0 +1,113 @@
+#ifndef VADA_TRANSDUCER_TRANSDUCER_H_
+#define VADA_TRANSDUCER_TRANSDUCER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+
+namespace vada {
+
+/// A wrangling component (paper §2): "a software component with input and
+/// output dependencies defined as Datalog queries over the knowledge
+/// base". The orchestrator evaluates `input_dependency()` — a Vadalog
+/// program that must define the goal predicate `ready` — against the
+/// knowledge base (plus the sys_* control relations it materialises);
+/// the transducer becomes executable when `ready` derives a fact.
+///
+/// Contract for Execute():
+///  * read/write the knowledge base only through its API;
+///  * be idempotent — re-running on unchanged inputs must not change the
+///    KB (use ReplaceRelationIfChanged); this is what makes the dynamic
+///    orchestration terminate.
+class Transducer {
+ public:
+  Transducer(std::string name, std::string activity,
+             std::string input_dependency)
+      : name_(std::move(name)),
+        activity_(std::move(activity)),
+        input_dependency_(std::move(input_dependency)) {}
+  virtual ~Transducer() = default;
+
+  Transducer(const Transducer&) = delete;
+  Transducer& operator=(const Transducer&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Functionality family, e.g. "matching", "mapping", "quality";
+  /// scheduling policies prioritise by activity (paper §2.4).
+  const std::string& activity() const { return activity_; }
+  const std::string& input_dependency() const { return input_dependency_; }
+
+  virtual Status Execute(KnowledgeBase* kb) = 0;
+
+ private:
+  std::string name_;
+  std::string activity_;
+  std::string input_dependency_;
+};
+
+/// A transducer wrapping an arbitrary callable — the "wrapping external
+/// systems" implementation route (§2.3).
+class FunctionTransducer : public Transducer {
+ public:
+  using Body = std::function<Status(KnowledgeBase*)>;
+
+  FunctionTransducer(std::string name, std::string activity,
+                     std::string input_dependency, Body body)
+      : Transducer(std::move(name), std::move(activity),
+                   std::move(input_dependency)),
+        body_(std::move(body)) {}
+
+  Status Execute(KnowledgeBase* kb) override { return body_(kb); }
+
+ private:
+  Body body_;
+};
+
+/// A transducer implemented *in Vadalog* (§2.3: "transducers can be
+/// implemented in Vadalog"): evaluates `program_text` over a snapshot of
+/// the knowledge base and asserts the derived facts of each predicate in
+/// `output_predicates` back into same-named KB relations (created with
+/// attributes c0..cN when absent).
+class VadalogTransducer : public Transducer {
+ public:
+  VadalogTransducer(std::string name, std::string activity,
+                    std::string input_dependency, std::string program_text,
+                    std::vector<std::string> output_predicates);
+
+  Status Execute(KnowledgeBase* kb) override;
+
+  const std::string& program_text() const { return program_text_; }
+
+ private:
+  std::string program_text_;
+  std::vector<std::string> output_predicates_;
+};
+
+/// Owns the registered transducers of a wrangling deployment. "The
+/// architecture is not tied to a specific or fixed set of transducers" —
+/// anything implementing Transducer can be added at any time.
+class TransducerRegistry {
+ public:
+  TransducerRegistry() = default;
+
+  /// Fails with kAlreadyExists on duplicate names.
+  Status Add(std::unique_ptr<Transducer> transducer);
+
+  Transducer* Find(const std::string& name) const;
+  const std::vector<std::unique_ptr<Transducer>>& transducers() const {
+    return transducers_;
+  }
+  std::vector<std::string> Names() const;
+  size_t size() const { return transducers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Transducer>> transducers_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_TRANSDUCER_H_

@@ -1,0 +1,76 @@
+#ifndef VADA_WRANGLER_CONFIG_H_
+#define VADA_WRANGLER_CONFIG_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "context/data_context.h"
+#include "context/user_context.h"
+#include "feedback/feedback.h"
+#include "fusion/dedup.h"
+#include "feedback/propagation.h"
+#include "mapping/generator.h"
+#include "mapping/selector.h"
+#include "match/combiner.h"
+#include "match/instance_matcher.h"
+#include "match/schema_matcher.h"
+#include "quality/cfd.h"
+
+namespace vada {
+
+/// Options of the source-selection transducer (paper §2.3: "a source
+/// selection or a mapping selection transducer ... selects sources or
+/// mappings, taking into account the user context").
+struct SourceSelectorOptions {
+  /// Sources whose trust score falls below this are excluded from
+  /// mapping generation entirely.
+  double min_trust = 0.25;
+  /// Master switch; with false, trust scores are still computed (they
+  /// weight fusion votes) but nothing is excluded.
+  bool exclude_below_min = true;
+};
+
+/// Tuning knobs of the standard transducer suite. Every component's
+/// options are surfaced so deployments (and ablation benches) can adjust
+/// behaviour without new transducers.
+struct WranglerConfig {
+  SchemaMatcherOptions schema_matcher;
+  InstanceMatcherOptions instance_matcher;
+  CombinerOptions combiner;
+  MappingGeneratorOptions generator;
+  CfdLearnerOptions cfd_learner;
+  SelectorOptions selector;
+  SourceSelectorOptions source_selector;
+  DedupOptions dedup;  ///< blocking attribute auto-chosen when empty
+  PropagatorOptions propagator;
+  /// Name of the final result relation in the knowledge base.
+  std::string result_relation = "wrangled_result";
+};
+
+/// Mutable state shared by the standard transducers and the session that
+/// owns them. The knowledge base remains the source of truth for
+/// everything Datalog-visible (matches, mappings, metrics, feedback
+/// existence); this struct holds the richer C++ objects behind them.
+struct WranglingState {
+  WranglerConfig config;
+  /// Name of the target-schema relation registered in the KB.
+  std::string target_relation;
+  DataContext data_context;
+  UserContext user_context;
+  FeedbackStore feedback;
+  /// CFDs learned by the cfd_learning transducer (KB holds the serialised
+  /// form; this cache holds the evidence relation the checker needs).
+  std::vector<Cfd> cfds;
+  Relation cfd_evidence;
+  bool has_cfd_evidence = false;
+  /// Memoised feedback lineage: once an annotation is attributed to the
+  /// matches that fed it, the attribution is permanent — even after the
+  /// resulting penalty changes the mappings (see MatchAttribution docs).
+  std::vector<MatchAttribution> feedback_attributions;
+  std::set<size_t> attributed_feedback_items;
+};
+
+}  // namespace vada
+
+#endif  // VADA_WRANGLER_CONFIG_H_

@@ -1,0 +1,75 @@
+#include "wrangler/etl_baseline.h"
+
+#include "fusion/fuser.h"
+#include "kb/knowledge_base.h"
+#include "mapping/executor.h"
+#include "mapping/generator.h"
+#include "match/combiner.h"
+#include "match/schema_matcher.h"
+
+namespace vada {
+
+EtlPipeline::EtlPipeline(WranglerConfig config) : config_(std::move(config)) {}
+
+Result<Relation> EtlPipeline::Run(const Schema& target,
+                                  const std::vector<Relation>& sources,
+                                  EtlReport* report) const {
+  EtlReport local;
+  EtlReport* rep = (report != nullptr) ? report : &local;
+
+  // 1. Schema matching (the only matcher a static pipeline can run: there
+  // is no data context to enable instance matching).
+  SchemaMatcher matcher(config_.schema_matcher);
+  std::vector<MatchCandidate> candidates;
+  std::vector<Schema> source_schemas;
+  for (const Relation& src : sources) {
+    std::vector<MatchCandidate> part = matcher.Match(src.schema(), target);
+    candidates.insert(candidates.end(), part.begin(), part.end());
+    source_schemas.push_back(src.schema());
+  }
+  ++rep->component_runs;
+
+  // 2. Match consolidation.
+  std::vector<MatchCandidate> matches =
+      CombineMatches(candidates, config_.combiner);
+  ++rep->component_runs;
+
+  // 3. Mapping generation.
+  MappingGenerator generator(config_.generator);
+  Result<std::vector<Mapping>> mappings =
+      generator.Generate(target, source_schemas, matches);
+  if (!mappings.ok()) return mappings.status();
+  rep->mappings_generated = mappings.value().size();
+  ++rep->component_runs;
+
+  // 4. Execute every mapping and union (no quality-driven selection).
+  KnowledgeBase kb;
+  for (const Relation& src : sources) {
+    VADA_RETURN_IF_ERROR(kb.InsertAll(src));
+  }
+  MappingExecutor executor;
+  Result<Relation> unioned = executor.ExecuteUnion(
+      mappings.value(), target, kb, config_.result_relation);
+  if (!unioned.ok()) return unioned.status();
+  ++rep->component_runs;
+
+  // 5. Dedup + fuse.
+  DedupOptions dedup = config_.dedup;
+  if (dedup.blocking_attributes.empty() &&
+      target.AttributeIndex("postcode").has_value()) {
+    dedup.blocking_attributes = {"postcode"};
+  }
+  DuplicateDetector detector(dedup);
+  Result<DuplicateClusters> clusters = detector.Cluster(unioned.value());
+  if (!clusters.ok()) return clusters.status();
+  Fuser fuser;
+  Result<Relation> fused = fuser.Fuse(unioned.value(), clusters.value(),
+                                      config_.result_relation);
+  if (!fused.ok()) return fused.status();
+  ++rep->component_runs;
+
+  rep->result_rows = fused.value().size();
+  return fused;
+}
+
+}  // namespace vada

@@ -1,0 +1,41 @@
+#ifndef VADA_WRANGLER_ETL_BASELINE_H_
+#define VADA_WRANGLER_ETL_BASELINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "kb/relation.h"
+#include "kb/schema.h"
+#include "wrangler/config.h"
+
+namespace vada {
+
+/// Counters describing an ETL run.
+struct EtlReport {
+  size_t component_runs = 0;
+  size_t mappings_generated = 0;
+  size_t result_rows = 0;
+};
+
+/// The paper's implicit baseline (§1: systems "with comparable scope to
+/// typical ETL systems [12]"): a statically ordered, pre-configured
+/// pipeline of the same components — match, generate, execute, union,
+/// fuse — with no dynamic orchestration, no data/user context, no
+/// feedback, no repair and no selection. Bench E8 contrasts it with the
+/// dynamic network transducer.
+class EtlPipeline {
+ public:
+  explicit EtlPipeline(WranglerConfig config = WranglerConfig());
+
+  /// Runs the fixed pipeline once.
+  Result<Relation> Run(const Schema& target,
+                       const std::vector<Relation>& sources,
+                       EtlReport* report = nullptr) const;
+
+ private:
+  WranglerConfig config_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_WRANGLER_ETL_BASELINE_H_

@@ -1,0 +1,109 @@
+#include "wrangler/evaluation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vada {
+
+std::string ScenarioEvaluation::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "rows=%zu crimerank_completeness=%.3f "
+                "bedrooms_plausible=%.3f postcode_valid=%.3f "
+                "street_valid=%.3f coverage=%.3f field_completeness=%.3f overall=%.3f",
+                rows, crimerank_completeness, bedrooms_plausible_rate,
+                postcode_valid_rate, street_valid_rate, coverage, field_completeness, overall);
+  return buf;
+}
+
+ScenarioEvaluation EvaluateScenario(const Relation& result,
+                                    const GroundTruth& truth) {
+  ScenarioEvaluation out;
+  out.rows = result.size();
+  if (result.empty()) return out;
+
+  std::set<std::string> valid_postcodes(truth.postcodes.begin(),
+                                        truth.postcodes.end());
+  std::set<std::string> valid_streets;
+  for (const Tuple& row : truth.properties.rows()) {
+    valid_streets.insert(row.at(1).string_value());
+  }
+
+  auto rate = [&result](const std::string& attr, auto&& predicate,
+                        double* out_rate) {
+    std::optional<size_t> idx = result.schema().AttributeIndex(attr);
+    if (!idx.has_value()) {
+      *out_rate = 0.0;
+      return;
+    }
+    size_t non_null = 0;
+    size_t good = 0;
+    for (const Tuple& row : result.rows()) {
+      const Value& v = row.at(*idx);
+      if (v.is_null()) continue;
+      ++non_null;
+      if (predicate(v)) ++good;
+    }
+    *out_rate = (non_null == 0)
+                    ? 0.0
+                    : static_cast<double>(good) / static_cast<double>(non_null);
+  };
+
+  // Crimerank completeness (over all rows, not just non-null ones).
+  {
+    std::optional<size_t> idx = result.schema().AttributeIndex("crimerank");
+    if (idx.has_value()) {
+      size_t non_null = 0;
+      for (const Tuple& row : result.rows()) {
+        if (!row.at(*idx).is_null()) ++non_null;
+      }
+      out.crimerank_completeness =
+          static_cast<double>(non_null) / static_cast<double>(result.size());
+    }
+  }
+
+  rate("bedrooms",
+       [](const Value& v) {
+         std::optional<double> d = v.AsDouble();
+         return d.has_value() && *d >= 0.0 && *d <= 8.0;
+       },
+       &out.bedrooms_plausible_rate);
+  rate("postcode",
+       [&valid_postcodes](const Value& v) {
+         return v.type() == ValueType::kString &&
+                valid_postcodes.count(v.string_value()) > 0;
+       },
+       &out.postcode_valid_rate);
+  rate("street",
+       [&valid_streets](const Value& v) {
+         return v.type() == ValueType::kString &&
+                valid_streets.count(v.string_value()) > 0;
+       },
+       &out.street_valid_rate);
+
+  if (!truth.properties.empty()) {
+    out.coverage = std::min(
+        1.0, static_cast<double>(result.size()) /
+                 static_cast<double>(truth.properties.size()));
+  }
+
+  {
+    double sum = 0.0;
+    int counted = 0;
+    for (const char* attr :
+         {"type", "description", "street", "postcode", "bedrooms", "price"}) {
+      Result<double> frac = result.NonNullFraction(attr);
+      sum += frac.ok() ? frac.value() : 0.0;
+      ++counted;
+    }
+    out.field_completeness = counted > 0 ? sum / counted : 0.0;
+  }
+
+  out.overall = (out.crimerank_completeness + out.bedrooms_plausible_rate +
+                 out.postcode_valid_rate + out.street_valid_rate +
+                 out.coverage + out.field_completeness) /
+                6.0;
+  return out;
+}
+
+}  // namespace vada

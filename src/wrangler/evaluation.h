@@ -1,0 +1,49 @@
+#ifndef VADA_WRANGLER_EVALUATION_H_
+#define VADA_WRANGLER_EVALUATION_H_
+
+#include <string>
+
+#include "extract/real_estate.h"
+#include "kb/relation.h"
+
+namespace vada {
+
+/// Truth-based evaluation of a wrangled real-estate result. The bench
+/// harness uses this to quantify the pay-as-you-go claim: each added
+/// input (data context, feedback, user context) should move these
+/// numbers the way the paper narrates.
+struct ScenarioEvaluation {
+  size_t rows = 0;
+  /// Non-null fraction of the crimerank column (drives §2.2's first
+  /// user-context statement).
+  double crimerank_completeness = 0.0;
+  /// Fraction of non-null bedrooms that are plausible counts (<= 8);
+  /// the complement measures the paper's area-extraction error.
+  double bedrooms_plausible_rate = 1.0;
+  /// Fraction of non-null postcodes that exist in the universe.
+  double postcode_valid_rate = 1.0;
+  /// Fraction of non-null streets that exist in the universe.
+  double street_valid_rate = 1.0;
+  /// Result rows relative to the universe size, capped at 1 — rewards
+  /// results that actually cover the properties out there.
+  double coverage = 0.0;
+  /// Mean non-null fraction over the property attributes (type,
+  /// description, street, postcode, bedrooms, price) — penalises sparse
+  /// junk rows that the per-attribute validity rates (which skip nulls)
+  /// would let through.
+  double field_completeness = 0.0;
+  /// Mean of the six component scores (single-number summary).
+  double overall = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates `result` against the generator's ground truth. Attribute
+/// names are the paper's target schema names ("crimerank", "bedrooms",
+/// "postcode", "street"); absent attributes score 0 contribution.
+ScenarioEvaluation EvaluateScenario(const Relation& result,
+                                    const GroundTruth& truth);
+
+}  // namespace vada
+
+#endif  // VADA_WRANGLER_EVALUATION_H_

@@ -1,0 +1,166 @@
+#include "wrangler/session.h"
+
+#include "mapping/executor.h"
+#include "mapping/mapping.h"
+
+namespace vada {
+
+WranglingSession::WranglingSession(WranglerConfig config) {
+  state_ = std::make_unique<WranglingState>();
+  state_->config = std::move(config);
+  orchestrator_ = std::make_unique<NetworkTransducer>(
+      &registry_,
+      std::make_unique<ActivityPriorityPolicy>(
+          ActivityPriorityPolicy::DefaultActivityOrder()));
+}
+
+Status WranglingSession::SetTargetSchema(const Schema& target) {
+  VADA_RETURN_IF_ERROR(target.Validate());
+  if (!state_->target_relation.empty()) {
+    return Status::FailedPrecondition("target schema already set to " +
+                                      state_->target_relation);
+  }
+  VADA_RETURN_IF_ERROR(kb_.CreateRelation(target));
+  kb_.catalog().SetRole(target.relation_name(), RelationRole::kTarget);
+  state_->target_relation = target.relation_name();
+  if (!transducers_registered_) {
+    VADA_RETURN_IF_ERROR(
+        RegisterStandardTransducers(&registry_, state_.get()));
+    transducers_registered_ = true;
+  }
+  return Status::OK();
+}
+
+Status WranglingSession::AddSource(const Relation& data) {
+  VADA_RETURN_IF_ERROR(kb_.InsertAll(data));
+  kb_.catalog().SetRole(data.name(), RelationRole::kSource);
+  return Status::OK();
+}
+
+Status WranglingSession::AddDataContext(
+    const Relation& data, RelationRole kind,
+    std::vector<ContextCorrespondence> correspondences) {
+  DataContextBinding binding;
+  binding.context_relation = data.name();
+  binding.kind = kind;
+  binding.correspondences = std::move(correspondences);
+  VADA_RETURN_IF_ERROR(state_->data_context.AddBinding(binding));
+  VADA_RETURN_IF_ERROR(kb_.InsertAll(data));
+  kb_.catalog().SetRole(data.name(), kind);
+  // Publish the bindings as the data_context control relation the
+  // transducer dependencies quantify over.
+  VADA_RETURN_IF_ERROR(
+      kb_.ReplaceRelationIfChanged(state_->data_context.ToRelation()));
+  return Status::OK();
+}
+
+Status WranglingSession::SetUserContext(const UserContext& user_context) {
+  // Validate before accepting: weights must be derivable.
+  if (!user_context.empty()) {
+    Result<CriterionWeights> weights = user_context.DeriveWeights();
+    if (!weights.ok()) return weights.status();
+  }
+  state_->user_context = user_context;
+  return kb_.ReplaceRelationIfChanged(state_->user_context.ToRelation());
+}
+
+Status WranglingSession::AddFeedback(const FeedbackItem& item) {
+  state_->feedback.Add(item);
+  return kb_.ReplaceRelationIfChanged(state_->feedback.ToRelation());
+}
+
+Status WranglingSession::AddTransducer(std::unique_ptr<Transducer> transducer) {
+  return registry_.Add(std::move(transducer));
+}
+
+Status WranglingSession::Run(OrchestrationStats* stats) {
+  if (state_->target_relation.empty()) {
+    return Status::FailedPrecondition(
+        "no target schema: call SetTargetSchema first");
+  }
+  return orchestrator_->Run(&kb_, stats);
+}
+
+const Relation* WranglingSession::result() const {
+  return kb_.FindRelation(state_->config.result_relation);
+}
+
+Result<RelationQuality> WranglingSession::EstimateResultQuality() const {
+  const Relation* res = result();
+  if (res == nullptr) {
+    return Status::FailedPrecondition("no result yet: call Run first");
+  }
+  QualityEstimator estimator;
+  for (const DataContextBinding* binding :
+       state_->data_context.BindingsOfKind(RelationRole::kReference)) {
+    const Relation* ref = kb_.FindRelation(binding->context_relation);
+    if (ref != nullptr && !ref->empty()) {
+      estimator.SetReference(ref, binding->correspondences);
+      break;
+    }
+  }
+  if (!state_->cfds.empty()) {
+    estimator.SetCfds(state_->cfds, state_->has_cfd_evidence
+                                        ? &state_->cfd_evidence
+                                        : nullptr);
+  }
+  return estimator.Estimate(*res);
+}
+
+std::vector<Mapping> WranglingSession::mappings() const {
+  const Relation* rel = kb_.FindRelation("mapping");
+  if (rel == nullptr) return {};
+  Result<std::vector<Mapping>> parsed = MappingsFromRelation(*rel);
+  return parsed.ok() ? std::move(parsed).value() : std::vector<Mapping>{};
+}
+
+Result<std::string> WranglingSession::ExplainResultRow(const Tuple& row) const {
+  const Relation* target = kb_.FindRelation(state_->target_relation);
+  if (target == nullptr) {
+    return Status::FailedPrecondition("no target schema set");
+  }
+  std::string out = "result row " + row.ToString() + "\n";
+  bool attributed = false;
+  MappingExecutor executor;
+  for (const Mapping& m : mappings()) {
+    const Relation* raw = kb_.FindRelation(m.result_predicate);
+    const Relation* repaired = kb_.FindRelation("repaired_" + m.id);
+    bool in_raw = raw != nullptr && raw->Contains(row);
+    bool in_repaired = repaired != nullptr && repaired->Contains(row);
+    if (!in_raw && !in_repaired) continue;
+    attributed = true;
+    out += "  via mapping " + m.id;
+    if (!in_raw) out += " (value produced by CFD repair)";
+    out += ":\n    rule: " + m.rule_text + "\n";
+    if (in_raw) {
+      // Re-derive with provenance to expose the ground source tuples.
+      datalog::Provenance provenance;
+      Result<Relation> rerun =
+          executor.Execute(m, target->schema(), kb_, &provenance);
+      if (rerun.ok() && provenance.Has(m.result_predicate, row)) {
+        const datalog::Derivation* d =
+            provenance.Find(m.result_predicate, row);
+        for (const auto& [pred, premise] : d->premises) {
+          out += "    from " + pred + premise.ToString() + "\n";
+        }
+      }
+    }
+  }
+  if (!attributed) {
+    out += "  assembled by fusion: no single mapping emits this exact "
+           "tuple (values merged across duplicate listings)\n";
+  }
+  return out;
+}
+
+std::vector<std::string> WranglingSession::selected_mappings() const {
+  const Relation* rel = kb_.FindRelation("selected_mapping");
+  std::vector<std::string> out;
+  if (rel == nullptr) return out;
+  for (const Tuple& row : rel->rows()) {
+    out.push_back(row.at(0).ToString());
+  }
+  return out;
+}
+
+}  // namespace vada

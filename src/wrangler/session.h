@@ -1,0 +1,106 @@
+#ifndef VADA_WRANGLER_SESSION_H_
+#define VADA_WRANGLER_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+#include "quality/metrics.h"
+#include "transducer/network.h"
+#include "wrangler/config.h"
+#include "wrangler/standard_transducers.h"
+
+namespace vada {
+
+/// The public facade of the VADA architecture: one pay-as-you-go data
+/// wrangling task (paper §3). The user supplies, in any order and at any
+/// time, the four kinds of input the demonstration walks through —
+/// sources + target schema (step 1), data context (step 2), feedback
+/// (step 3), user context (step 4) — and calls Run() after each change;
+/// the network transducer dynamically re-orchestrates whatever became
+/// possible.
+///
+///   WranglingSession session;
+///   session.SetTargetSchema(target);
+///   session.AddSource(rightmove);
+///   session.AddSource(deprivation);
+///   session.Run();                        // step 1: bootstrap
+///   session.AddDataContext(address, RelationRole::kReference, {...});
+///   session.Run();                        // step 2: + data context
+///   session.AddFeedback({tuple, "bedrooms", FeedbackPolarity::kIncorrect});
+///   session.Run();                        // step 3: + feedback
+///   session.SetUserContext(user_context);
+///   session.Run();                        // step 4: + user context
+///   const Relation* result = session.result();
+class WranglingSession {
+ public:
+  explicit WranglingSession(WranglerConfig config = WranglerConfig());
+
+  // Moves would invalidate the transducers' pointer to state_.
+  WranglingSession(const WranglingSession&) = delete;
+  WranglingSession& operator=(const WranglingSession&) = delete;
+
+  /// Declares the target schema (registered as an empty KB relation with
+  /// role kTarget). Must be called before the first Run.
+  Status SetTargetSchema(const Schema& target);
+
+  /// Registers an extracted source instance (role kSource).
+  Status AddSource(const Relation& data);
+
+  /// Associates data-context data with the target schema. `kind` must be
+  /// kReference, kMaster or kExample; `correspondences` map target
+  /// attributes to `data`'s attributes.
+  Status AddDataContext(const Relation& data, RelationRole kind,
+                        std::vector<ContextCorrespondence> correspondences);
+
+  /// Replaces the user context (pairwise priorities).
+  Status SetUserContext(const UserContext& user_context);
+
+  /// Records one feedback annotation against the current result.
+  Status AddFeedback(const FeedbackItem& item);
+
+  /// Registers a custom transducer alongside the standard suite — the
+  /// paper's extensibility route ("additional transducers can be added
+  /// at any time").
+  Status AddTransducer(std::unique_ptr<Transducer> transducer);
+
+  /// Orchestrates to fixpoint. Callable repeatedly; each call picks up
+  /// whatever inputs changed since the last one.
+  Status Run(OrchestrationStats* stats = nullptr);
+
+  /// The wrangled result (nullptr before the first successful Run).
+  const Relation* result() const;
+
+  /// Quality of the current result under the session's current evidence
+  /// (reference data and CFDs, when present).
+  Result<RelationQuality> EstimateResultQuality() const;
+
+  /// Candidate mappings / selected mapping ids currently in the KB.
+  std::vector<Mapping> mappings() const;
+  std::vector<std::string> selected_mappings() const;
+
+  /// Explains where a result row came from: the mapping(s) whose results
+  /// contain it, each with its rule and (via reasoner provenance) the
+  /// ground source tuples it was derived from; notes when the row only
+  /// exists post-repair or was assembled by fusion. This is the row-level
+  /// counterpart of the orchestration trace.
+  Result<std::string> ExplainResultRow(const Tuple& row) const;
+
+  const ExecutionTrace& trace() const { return orchestrator_->trace(); }
+  KnowledgeBase& kb() { return kb_; }
+  const KnowledgeBase& kb() const { return kb_; }
+  const WranglingState& state() const { return *state_; }
+
+ private:
+  KnowledgeBase kb_;
+  std::unique_ptr<WranglingState> state_;
+  TransducerRegistry registry_;
+  std::unique_ptr<NetworkTransducer> orchestrator_;
+  bool transducers_registered_ = false;
+};
+
+}  // namespace vada
+
+#endif  // VADA_WRANGLER_SESSION_H_

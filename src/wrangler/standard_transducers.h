@@ -1,0 +1,36 @@
+#ifndef VADA_WRANGLER_STANDARD_TRANSDUCERS_H_
+#define VADA_WRANGLER_STANDARD_TRANSDUCERS_H_
+
+#include "common/status.h"
+#include "transducer/transducer.h"
+#include "wrangler/config.h"
+
+namespace vada {
+
+/// Registers the standard VADA transducer suite against `state`:
+///
+/// | name                 | activity  | input dependency (summary)        |
+/// |----------------------|-----------|-----------------------------------|
+/// | schema_matching      | matching  | source + target schemas exist     |
+/// | instance_matching    | matching  | source instances + data context   |
+/// | match_combination    | matching  | per-matcher match facts exist     |
+/// | mapping_generation   | mapping   | match facts exist                 |
+/// | mapping_execution    | execution | mapping facts exist               |
+/// | cfd_learning         | quality   | data-context instances exist      |
+/// | mapping_repair       | repair    | CFDs + mapping results exist      |
+/// | quality_metrics      | quality   | some mapping result non-empty     |
+/// | mapping_selection    | selection | mappings + quality metrics exist  |
+/// | fusion               | fusion    | selected mappings exist           |
+/// | feedback_propagation | feedback  | feedback + mappings exist         |
+///
+/// This realises Table 1 of the paper (and extends it to the full
+/// lifecycle); each row's dependency is a literal Vadalog program over
+/// the knowledge base's control relations.
+///
+/// `state` must outlive the registry.
+Status RegisterStandardTransducers(TransducerRegistry* registry,
+                                   WranglingState* state);
+
+}  // namespace vada
+
+#endif  // VADA_WRANGLER_STANDARD_TRANSDUCERS_H_

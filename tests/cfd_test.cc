@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "quality/cfd.h"
+
+namespace vada {
+namespace {
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<Value>>& rows) {
+  Relation rel(Schema::Untyped(name, attrs));
+  for (const std::vector<Value>& row : rows) {
+    EXPECT_TRUE(rel.InsertUnchecked(Tuple(row)).ok());
+  }
+  return rel;
+}
+
+/// Clean address data: street determines postcode and city. A distinct
+/// house number keeps rows unique under set semantics while giving each
+/// street group two tuples of evidence.
+Relation CleanAddresses() {
+  return MakeRelation(
+      "address", {"house", "street", "city", "postcode"},
+      {
+          {Value::Int(1), Value::String("High St"), Value::String("Leeds"),
+           Value::String("LS1")},
+          {Value::Int(2), Value::String("High St"), Value::String("Leeds"),
+           Value::String("LS1")},
+          {Value::Int(3), Value::String("Park Rd"), Value::String("Leeds"),
+           Value::String("LS2")},
+          {Value::Int(4), Value::String("Park Rd"), Value::String("Leeds"),
+           Value::String("LS2")},
+          {Value::Int(5), Value::String("Mill Ln"), Value::String("York"),
+           Value::String("YO1")},
+          {Value::Int(6), Value::String("Mill Ln"), Value::String("York"),
+           Value::String("YO1")},
+          {Value::Int(7), Value::String("Gate Way"), Value::String("York"),
+           Value::String("YO2")},
+          {Value::Int(8), Value::String("Gate Way"), Value::String("York"),
+           Value::String("YO2")},
+      });
+}
+
+TEST(PatternValueTest, Matching) {
+  EXPECT_TRUE(PatternValue::Wildcard().Matches(Value::Int(1)));
+  EXPECT_FALSE(PatternValue::Wildcard().Matches(Value::Null()));
+  EXPECT_TRUE(PatternValue::Constant(Value::Int(1)).Matches(Value::Int(1)));
+  EXPECT_FALSE(PatternValue::Constant(Value::Int(1)).Matches(Value::Int(2)));
+}
+
+TEST(CfdLearnerTest, LearnsStreetToPostcodeFd) {
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  CfdLearner learner(opts);
+  std::vector<Cfd> cfds = learner.Learn(CleanAddresses());
+  bool found = false;
+  for (const Cfd& c : cfds) {
+    if (c.lhs_attributes == std::vector<std::string>{"street"} &&
+        c.rhs_attribute == "postcode" && c.is_variable()) {
+      found = true;
+      EXPECT_DOUBLE_EQ(c.confidence, 1.0);
+      EXPECT_DOUBLE_EQ(c.support, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CfdLearnerTest, NoFdBetweenIndependentColumns) {
+  // city does not determine street.
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  opts.constant_min_group = 100;  // suppress constant CFDs for this test
+  CfdLearner learner(opts);
+  std::vector<Cfd> cfds = learner.Learn(CleanAddresses());
+  for (const Cfd& c : cfds) {
+    EXPECT_FALSE(c.lhs_attributes == std::vector<std::string>{"city"} &&
+                 c.rhs_attribute == "street")
+        << c.ToString();
+  }
+}
+
+TEST(CfdLearnerTest, ToleratesNoiseBelowConfidenceSlack) {
+  Relation data = CleanAddresses();
+  // One dirty row: High St with a wrong postcode.
+  ASSERT_TRUE(data.InsertUnchecked(Tuple({Value::Int(9),
+                                          Value::String("High St"),
+                                          Value::String("Leeds"),
+                                          Value::String("XX9")}))
+                  .ok());
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  opts.min_confidence = 0.85;  // 8/9 agreement still passes
+  CfdLearner learner(opts);
+  std::vector<Cfd> cfds = learner.Learn(data);
+  bool found = false;
+  for (const Cfd& c : cfds) {
+    if (c.lhs_attributes == std::vector<std::string>{"street"} &&
+        c.rhs_attribute == "postcode" && c.is_variable()) {
+      found = true;
+      EXPECT_LT(c.confidence, 1.0);
+      EXPECT_GE(c.confidence, 0.85);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CfdLearnerTest, EmitsConstantCfdsWhenNoGlobalFd) {
+  // lhs city -> postcode does not hold globally, but York rows all map to
+  // one postcode in this variant: expect a constant CFD for York.
+  Relation data = MakeRelation(
+      "address", {"city", "postcode"},
+      {
+          {Value::String("Leeds"), Value::String("LS1")},
+          {Value::String("Leeds"), Value::String("LS2")},
+          {Value::String("Leeds"), Value::String("LS3")},
+          {Value::String("Leeds"), Value::String("LS4")},
+          {Value::String("York"), Value::String("YO1")},
+      });
+  // Make York pure and big enough.
+  for (int i = 0; i < 4; ++i) {
+    // Need distinct tuples under set semantics; duplicate city rows with
+    // the same postcode collapse, so this relies on constant_min_group.
+  }
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  opts.constant_min_group = 1;
+  CfdLearner learner(opts);
+  std::vector<Cfd> cfds = learner.Learn(data);
+  bool found_constant = false;
+  for (const Cfd& c : cfds) {
+    if (!c.is_variable() && c.rhs_attribute == "postcode" &&
+        c.lhs_pattern.size() == 1 && !c.lhs_pattern[0].is_wildcard() &&
+        c.lhs_pattern[0].value() == Value::String("York")) {
+      found_constant = true;
+      EXPECT_EQ(c.rhs_pattern.value(), Value::String("YO1"));
+    }
+  }
+  EXPECT_TRUE(found_constant);
+}
+
+TEST(CfdLearnerTest, PairLhsSubsumedBySingles) {
+  CfdLearnerOptions opts;
+  opts.try_pairs = true;
+  opts.min_support_count = 2;
+  CfdLearner learner(opts);
+  std::vector<Cfd> cfds = learner.Learn(CleanAddresses());
+  for (const Cfd& c : cfds) {
+    if (c.is_variable() && c.rhs_attribute == "postcode") {
+      // street->postcode exists, so {street,city}->postcode must be
+      // filtered out as subsumed.
+      EXPECT_EQ(c.lhs_attributes.size(), 1u) << c.ToString();
+    }
+  }
+}
+
+TEST(CfdCheckerTest, DetectsViolationsAgainstEvidence) {
+  Relation evidence = CleanAddresses();
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  std::vector<Cfd> cfds = CfdLearner(opts).Learn(evidence);
+
+  Relation dirty = MakeRelation(
+      "result", {"street", "city", "postcode"},
+      {
+          {Value::String("High St"), Value::String("Leeds"), Value::String("LS1")},
+          {Value::String("High St"), Value::String("Leeds"), Value::String("BAD")},
+          {Value::String("Mill Ln"), Value::String("York"), Value::Null()},
+      });
+  CfdChecker checker(cfds, &evidence);
+  std::vector<CfdViolation> violations = checker.FindViolations(dirty);
+  bool found = false;
+  for (const CfdViolation& v : violations) {
+    if (v.row_index == 1 && v.cfd->rhs_attribute == "postcode") {
+      found = true;
+      EXPECT_EQ(v.expected, Value::String("LS1"));
+    }
+    EXPECT_NE(v.row_index, 2u) << "null rhs must not violate";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_LT(checker.ConsistencyScore(dirty), 1.0);
+  EXPECT_GT(checker.ConsistencyScore(dirty), 0.0);
+}
+
+TEST(CfdCheckerTest, RepairFixesViolations) {
+  Relation evidence = CleanAddresses();
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  std::vector<Cfd> cfds = CfdLearner(opts).Learn(evidence);
+
+  Relation dirty = MakeRelation(
+      "result", {"street", "city", "postcode"},
+      {
+          {Value::String("High St"), Value::String("Leeds"), Value::String("BAD")},
+          {Value::String("Park Rd"), Value::String("Leeds"), Value::String("LS2")},
+      });
+  CfdChecker checker(cfds, &evidence);
+  Result<size_t> repaired = checker.Repair(&dirty);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_GE(repaired.value(), 1u);
+  EXPECT_DOUBLE_EQ(checker.ConsistencyScore(dirty), 1.0);
+  // The bad postcode was corrected to the evidence value.
+  bool corrected = false;
+  for (const Tuple& row : dirty.rows()) {
+    if (row.at(0) == Value::String("High St")) {
+      EXPECT_EQ(row.at(2), Value::String("LS1"));
+      corrected = true;
+    }
+  }
+  EXPECT_TRUE(corrected);
+}
+
+TEST(CfdCheckerTest, RepairIsIdempotent) {
+  Relation evidence = CleanAddresses();
+  CfdLearnerOptions opts;
+  opts.try_pairs = false;
+  opts.min_support_count = 2;
+  std::vector<Cfd> cfds = CfdLearner(opts).Learn(evidence);
+  Relation dirty = MakeRelation(
+      "result", {"street", "city", "postcode"},
+      {{Value::String("High St"), Value::String("Leeds"), Value::String("BAD")}});
+  CfdChecker checker(cfds, &evidence);
+  ASSERT_TRUE(checker.Repair(&dirty).ok());
+  Result<size_t> second = checker.Repair(&dirty);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 0u);
+}
+
+TEST(CfdSerializationTest, RoundTrip) {
+  Cfd c;
+  c.lhs_attributes = {"street", "city"};
+  c.lhs_pattern = {PatternValue::Wildcard(),
+                   PatternValue::Constant(Value::String("Leeds"))};
+  c.rhs_attribute = "postcode";
+  c.rhs_pattern = PatternValue::Wildcard();
+  c.support = 0.5;
+  c.confidence = 0.97;
+  Relation rel = CfdsToRelation({c});
+  Result<std::vector<Cfd>> back = CfdsFromRelation(rel);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 1u);
+  const Cfd& b = back.value()[0];
+  EXPECT_EQ(b.lhs_attributes, c.lhs_attributes);
+  EXPECT_TRUE(b.lhs_pattern[0].is_wildcard());
+  EXPECT_EQ(b.lhs_pattern[1].value(), Value::String("Leeds"));
+  EXPECT_EQ(b.rhs_attribute, "postcode");
+  EXPECT_TRUE(b.is_variable());
+  EXPECT_DOUBLE_EQ(b.support, 0.5);
+  EXPECT_DOUBLE_EQ(b.confidence, 0.97);
+}
+
+TEST(CfdTest, ToStringIsReadable) {
+  Cfd c;
+  c.lhs_attributes = {"street"};
+  c.lhs_pattern = {PatternValue::Wildcard()};
+  c.rhs_attribute = "postcode";
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("street"), std::string::npos);
+  EXPECT_NE(s.find("postcode"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vada

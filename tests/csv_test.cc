@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "kb/csv.h"
+
+namespace vada {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  Result<Relation> r = ParseCsv("a,b,c\n1,2.5,hello\n", "t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Relation& rel = r.value();
+  EXPECT_EQ(rel.schema().AttributeNames(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel.rows()[0].at(0), Value::Int(1));
+  EXPECT_EQ(rel.rows()[0].at(1), Value::Double(2.5));
+  EXPECT_EQ(rel.rows()[0].at(2), Value::String("hello"));
+}
+
+TEST(CsvTest, EmptyCellsBecomeNulls) {
+  Result<Relation> r = ParseCsv("a,b\n1,\n,2\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows()[0].at(1), Value::Null());
+  EXPECT_EQ(r.value().rows()[1].at(0), Value::Null());
+}
+
+TEST(CsvTest, QuotedFieldsWithSeparatorsAndQuotes) {
+  Result<Relation> r =
+      ParseCsv("a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n", "t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().rows()[0].at(0), Value::String("x, y"));
+  EXPECT_EQ(r.value().rows()[0].at(1), Value::String("he said \"hi\""));
+}
+
+TEST(CsvTest, QuotedNewlineInsideField) {
+  Result<Relation> r = ParseCsv("a\n\"line1\nline2\"\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows()[0].at(0), Value::String("line1\nline2"));
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  Result<Relation> r = ParseCsv("a,b\r\n1,2\r\n", "t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value().rows()[0].at(1), Value::Int(2));
+}
+
+TEST(CsvTest, NoHeaderGeneratesColumnNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  Result<Relation> r = ParseCsv("1,2\n", "t", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().schema().AttributeNames(),
+            (std::vector<std::string>{"c0", "c1"}));
+}
+
+TEST(CsvTest, NoTypeInference) {
+  CsvOptions opts;
+  opts.infer_types = false;
+  Result<Relation> r = ParseCsv("a\n42\n", "t", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows()[0].at(0), Value::String("42"));
+}
+
+TEST(CsvTest, RaggedRowFails) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n", "t").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n", "t").ok());
+}
+
+TEST(CsvTest, EmptyTextFails) { EXPECT_FALSE(ParseCsv("", "t").ok()); }
+
+TEST(CsvTest, RoundTrip) {
+  Relation rel(Schema::Untyped("t", {"name", "price"}));
+  ASSERT_TRUE(
+      rel.Insert(Tuple({Value::String("a, b"), Value::Int(10)})).ok());
+  ASSERT_TRUE(rel.Insert(Tuple({Value::Null(), Value::Double(1.5)})).ok());
+  std::string csv = ToCsv(rel);
+  Result<Relation> back = ParseCsv(csv, "t");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value().rows()[0].at(0), Value::String("a, b"));
+  EXPECT_EQ(back.value().rows()[0].at(1), Value::Int(10));
+  EXPECT_EQ(back.value().rows()[1].at(0), Value::Null());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Relation rel(Schema::Untyped("t", {"x"}));
+  ASSERT_TRUE(rel.Insert(Tuple({Value::Int(7)})).ok());
+  std::string path = testing::TempDir() + "/vada_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(rel, path).ok());
+  Result<Relation> back = ReadCsvFile(path, "t");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rows()[0].at(0), Value::Int(7));
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/nope.csv", "t").ok());
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+
+namespace vada::datalog {
+namespace {
+
+Program MustParse(const std::string& src) {
+  Result<Program> p = Parser::Parse(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+std::vector<Tuple> MustQuery(const std::string& src, Database* db,
+                             const std::string& goal) {
+  Result<std::vector<Tuple>> r = Query(MustParse(src), db, goal);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+Database SalesDb() {
+  Database db;
+  auto add = [&db](const char* shop, int amount) {
+    db.Insert("sale", Tuple({Value::String(shop), Value::Int(amount)}));
+  };
+  add("a", 10);
+  add("a", 20);
+  add("a", 30);
+  add("b", 5);
+  return db;
+}
+
+TEST(AggregateTest, CountPerGroup) {
+  Database db = SalesDb();
+  auto result = MustQuery("cnt(S, count<A>) :- sale(S, A).", &db, "cnt");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], Tuple({Value::String("a"), Value::Int(3)}));
+  EXPECT_EQ(result[1], Tuple({Value::String("b"), Value::Int(1)}));
+}
+
+TEST(AggregateTest, SumMinMaxAvg) {
+  Database db = SalesDb();
+  auto sum = MustQuery("s(S, sum<A>) :- sale(S, A).", &db, "s");
+  EXPECT_EQ(sum[0], Tuple({Value::String("a"), Value::Int(60)}));
+  Database db2 = SalesDb();
+  auto mn = MustQuery("m(S, min<A>) :- sale(S, A).", &db2, "m");
+  EXPECT_EQ(mn[0], Tuple({Value::String("a"), Value::Int(10)}));
+  Database db3 = SalesDb();
+  auto mx = MustQuery("m(S, max<A>) :- sale(S, A).", &db3, "m");
+  EXPECT_EQ(mx[0], Tuple({Value::String("a"), Value::Int(30)}));
+  Database db4 = SalesDb();
+  auto avg = MustQuery("m(S, avg<A>) :- sale(S, A).", &db4, "m");
+  EXPECT_EQ(avg[0], Tuple({Value::String("a"), Value::Double(20.0)}));
+}
+
+TEST(AggregateTest, CountsDistinctValues) {
+  // Set semantics: duplicate (shop, amount) pairs collapse.
+  Database db;
+  db.Insert("sale", Tuple({Value::String("a"), Value::Int(10)}));
+  db.Insert("sale", Tuple({Value::String("a"), Value::Int(10)}));
+  auto result = MustQuery("cnt(S, count<A>) :- sale(S, A).", &db, "cnt");
+  EXPECT_EQ(result[0].at(1), Value::Int(1));
+}
+
+TEST(AggregateTest, GlobalAggregateNoGroupKeys) {
+  Database db = SalesDb();
+  auto result = MustQuery("total(count<S>) :- sale(S, A).", &db, "total");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].at(0), Value::Int(2));  // two distinct shops
+}
+
+TEST(AggregateTest, MultipleAggregatesInOneHead) {
+  Database db = SalesDb();
+  auto result =
+      MustQuery("stats(S, count<A>, sum<A>) :- sale(S, A).", &db, "stats");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], Tuple({Value::String("a"), Value::Int(3),
+                              Value::Int(60)}));
+}
+
+TEST(AggregateTest, AggregateOverDerivedPredicate) {
+  Database db;
+  db.Insert("edge", Tuple({Value::Int(1), Value::Int(2)}));
+  db.Insert("edge", Tuple({Value::Int(2), Value::Int(3)}));
+  db.Insert("edge", Tuple({Value::Int(1), Value::Int(3)}));
+  auto result = MustQuery(
+      "tc(X, Y) :- edge(X, Y). tc(X, Y) :- edge(X, Z), tc(Z, Y).\n"
+      "reachable_count(X, count<Y>) :- tc(X, Y).\n",
+      &db, "reachable_count");
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], Tuple({Value::Int(1), Value::Int(2)}));  // 1 -> {2,3}
+  EXPECT_EQ(result[1], Tuple({Value::Int(2), Value::Int(1)}));  // 2 -> {3}
+}
+
+TEST(AggregateTest, DownstreamRulesSeeAggregates) {
+  Database db = SalesDb();
+  auto result = MustQuery(
+      "cnt(S, count<A>) :- sale(S, A).\n"
+      "busy(S) :- cnt(S, N), N >= 2.\n",
+      &db, "busy");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].at(0), Value::String("a"));
+}
+
+TEST(AggregateTest, SumOfDoublesStaysDouble) {
+  Database db;
+  db.Insert("m", Tuple({Value::String("x"), Value::Double(1.5)}));
+  db.Insert("m", Tuple({Value::String("x"), Value::Double(2.0)}));
+  auto result = MustQuery("s(G, sum<V>) :- m(G, V).", &db, "s");
+  EXPECT_EQ(result[0].at(1), Value::Double(3.5));
+}
+
+TEST(AggregateTest, EmptyBodyYieldsNoGroups) {
+  Database db;
+  auto result = MustQuery("cnt(S, count<A>) :- sale(S, A).", &db, "cnt");
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(AggregateTest, AggregateWithComparisonInBody) {
+  Database db = SalesDb();
+  auto result = MustQuery(
+      "cnt(S, count<A>) :- sale(S, A), A >= 20.", &db, "cnt");
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], Tuple({Value::String("a"), Value::Int(2)}));
+}
+
+}  // namespace
+}  // namespace vada::datalog

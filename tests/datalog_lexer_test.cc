@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "datalog/lexer.h"
+
+namespace vada::datalog {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  Result<std::vector<Token>> toks = Tokenize(src);
+  EXPECT_TRUE(toks.ok()) << toks.status().ToString();
+  std::vector<TokenKind> out;
+  for (const Token& t : toks.value()) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, SimpleRuleTokens) {
+  auto kinds = Kinds("p(X) :- q(X).");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLParen,
+                       TokenKind::kVariable, TokenKind::kRParen,
+                       TokenKind::kImplies, TokenKind::kIdent,
+                       TokenKind::kLParen, TokenKind::kVariable,
+                       TokenKind::kRParen, TokenKind::kDot, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, VariablesStartUppercaseOrUnderscore) {
+  Result<std::vector<Token>> toks = Tokenize("X _y abc Zz");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks.value()[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks.value()[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks.value()[3].kind, TokenKind::kVariable);
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  Result<std::vector<Token>> toks = Tokenize("42 2.5 1e3");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kInt);
+  EXPECT_EQ(toks.value()[0].int_value, 42);
+  EXPECT_EQ(toks.value()[1].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks.value()[1].double_value, 2.5);
+  EXPECT_EQ(toks.value()[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(toks.value()[2].double_value, 1000.0);
+}
+
+TEST(LexerTest, NegativeLiteralInsideAtom) {
+  // After '(' a minus starts a negative literal (there is no operand to
+  // subtract from).
+  Result<std::vector<Token>> toks = Tokenize("p(-7)");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks.value().size(), 5u);  // IDENT ( INT ) END
+  EXPECT_EQ(toks.value()[2].kind, TokenKind::kInt);
+  EXPECT_EQ(toks.value()[2].int_value, -7);
+}
+
+TEST(LexerTest, MinusAfterOperandIsSubtraction) {
+  // "X - 3": minus must be an operator, not part of "-3".
+  Result<std::vector<Token>> toks = Tokenize("X - 3");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks.value().size(), 4u);  // VAR, MINUS, INT, END
+  EXPECT_EQ(toks.value()[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(toks.value()[2].int_value, 3);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  Result<std::vector<Token>> toks = Tokenize("\"a \\\"b\\\" c\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks.value()[0].text, "a \"b\" c");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"abc").ok());
+}
+
+TEST(LexerTest, CommentsIgnored) {
+  auto kinds = Kinds("p(X). % trailing\n// whole line\nq(Y).");
+  int idents = 0;
+  for (TokenKind k : kinds) {
+    if (k == TokenKind::kIdent) ++idents;
+  }
+  EXPECT_EQ(idents, 2);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto kinds = Kinds("< <= > >= = != <>");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                       TokenKind::kGe, TokenKind::kEq, TokenKind::kNe,
+                       TokenKind::kNe, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NotKeyword) {
+  auto kinds = Kinds("not p(X)");
+  EXPECT_EQ(kinds[0], TokenKind::kNot);
+}
+
+TEST(LexerTest, LineNumbersInErrors) {
+  Result<std::vector<Token>> toks = Tokenize("p(X).\n#");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, DotAfterNumberEndsClause) {
+  // "p(1)." must not lex 1. as a double.
+  auto kinds = Kinds("p(1).");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLParen, TokenKind::kInt,
+                       TokenKind::kRParen, TokenKind::kDot, TokenKind::kEnd}));
+}
+
+}  // namespace
+}  // namespace vada::datalog

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace vada::datalog {
+namespace {
+
+TEST(ParserTest, ParsesFact) {
+  Result<Rule> r = Parser::ParseRule("p(1, \"a\", true, null, sym).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().IsFact());
+  ASSERT_EQ(r.value().head.terms.size(), 5u);
+  EXPECT_EQ(r.value().head.terms[0].value(), Value::Int(1));
+  EXPECT_EQ(r.value().head.terms[1].value(), Value::String("a"));
+  EXPECT_EQ(r.value().head.terms[2].value(), Value::Bool(true));
+  EXPECT_EQ(r.value().head.terms[3].value(), Value::Null());
+  EXPECT_EQ(r.value().head.terms[4].value(), Value::String("sym"));
+}
+
+TEST(ParserTest, ParsesRuleWithBody) {
+  Result<Rule> r = Parser::ParseRule("anc(X, Y) :- par(X, Z), anc(Z, Y).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().head.predicate, "anc");
+  ASSERT_EQ(r.value().body.size(), 2u);
+  EXPECT_EQ(r.value().body[0].kind, Literal::Kind::kAtom);
+  EXPECT_EQ(r.value().body[1].atom.predicate, "anc");
+}
+
+TEST(ParserTest, ParsesNegation) {
+  Result<Rule> r = Parser::ParseRule("p(X) :- q(X), not r(X).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().body[1].kind, Literal::Kind::kNegatedAtom);
+}
+
+TEST(ParserTest, ParsesComparisons) {
+  Result<Rule> r = Parser::ParseRule("p(X) :- q(X), X > 3, X != 10.");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().body[1].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(r.value().body[1].compare_op, CompareOp::kGt);
+  EXPECT_EQ(r.value().body[2].compare_op, CompareOp::kNe);
+}
+
+TEST(ParserTest, ParsesAssignmentCopyAndArith) {
+  Result<Rule> r = Parser::ParseRule("p(X, S) :- q(X, A, B), S = A + B.");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Literal& assign = r.value().body[1];
+  EXPECT_EQ(assign.kind, Literal::Kind::kAssignment);
+  EXPECT_EQ(assign.assign_var, "S");
+  EXPECT_EQ(assign.arith_op, ArithOp::kAdd);
+
+  Result<Rule> r2 = Parser::ParseRule("p(Y) :- q(X), Y = X.");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2.value().body[1].kind, Literal::Kind::kAssignment);
+  EXPECT_EQ(r2.value().body[1].arith_op, ArithOp::kNone);
+}
+
+TEST(ParserTest, ParsesAggregatesInHead) {
+  Result<Rule> r = Parser::ParseRule("cnt(S, count<T>) :- res(S, T).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().head.terms.size(), 2u);
+  EXPECT_TRUE(r.value().head.terms[1].is_aggregate());
+  EXPECT_EQ(r.value().head.terms[1].agg_func(), AggFunc::kCount);
+  EXPECT_EQ(r.value().head.terms[1].var(), "T");
+  EXPECT_TRUE(r.value().HasAggregates());
+}
+
+TEST(ParserTest, AllAggregateFunctions) {
+  for (const char* src :
+       {"a(sum<X>) :- q(X).", "a(min<X>) :- q(X).", "a(max<X>) :- q(X).",
+        "a(avg<X>) :- q(X).", "a(count<X>) :- q(X)."}) {
+    EXPECT_TRUE(Parser::ParseRule(src).ok()) << src;
+  }
+}
+
+TEST(ParserTest, AggregateInBodyRejected) {
+  EXPECT_FALSE(Parser::Parse("p(X) :- q(count<X>).").ok());
+}
+
+TEST(ParserTest, UnsafeHeadVariableRejected) {
+  Result<Rule> r = Parser::ParseRule("p(X, Y) :- q(X).");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Y"), std::string::npos);
+}
+
+TEST(ParserTest, UnsafeNegationRejected) {
+  EXPECT_FALSE(Parser::ParseRule("p(X) :- q(X), not r(Z).").ok());
+}
+
+TEST(ParserTest, UnsafeComparisonRejected) {
+  EXPECT_FALSE(Parser::ParseRule("p(X) :- q(X), Z > 3.").ok());
+}
+
+TEST(ParserTest, AssignmentChainsAreSafe) {
+  // Z is bound through Y which is bound through X.
+  EXPECT_TRUE(
+      Parser::ParseRule("p(Z) :- q(X), Y = X + 1, Z = Y * 2.").ok());
+}
+
+TEST(ParserTest, NonGroundFactRejected) {
+  EXPECT_FALSE(Parser::ParseRule("p(X).").ok());
+}
+
+TEST(ParserTest, MissingDotRejected) {
+  EXPECT_FALSE(Parser::Parse("p(1)").ok());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  Result<Rule> r = Parser::ParseRule("flag() :- q(X).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().head.terms.empty());
+}
+
+TEST(ParserTest, ProgramWithMultipleClauses) {
+  Result<Program> p = Parser::Parse(
+      "edge(1, 2). edge(2, 3).\n"
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().rules.size(), 4u);
+  EXPECT_EQ(p.value().HeadPredicates(),
+            (std::vector<std::string>{"edge", "tc"}));
+}
+
+TEST(ParserTest, ToStringRoundTrips) {
+  const std::string src = "p(X, 3) :- q(X, \"a\"), not r(X), X > 1.";
+  Result<Rule> r = Parser::ParseRule(src);
+  ASSERT_TRUE(r.ok());
+  Result<Rule> again = Parser::ParseRule(r.value().ToString());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().ToString(), r.value().ToString());
+}
+
+}  // namespace
+}  // namespace vada::datalog

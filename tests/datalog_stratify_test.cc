@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/stratify.h"
+
+namespace vada::datalog {
+namespace {
+
+Program MustParse(const std::string& src) {
+  Result<Program> p = Parser::Parse(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return std::move(p).value();
+}
+
+TEST(StratifyTest, SingleRecursivePredicateOneStratum) {
+  Program p = MustParse(
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  ASSERT_EQ(s.value().strata.size(), 1u);
+  EXPECT_EQ(s.value().strata[0], (std::vector<std::string>{"tc"}));
+}
+
+TEST(StratifyTest, NegationForcesHigherStratum) {
+  Program p = MustParse(
+      "reach(X) :- src(X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), not reach(X).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_LT(s.value().stratum_of.at("reach"),
+            s.value().stratum_of.at("unreach"));
+}
+
+TEST(StratifyTest, AggregationForcesHigherStratum) {
+  Program p = MustParse(
+      "r(X, Y) :- e(X, Y).\n"
+      "cnt(X, count<Y>) :- r(X, Y).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_LT(s.value().stratum_of.at("r"), s.value().stratum_of.at("cnt"));
+}
+
+TEST(StratifyTest, NegationInCycleRejected) {
+  Program p = MustParse(
+      "p(X) :- q(X), not r(X).\n"
+      "r(X) :- q(X), not p(X).\n");
+  Result<Stratification> s = Stratify(p);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("not stratifiable"), std::string::npos);
+}
+
+TEST(StratifyTest, AggregateInCycleRejected) {
+  Program p = MustParse("p(X, count<Y>) :- p(X, Y).\n");
+  EXPECT_FALSE(Stratify(p).ok());
+}
+
+TEST(StratifyTest, MutualRecursionSharesStratum) {
+  Program p = MustParse(
+      "even(X) :- zero(X).\n"
+      "even(Y) :- odd(X), succ(X, Y).\n"
+      "odd(Y) :- even(X), succ(X, Y).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s.value().stratum_of.at("even"), s.value().stratum_of.at("odd"));
+}
+
+TEST(StratifyTest, TopologicalOrderAcrossStrata) {
+  Program p = MustParse(
+      "a(X) :- e(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- b(X), not a(X).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  // a before b before c.
+  EXPECT_LT(s.value().stratum_of.at("a"), s.value().stratum_of.at("b"));
+  EXPECT_LT(s.value().stratum_of.at("b"), s.value().stratum_of.at("c"));
+}
+
+TEST(StratifyTest, EdbOnlyProgramHasNoStrataForEdb) {
+  Program p = MustParse("p(X) :- q(X).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().stratum_of.count("q"), 0u);
+  EXPECT_EQ(s.value().stratum_of.count("p"), 1u);
+}
+
+TEST(StratifyTest, DoubleNegationChainGetsThreeLevels) {
+  Program p = MustParse(
+      "a(X) :- e(X).\n"
+      "b(X) :- e(X), not a(X).\n"
+      "c(X) :- e(X), not b(X).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT(s.value().stratum_of.at("a"), s.value().stratum_of.at("b"));
+  EXPECT_LT(s.value().stratum_of.at("b"), s.value().stratum_of.at("c"));
+}
+
+}  // namespace
+}  // namespace vada::datalog

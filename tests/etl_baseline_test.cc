@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "extract/open_government.h"
+#include "extract/real_estate.h"
+#include "wrangler/etl_baseline.h"
+#include "wrangler/evaluation.h"
+#include "wrangler/session.h"
+
+namespace vada {
+namespace {
+
+Schema TargetSchema() {
+  return Schema::Untyped("target", {"type", "description", "street",
+                                    "postcode", "bedrooms", "price",
+                                    "crimerank"});
+}
+
+class EtlBaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyUniverseOptions uopts;
+    uopts.num_properties = 100;
+    uopts.num_postcodes = 15;
+    uopts.seed = 9;
+    truth_ = GeneratePropertyUniverse(uopts);
+    ExtractionErrorOptions rm;
+    rm.seed = 21;
+    sources_.push_back(ExtractRightmove(truth_, rm));
+    ExtractionErrorOptions otm;
+    otm.seed = 22;
+    sources_.push_back(ExtractOnthemarket(truth_, otm));
+    sources_.push_back(GenerateDeprivation(truth_));
+  }
+
+  GroundTruth truth_;
+  std::vector<Relation> sources_;
+};
+
+TEST_F(EtlBaselineTest, ProducesResult) {
+  EtlPipeline pipeline;
+  EtlReport report;
+  Result<Relation> result = pipeline.Run(TargetSchema(), sources_, &report);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().size(), 0u);
+  EXPECT_EQ(report.component_runs, 5u);
+  EXPECT_GT(report.mappings_generated, 0u);
+  EXPECT_EQ(report.result_rows, result.value().size());
+}
+
+TEST_F(EtlBaselineTest, ResultHasTargetSchema) {
+  EtlPipeline pipeline;
+  Result<Relation> result = pipeline.Run(TargetSchema(), sources_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().schema().AttributeNames(),
+            TargetSchema().AttributeNames());
+}
+
+TEST_F(EtlBaselineTest, DeterministicAcrossRuns) {
+  EtlPipeline pipeline;
+  Result<Relation> a = pipeline.Run(TargetSchema(), sources_);
+  Result<Relation> b = pipeline.Run(TargetSchema(), sources_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().SortedRows(), b.value().SortedRows());
+}
+
+TEST_F(EtlBaselineTest, VadaWithFullContextBeatsEtlOverall) {
+  EtlPipeline pipeline;
+  Result<Relation> etl = pipeline.Run(TargetSchema(), sources_);
+  ASSERT_TRUE(etl.ok());
+  ScenarioEvaluation etl_eval = EvaluateScenario(etl.value(), truth_);
+
+  WranglingSession session;
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  for (const Relation& src : sources_) {
+    ASSERT_TRUE(session.AddSource(src).ok());
+  }
+  ASSERT_TRUE(session
+                  .AddDataContext(GenerateAddressReference(truth_),
+                                  RelationRole::kReference,
+                                  {{"street", "street"},
+                                   {"postcode", "postcode"}})
+                  .ok());
+  ASSERT_TRUE(session.Run().ok());
+  ScenarioEvaluation vada_eval = EvaluateScenario(*session.result(), truth_);
+
+  // The headline shape: VADA with data context is at least as good as the
+  // static ETL pipeline (repair + selection must not hurt).
+  EXPECT_GE(vada_eval.overall, etl_eval.overall);
+}
+
+TEST(EvaluationTest, EmptyResultScoresZero) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  Relation empty(Schema::Untyped("r", {"bedrooms"}));
+  ScenarioEvaluation eval = EvaluateScenario(empty, truth);
+  EXPECT_EQ(eval.rows, 0u);
+  EXPECT_DOUBLE_EQ(eval.overall, 0.0);
+}
+
+TEST(EvaluationTest, MissingAttributesScoreZero) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  Relation rel(Schema::Untyped("r", {"other"}));
+  ASSERT_TRUE(rel.InsertUnchecked(Tuple({Value::Int(1)})).ok());
+  ScenarioEvaluation eval = EvaluateScenario(rel, truth);
+  EXPECT_DOUBLE_EQ(eval.crimerank_completeness, 0.0);
+  EXPECT_DOUBLE_EQ(eval.bedrooms_plausible_rate, 0.0);
+}
+
+TEST(EvaluationTest, PerfectSyntheticResult) {
+  PropertyUniverseOptions opts;
+  opts.num_properties = 50;
+  GroundTruth truth = GeneratePropertyUniverse(opts);
+  // Build a result directly from the truth (plus crimerank).
+  std::map<std::string, int64_t> crime;
+  for (const Tuple& row : truth.crime.rows()) {
+    crime[row.at(0).string_value()] = row.at(1).int_value();
+  }
+  Relation result(Schema::Untyped(
+      "r", {"street", "postcode", "bedrooms", "crimerank"}));
+  for (const Tuple& row : truth.properties.rows()) {
+    ASSERT_TRUE(
+        result
+            .InsertUnchecked(Tuple(
+                {row.at(1), row.at(3), row.at(4),
+                 Value::Int(crime[row.at(3).string_value()])}))
+            .ok());
+  }
+  ScenarioEvaluation eval = EvaluateScenario(result, truth);
+  EXPECT_DOUBLE_EQ(eval.crimerank_completeness, 1.0);
+  EXPECT_DOUBLE_EQ(eval.bedrooms_plausible_rate, 1.0);
+  EXPECT_DOUBLE_EQ(eval.postcode_valid_rate, 1.0);
+  EXPECT_DOUBLE_EQ(eval.street_valid_rate, 1.0);
+  EXPECT_GT(eval.coverage, 0.5);
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/open_government.h"
+#include "extract/real_estate.h"
+
+namespace vada {
+namespace {
+
+TEST(UniverseTest, Deterministic) {
+  PropertyUniverseOptions opts;
+  opts.seed = 3;
+  GroundTruth a = GeneratePropertyUniverse(opts);
+  GroundTruth b = GeneratePropertyUniverse(opts);
+  EXPECT_EQ(a.properties.SortedRows(), b.properties.SortedRows());
+  EXPECT_EQ(a.crime.SortedRows(), b.crime.SortedRows());
+}
+
+TEST(UniverseTest, SizesRespectOptions) {
+  PropertyUniverseOptions opts;
+  opts.num_properties = 77;
+  opts.num_postcodes = 13;
+  GroundTruth truth = GeneratePropertyUniverse(opts);
+  EXPECT_EQ(truth.properties.size(), 77u);
+  EXPECT_EQ(truth.postcodes.size(), 13u);
+  EXPECT_EQ(truth.crime.size(), 13u);
+}
+
+TEST(UniverseTest, StreetDeterminesPostcode) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  std::map<std::string, std::string> postcode_of;
+  for (const Tuple& row : truth.properties.rows()) {
+    const std::string& street = row.at(1).string_value();
+    const std::string& postcode = row.at(3).string_value();
+    auto [it, added] = postcode_of.emplace(street, postcode);
+    EXPECT_EQ(it->second, postcode) << "street " << street
+                                    << " spans two postcodes";
+  }
+}
+
+TEST(UniverseTest, CrimeIsPermutationOfRanks) {
+  PropertyUniverseOptions opts;
+  opts.num_postcodes = 10;
+  GroundTruth truth = GeneratePropertyUniverse(opts);
+  std::set<int64_t> ranks;
+  for (const Tuple& row : truth.crime.rows()) {
+    ranks.insert(row.at(1).int_value());
+  }
+  EXPECT_EQ(ranks.size(), 10u);
+  EXPECT_EQ(*ranks.begin(), 1);
+  EXPECT_EQ(*ranks.rbegin(), 10);
+}
+
+TEST(UniverseTest, PricesCorrelateWithBedrooms) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  double sum_small = 0.0, sum_large = 0.0;
+  size_t n_small = 0, n_large = 0;
+  for (const Tuple& row : truth.properties.rows()) {
+    int64_t bedrooms = row.at(4).int_value();
+    double price = static_cast<double>(row.at(5).int_value());
+    if (bedrooms <= 2) {
+      sum_small += price;
+      ++n_small;
+    } else if (bedrooms >= 5) {
+      sum_large += price;
+      ++n_large;
+    }
+  }
+  ASSERT_GT(n_small, 0u);
+  ASSERT_GT(n_large, 0u);
+  EXPECT_GT(sum_large / n_large, sum_small / n_small);
+}
+
+TEST(ExtractTest, SchemasMatchThePaper) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  ExtractionErrorOptions opts;
+  Relation rm = ExtractRightmove(truth, opts);
+  EXPECT_EQ(rm.schema().AttributeNames(),
+            (std::vector<std::string>{"price", "street", "postcode",
+                                      "bedrooms", "type", "description"}));
+  Relation otm = ExtractOnthemarket(truth, opts);
+  EXPECT_EQ(otm.schema().AttributeNames(),
+            (std::vector<std::string>{"cost", "road", "post_code", "beds",
+                                      "category", "details"}));
+}
+
+TEST(ExtractTest, CoverageControlsSize) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  ExtractionErrorOptions low;
+  low.coverage = 0.2;
+  low.seed = 4;
+  ExtractionErrorOptions high;
+  high.coverage = 0.9;
+  high.seed = 4;
+  EXPECT_LT(ExtractRightmove(truth, low).size(),
+            ExtractRightmove(truth, high).size());
+}
+
+TEST(ExtractTest, BedroomAreaErrorRateRoughlyRespected) {
+  PropertyUniverseOptions uopts;
+  uopts.num_properties = 2000;
+  GroundTruth truth = GeneratePropertyUniverse(uopts);
+  ExtractionErrorOptions opts;
+  opts.coverage = 1.0;
+  opts.missing_rate = 0.0;
+  opts.bedrooms_area_rate = 0.2;
+  Relation rm = ExtractRightmove(truth, opts);
+  size_t implausible = CountImplausibleBedrooms(rm, "bedrooms");
+  double rate = static_cast<double>(implausible) / rm.size();
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(ExtractTest, ZeroErrorRatesGiveCleanExtraction) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  ExtractionErrorOptions opts;
+  opts.coverage = 1.0;
+  opts.missing_rate = 0.0;
+  opts.bedrooms_area_rate = 0.0;
+  opts.postcode_typo_rate = 0.0;
+  opts.type_vocabulary_rate = 0.0;
+  opts.price_noise = 0.0;
+  Relation rm = ExtractRightmove(truth, opts);
+  EXPECT_EQ(CountImplausibleBedrooms(rm, "bedrooms"), 0u);
+  // Every postcode valid.
+  std::set<std::string> valid(truth.postcodes.begin(), truth.postcodes.end());
+  size_t idx = *rm.schema().AttributeIndex("postcode");
+  for (const Tuple& row : rm.rows()) {
+    EXPECT_TRUE(valid.count(row.at(idx).string_value()) > 0);
+  }
+}
+
+TEST(ExtractTest, MissingRateProducesNulls) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  ExtractionErrorOptions opts;
+  opts.missing_rate = 0.3;
+  Relation rm = ExtractRightmove(truth, opts);
+  double completeness = rm.NonNullFraction("description").value();
+  EXPECT_LT(completeness, 0.85);
+  EXPECT_GT(completeness, 0.5);
+}
+
+TEST(OpenGovernmentTest, AddressReferenceCoversAllStreetsAtFullCoverage) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  Relation address = GenerateAddressReference(truth);
+  std::set<std::string> streets;
+  for (const Tuple& row : truth.properties.rows()) {
+    streets.insert(row.at(1).string_value());
+  }
+  EXPECT_EQ(address.size(), streets.size());
+}
+
+TEST(OpenGovernmentTest, CoverageFractionRespected) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  OpenGovernmentOptions opts;
+  opts.coverage = 0.5;
+  Relation partial = GenerateAddressReference(truth, opts);
+  Relation full = GenerateAddressReference(truth);
+  EXPECT_LT(partial.size(), full.size());
+  EXPECT_GT(partial.size(), full.size() / 4);
+}
+
+TEST(OpenGovernmentTest, DeprivationMirrorsCrimeTruth) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  Relation dep = GenerateDeprivation(truth);
+  EXPECT_EQ(dep.SortedRows(), truth.crime.SortedRows());
+  EXPECT_EQ(dep.schema().AttributeNames(),
+            (std::vector<std::string>{"postcode", "crime"}));
+}
+
+TEST(ExtractTest, CountImplausibleBedroomsMissingAttribute) {
+  GroundTruth truth = GeneratePropertyUniverse();
+  Relation rm = ExtractRightmove(truth, ExtractionErrorOptions());
+  EXPECT_EQ(CountImplausibleBedrooms(rm, "not_an_attr"), 0u);
+}
+
+}  // namespace
+}  // namespace vada

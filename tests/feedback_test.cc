@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "feedback/feedback.h"
+#include "feedback/propagation.h"
+
+namespace vada {
+namespace {
+
+TEST(FeedbackStoreTest, AddAndQuery) {
+  FeedbackStore store;
+  EXPECT_TRUE(store.empty());
+  store.Add(FeedbackItem{Tuple({Value::Int(1)}), "bedrooms",
+                         FeedbackPolarity::kIncorrect});
+  store.Add(FeedbackItem{Tuple({Value::Int(2)}), "",
+                         FeedbackPolarity::kCorrect});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.ItemsForAttribute("bedrooms").size(), 1u);
+  EXPECT_EQ(store.ItemsForAttribute("price").size(), 0u);
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(FeedbackStoreTest, ToRelation) {
+  FeedbackStore store;
+  store.Add(FeedbackItem{Tuple({Value::Int(1)}), "bedrooms",
+                         FeedbackPolarity::kIncorrect});
+  Relation rel = store.ToRelation();
+  ASSERT_EQ(rel.size(), 1u);
+  EXPECT_EQ(rel.rows()[0].at(1), Value::String("bedrooms"));
+  EXPECT_EQ(rel.rows()[0].at(2), Value::String("incorrect"));
+}
+
+TEST(FeedbackItemTest, ToStringMentionsPolarityAndAttribute) {
+  FeedbackItem item{Tuple({Value::Int(1)}), "bedrooms",
+                    FeedbackPolarity::kIncorrect};
+  std::string s = item.ToString();
+  EXPECT_NE(s.find("bedrooms"), std::string::npos);
+  EXPECT_NE(s.find("incorrect"), std::string::npos);
+}
+
+class PropagationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mapping_.id = "m0";
+    mapping_.source_relations = {"rightmove"};
+    mapping_.target_relation = "target";
+    mapping_.covered_attributes = {"bedrooms", "price"};
+    mapping_.result_predicate = "mapping_result_m0";
+
+    Relation result(Schema::Untyped("mapping_result_m0",
+                                    {"bedrooms", "price"}));
+    tuple_ = Tuple({Value::Int(25), Value::Int(100000)});
+    EXPECT_TRUE(result.InsertUnchecked(tuple_).ok());
+    results_.emplace("m0", std::move(result));
+
+    matches_ = {
+        {"rightmove", "bedrooms", "target", "bedrooms", 0.9, "combined"},
+        {"rightmove", "price", "target", "price", 0.9, "combined"},
+        {"other", "bedrooms", "target", "bedrooms", 0.8, "combined"},
+    };
+  }
+
+  Mapping mapping_;
+  Tuple tuple_;
+  std::map<std::string, Relation> results_;
+  std::vector<MatchCandidate> matches_;
+};
+
+TEST_F(PropagationTest, AttributeFeedbackPenalizesFeedingMatch) {
+  FeedbackPropagator propagator;
+  std::vector<FeedbackItem> items = {
+      {tuple_, "bedrooms", FeedbackPolarity::kIncorrect}};
+  Result<PropagationResult> out =
+      propagator.Propagate(items, {mapping_}, results_, matches_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().matches_penalized, 1u);
+  // rightmove.bedrooms penalized; price and the unrelated source intact.
+  EXPECT_LT(out.value().revised_matches[0].score, 0.9);
+  EXPECT_DOUBLE_EQ(out.value().revised_matches[1].score, 0.9);
+  EXPECT_DOUBLE_EQ(out.value().revised_matches[2].score, 0.8);
+}
+
+TEST_F(PropagationTest, CorrectFeedbackReinforces) {
+  FeedbackPropagator propagator;
+  std::vector<FeedbackItem> items = {
+      {tuple_, "bedrooms", FeedbackPolarity::kCorrect}};
+  Result<PropagationResult> out =
+      propagator.Propagate(items, {mapping_}, results_, matches_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().matches_reinforced, 1u);
+  EXPECT_GT(out.value().revised_matches[0].score, 0.9);
+  EXPECT_LE(out.value().revised_matches[0].score, 1.0);
+}
+
+TEST_F(PropagationTest, RepeatedIncorrectCompounds) {
+  FeedbackPropagator propagator;
+  std::vector<FeedbackItem> one = {
+      {tuple_, "bedrooms", FeedbackPolarity::kIncorrect}};
+  std::vector<FeedbackItem> three = {
+      {tuple_, "bedrooms", FeedbackPolarity::kIncorrect},
+      {tuple_, "bedrooms", FeedbackPolarity::kIncorrect},
+      {tuple_, "bedrooms", FeedbackPolarity::kIncorrect}};
+  double after_one = propagator.Propagate(one, {mapping_}, results_, matches_)
+                         .value()
+                         .revised_matches[0]
+                         .score;
+  double after_three =
+      propagator.Propagate(three, {mapping_}, results_, matches_)
+          .value()
+          .revised_matches[0]
+          .score;
+  EXPECT_LT(after_three, after_one);
+}
+
+TEST_F(PropagationTest, TupleLevelFeedbackSpreadsWeaker) {
+  FeedbackPropagator propagator;
+  std::vector<FeedbackItem> attribute_level = {
+      {tuple_, "bedrooms", FeedbackPolarity::kIncorrect}};
+  std::vector<FeedbackItem> tuple_level = {
+      {tuple_, "", FeedbackPolarity::kIncorrect}};
+  double attr_score =
+      propagator.Propagate(attribute_level, {mapping_}, results_, matches_)
+          .value()
+          .revised_matches[0]
+          .score;
+  Result<PropagationResult> tup =
+      propagator.Propagate(tuple_level, {mapping_}, results_, matches_);
+  ASSERT_TRUE(tup.ok());
+  double tup_score = tup.value().revised_matches[0].score;
+  EXPECT_LT(attr_score, tup_score);  // attribute feedback hits harder
+  EXPECT_LT(tup_score, 0.9);         // but tuple feedback still counts
+  // Tuple-level feedback also hits the price match (spread).
+  EXPECT_LT(tup.value().revised_matches[1].score, 0.9);
+  // Source correctness tracked from tuple-level items.
+  ASSERT_EQ(tup.value().source_correctness.count("rightmove"), 1u);
+  EXPECT_DOUBLE_EQ(tup.value().source_correctness.at("rightmove"), 0.0);
+}
+
+TEST_F(PropagationTest, FeedbackOnUnknownTupleIsNoop) {
+  FeedbackPropagator propagator;
+  std::vector<FeedbackItem> items = {
+      {Tuple({Value::Int(999), Value::Int(1)}), "bedrooms",
+       FeedbackPolarity::kIncorrect}};
+  Result<PropagationResult> out =
+      propagator.Propagate(items, {mapping_}, results_, matches_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().matches_penalized, 0u);
+  EXPECT_DOUBLE_EQ(out.value().revised_matches[0].score, 0.9);
+}
+
+TEST_F(PropagationTest, NoFeedbackNoChange) {
+  FeedbackPropagator propagator;
+  Result<PropagationResult> out =
+      propagator.Propagate({}, {mapping_}, results_, matches_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().matches_penalized, 0u);
+  EXPECT_EQ(out.value().matches_reinforced, 0u);
+}
+
+}  // namespace
+}  // namespace vada

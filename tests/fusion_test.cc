@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "fusion/dedup.h"
+#include "fusion/fuser.h"
+
+namespace vada {
+namespace {
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<Value>>& rows) {
+  Relation rel(Schema::Untyped(name, attrs));
+  for (const std::vector<Value>& row : rows) {
+    EXPECT_TRUE(rel.InsertUnchecked(Tuple(row)).ok());
+  }
+  return rel;
+}
+
+Relation Listings() {
+  return MakeRelation(
+      "r", {"street", "postcode", "price"},
+      {
+          {Value::String("12 High St"), Value::String("LS1"), Value::Int(100000)},
+          {Value::String("12 High  St"), Value::String("LS1"), Value::Int(100500)},
+          {Value::String("7 Park Rd"), Value::String("LS2"), Value::Int(200000)},
+          {Value::String("99 Mill Ln"), Value::String("LS1"), Value::Int(500000)},
+      });
+}
+
+TEST(DuplicateDetectorTest, FindsNearDuplicatesWithinBlock) {
+  DedupOptions opts;
+  opts.blocking_attributes = {"postcode"};
+  opts.threshold = 0.85;
+  DuplicateDetector detector(opts);
+  Relation rel = Listings();
+  Result<std::vector<DuplicatePair>> pairs = detector.FindDuplicates(rel);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  ASSERT_EQ(pairs.value().size(), 1u);
+  EXPECT_EQ(pairs.value()[0].row_a, 0u);
+  EXPECT_EQ(pairs.value()[0].row_b, 1u);
+  EXPECT_GT(pairs.value()[0].similarity, 0.85);
+}
+
+TEST(DuplicateDetectorTest, BlockingPreventsCrossBlockComparison) {
+  // Identical rows in different postcodes are never compared.
+  Relation rel = MakeRelation(
+      "r", {"street", "postcode"},
+      {{Value::String("Same St"), Value::String("A")},
+       {Value::String("Same St"), Value::String("B")}});
+  DedupOptions opts;
+  opts.blocking_attributes = {"postcode"};
+  opts.threshold = 0.5;
+  DuplicateDetector detector(opts);
+  Result<std::vector<DuplicatePair>> pairs = detector.FindDuplicates(rel);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs.value().empty());
+}
+
+TEST(DuplicateDetectorTest, UnknownBlockingAttributeFails) {
+  DedupOptions opts;
+  opts.blocking_attributes = {"nope"};
+  DuplicateDetector detector(opts);
+  EXPECT_FALSE(detector.FindDuplicates(Listings()).ok());
+}
+
+TEST(DuplicateDetectorTest, NullBlockingKeysLeftUnpaired) {
+  Relation rel = MakeRelation("r", {"street", "postcode"},
+                              {{Value::String("A St"), Value::Null()},
+                               {Value::String("A St"), Value::Null()}});
+  DedupOptions opts;
+  opts.blocking_attributes = {"postcode"};
+  opts.threshold = 0.1;
+  DuplicateDetector detector(opts);
+  Result<std::vector<DuplicatePair>> pairs = detector.FindDuplicates(rel);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_TRUE(pairs.value().empty());
+}
+
+TEST(DuplicateDetectorTest, RecordSimilarityNumericCloseness) {
+  Relation rel = MakeRelation("r", {"price"},
+                              {{Value::Int(100000)}, {Value::Int(100500)},
+                               {Value::Int(999)}});
+  DuplicateDetector detector;
+  // 0.5% price difference sits well inside the 5% similarity band...
+  EXPECT_GT(detector.RecordSimilarity(rel, 0, 1), 0.85);
+  // ...while a 100x difference scores zero.
+  EXPECT_LT(detector.RecordSimilarity(rel, 0, 2), 0.05);
+}
+
+TEST(DuplicateDetectorTest, ClusterTransitivity) {
+  // a~b and b~c should cluster {a,b,c} even if a!~c directly.
+  Relation rel = MakeRelation(
+      "r", {"street", "postcode"},
+      {{Value::String("12 High Street"), Value::String("LS1")},
+       {Value::String("12 High  Street"), Value::String("LS1")},
+       {Value::String("12 High   Street"), Value::String("LS1")},
+       {Value::String("99 Other Road"), Value::String("LS1")}});
+  DedupOptions opts;
+  opts.blocking_attributes = {"postcode"};
+  opts.threshold = 0.9;
+  DuplicateDetector detector(opts);
+  Result<DuplicateClusters> clusters = detector.Cluster(rel);
+  ASSERT_TRUE(clusters.ok());
+  EXPECT_EQ(clusters.value().num_clusters, 2u);
+  EXPECT_EQ(clusters.value().cluster_of[0], clusters.value().cluster_of[1]);
+  EXPECT_EQ(clusters.value().cluster_of[1], clusters.value().cluster_of[2]);
+  EXPECT_NE(clusters.value().cluster_of[0], clusters.value().cluster_of[3]);
+}
+
+TEST(FuserTest, CollapsesClustersAndResolvesConflicts) {
+  // Rows are distinct (set semantics) but clustered together; price 100
+  // holds the 2-vs-1 majority.
+  Relation rel = MakeRelation(
+      "r", {"street", "price"},
+      {{Value::String("12 High St"), Value::Int(100)},
+       {Value::String("12 High  St"), Value::Int(100)},
+       {Value::String("12 High St."), Value::Int(200)}});
+  DuplicateClusters clusters;
+  clusters.cluster_of = {0, 0, 0};
+  clusters.num_clusters = 1;
+  Fuser fuser;
+  FusionStats stats;
+  Result<Relation> fused = fuser.Fuse(rel, clusters, "out", &stats);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  ASSERT_EQ(fused.value().size(), 1u);
+  EXPECT_GE(stats.conflicts_resolved, 1u);
+  EXPECT_EQ(fused.value().rows()[0].at(1), Value::Int(100));
+}
+
+TEST(FuserTest, WeightedVotesBreakTies) {
+  Relation rel = MakeRelation("r", {"v"},
+                              {{Value::Int(1)}, {Value::Int(2)}});
+  DuplicateClusters clusters;
+  clusters.cluster_of = {0, 0};
+  clusters.num_clusters = 1;
+  FusionOptions opts;
+  opts.row_weights = {0.2, 0.9};  // second row more trusted
+  Fuser fuser(opts);
+  Result<Relation> fused = fuser.Fuse(rel, clusters, "out");
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused.value().rows()[0].at(0), Value::Int(2));
+}
+
+TEST(FuserTest, NullsFilledFromClusterMembers) {
+  Relation rel = MakeRelation(
+      "r", {"street", "crimerank"},
+      {{Value::String("High St"), Value::Null()},
+       {Value::String("High St"), Value::Int(7)}});
+  DuplicateClusters clusters;
+  clusters.cluster_of = {0, 0};
+  clusters.num_clusters = 1;
+  Fuser fuser;
+  FusionStats stats;
+  Result<Relation> fused = fuser.Fuse(rel, clusters, "out", &stats);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_EQ(fused.value().size(), 1u);
+  EXPECT_EQ(fused.value().rows()[0].at(1), Value::Int(7));
+  EXPECT_EQ(stats.nulls_filled, 1u);
+}
+
+TEST(FuserTest, SingletonClustersPassThrough) {
+  Relation rel = Listings();
+  DuplicateClusters clusters;
+  clusters.cluster_of = {0, 1, 2, 3};
+  clusters.num_clusters = 4;
+  Fuser fuser;
+  Result<Relation> fused = fuser.Fuse(rel, clusters, "out");
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused.value().size(), 4u);
+}
+
+TEST(FuserTest, SizeMismatchRejected) {
+  Relation rel = Listings();
+  DuplicateClusters clusters;
+  clusters.cluster_of = {0};
+  clusters.num_clusters = 1;
+  Fuser fuser;
+  EXPECT_FALSE(fuser.Fuse(rel, clusters, "out").ok());
+  FusionOptions opts;
+  opts.row_weights = {1.0};
+  DuplicateClusters ok_clusters;
+  ok_clusters.cluster_of = {0, 1, 2, 3};
+  ok_clusters.num_clusters = 4;
+  Fuser weighted(opts);
+  EXPECT_FALSE(weighted.Fuse(rel, ok_clusters, "out").ok());
+}
+
+TEST(FusionEndToEndTest, DedupPlusFuseShrinksOverlap) {
+  // Two portals listing overlapping properties with slight noise.
+  Relation rel = MakeRelation(
+      "r", {"street", "postcode", "price", "crimerank"},
+      {
+          {Value::String("12 High St"), Value::String("LS1"), Value::Int(100000),
+           Value::Null()},
+          {Value::String("12 High St"), Value::String("LS1"), Value::Int(100500),
+           Value::Int(3)},
+          {Value::String("7 Park Rd"), Value::String("LS2"), Value::Int(200000),
+           Value::Null()},
+      });
+  DedupOptions opts;
+  opts.blocking_attributes = {"postcode"};
+  opts.threshold = 0.8;
+  DuplicateDetector detector(opts);
+  Result<DuplicateClusters> clusters = detector.Cluster(rel);
+  ASSERT_TRUE(clusters.ok());
+  Fuser fuser;
+  Result<Relation> fused = fuser.Fuse(rel, clusters.value(), "out");
+  ASSERT_TRUE(fused.ok());
+  ASSERT_EQ(fused.value().size(), 2u);
+  // The fused High St row inherited the crimerank from its duplicate.
+  for (const Tuple& row : fused.value().rows()) {
+    if (row.at(0) == Value::String("12 High St")) {
+      EXPECT_EQ(row.at(3), Value::Int(3));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vada

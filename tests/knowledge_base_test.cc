@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+
+namespace vada {
+namespace {
+
+TEST(KnowledgeBaseTest, CreateAndLookup) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  EXPECT_TRUE(kb.HasRelation("r"));
+  EXPECT_NE(kb.FindRelation("r"), nullptr);
+  EXPECT_EQ(kb.FindRelation("missing"), nullptr);
+  EXPECT_FALSE(kb.GetRelation("missing").ok());
+}
+
+TEST(KnowledgeBaseTest, CreateDuplicateFails) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  EXPECT_EQ(kb.CreateRelation(Schema::Untyped("r", {"a"})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(KnowledgeBaseTest, EnsureRelationIdempotentButSchemaStrict) {
+  KnowledgeBase kb;
+  Schema s = Schema::Untyped("r", {"a"});
+  ASSERT_TRUE(kb.EnsureRelation(s).ok());
+  EXPECT_TRUE(kb.EnsureRelation(s).ok());
+  EXPECT_EQ(kb.EnsureRelation(Schema::Untyped("r", {"b"})).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KnowledgeBaseTest, VersionsBumpOnlyOnRealChanges) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  uint64_t v0 = kb.relation_version("r");
+  ASSERT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+  uint64_t v1 = kb.relation_version("r");
+  EXPECT_GT(v1, v0);
+  // Duplicate insert: no bump.
+  ASSERT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+  EXPECT_EQ(kb.relation_version("r"), v1);
+  // Retract bumps.
+  ASSERT_TRUE(kb.Retract("r", Tuple({Value::Int(1)})).ok());
+  EXPECT_GT(kb.relation_version("r"), v1);
+  // Retracting a missing tuple: no bump.
+  uint64_t v2 = kb.relation_version("r");
+  ASSERT_TRUE(kb.Retract("r", Tuple({Value::Int(9)})).ok());
+  EXPECT_EQ(kb.relation_version("r"), v2);
+}
+
+TEST(KnowledgeBaseTest, GlobalVersionTracksAllRelations) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("a", {"x"})).ok());
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("b", {"x"})).ok());
+  uint64_t g = kb.global_version();
+  ASSERT_TRUE(kb.Assert("a", {Value::Int(1)}).ok());
+  ASSERT_TRUE(kb.Assert("b", {Value::Int(1)}).ok());
+  EXPECT_EQ(kb.global_version(), g + 2);
+}
+
+TEST(KnowledgeBaseTest, InsertIntoUnknownRelationFails) {
+  KnowledgeBase kb;
+  EXPECT_EQ(kb.Assert("nope", {Value::Int(1)}).code(), StatusCode::kNotFound);
+}
+
+TEST(KnowledgeBaseTest, InsertAllCreatesAndFills) {
+  KnowledgeBase kb;
+  Relation rel(Schema::Untyped("r", {"a"}));
+  ASSERT_TRUE(rel.Insert(Tuple({Value::Int(1)})).ok());
+  ASSERT_TRUE(rel.Insert(Tuple({Value::Int(2)})).ok());
+  ASSERT_TRUE(kb.InsertAll(rel).ok());
+  EXPECT_EQ(kb.FindRelation("r")->size(), 2u);
+}
+
+TEST(KnowledgeBaseTest, ReplaceRelationSwapsContents) {
+  KnowledgeBase kb;
+  Relation v1(Schema::Untyped("r", {"a"}));
+  ASSERT_TRUE(v1.Insert(Tuple({Value::Int(1)})).ok());
+  ASSERT_TRUE(kb.ReplaceRelation(v1).ok());
+  Relation v2(Schema::Untyped("r", {"a"}));
+  ASSERT_TRUE(v2.Insert(Tuple({Value::Int(9)})).ok());
+  ASSERT_TRUE(kb.ReplaceRelation(v2).ok());
+  ASSERT_EQ(kb.FindRelation("r")->size(), 1u);
+  EXPECT_EQ(kb.FindRelation("r")->rows()[0].at(0), Value::Int(9));
+}
+
+TEST(KnowledgeBaseTest, ClearAndDrop) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  ASSERT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+  ASSERT_TRUE(kb.ClearRelation("r").ok());
+  EXPECT_TRUE(kb.HasRelation("r"));
+  EXPECT_EQ(kb.FindRelation("r")->size(), 0u);
+  ASSERT_TRUE(kb.DropRelation("r").ok());
+  EXPECT_FALSE(kb.HasRelation("r"));
+  EXPECT_FALSE(kb.DropRelation("r").ok());
+}
+
+TEST(KnowledgeBaseTest, RelationNamesSorted) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("zebra", {"a"})).ok());
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("apple", {"a"})).ok());
+  EXPECT_EQ(kb.RelationNames(), (std::vector<std::string>{"apple", "zebra"}));
+}
+
+TEST(CatalogTest, RolesRoundTrip) {
+  Catalog cat;
+  cat.SetRole("rightmove", RelationRole::kSource);
+  cat.SetRole("target", RelationRole::kTarget);
+  cat.SetRole("address", RelationRole::kReference);
+  EXPECT_EQ(*cat.GetRole("rightmove"), RelationRole::kSource);
+  EXPECT_FALSE(cat.GetRole("unknown").has_value());
+  EXPECT_EQ(cat.RelationsWithRole(RelationRole::kSource),
+            (std::vector<std::string>{"rightmove"}));
+  EXPECT_TRUE(cat.IsDataContext("address"));
+  EXPECT_FALSE(cat.IsDataContext("rightmove"));
+  cat.Remove("address");
+  EXPECT_FALSE(cat.GetRole("address").has_value());
+}
+
+TEST(CatalogTest, RoleNames) {
+  EXPECT_STREQ(RelationRoleName(RelationRole::kSource), "source");
+  EXPECT_STREQ(RelationRoleName(RelationRole::kReference), "reference");
+  EXPECT_STREQ(RelationRoleName(RelationRole::kResult), "result");
+}
+
+}  // namespace
+}  // namespace vada

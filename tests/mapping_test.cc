@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "mapping/executor.h"
+#include "mapping/generator.h"
+#include "mapping/mapping.h"
+#include "mapping/selector.h"
+
+namespace vada {
+namespace {
+
+Schema TargetSchema() {
+  return Schema::Untyped("target",
+                         {"street", "postcode", "price", "crimerank"});
+}
+
+Schema RightmoveSchema() {
+  return Schema::Untyped("rightmove", {"price", "street", "postcode"});
+}
+
+Schema DeprivationSchema() {
+  return Schema::Untyped("deprivation", {"postcode", "crime"});
+}
+
+std::vector<MatchCandidate> ScenarioMatches() {
+  return {
+      {"rightmove", "price", "target", "price", 0.95, "combined"},
+      {"rightmove", "street", "target", "street", 0.95, "combined"},
+      {"rightmove", "postcode", "target", "postcode", 0.95, "combined"},
+      {"deprivation", "postcode", "target", "postcode", 0.95, "combined"},
+      {"deprivation", "crime", "target", "crimerank", 0.8, "combined"},
+  };
+}
+
+TEST(MappingGeneratorTest, GeneratesProjectionPerSource) {
+  MappingGenerator generator;
+  Result<std::vector<Mapping>> mappings = generator.Generate(
+      TargetSchema(), {RightmoveSchema(), DeprivationSchema()},
+      ScenarioMatches());
+  ASSERT_TRUE(mappings.ok()) << mappings.status().ToString();
+  size_t projections = 0;
+  for (const Mapping& m : mappings.value()) {
+    if (m.source_relations.size() == 1) ++projections;
+  }
+  EXPECT_EQ(projections, 2u);
+}
+
+TEST(MappingGeneratorTest, GeneratesJoinOnSharedPostcode) {
+  MappingGenerator generator;
+  Result<std::vector<Mapping>> mappings = generator.Generate(
+      TargetSchema(), {RightmoveSchema(), DeprivationSchema()},
+      ScenarioMatches());
+  ASSERT_TRUE(mappings.ok());
+  const Mapping* join = nullptr;
+  for (const Mapping& m : mappings.value()) {
+    if (m.source_relations.size() == 2) join = &m;
+  }
+  ASSERT_NE(join, nullptr);
+  // The join covers crimerank (from deprivation) and the rightmove attrs.
+  EXPECT_NE(std::find(join->covered_attributes.begin(),
+                      join->covered_attributes.end(), "crimerank"),
+            join->covered_attributes.end());
+  EXPECT_NE(std::find(join->covered_attributes.begin(),
+                      join->covered_attributes.end(), "price"),
+            join->covered_attributes.end());
+  // The rule text contains both source atoms and one shared variable.
+  EXPECT_NE(join->rule_text.find("rightmove("), std::string::npos);
+  EXPECT_NE(join->rule_text.find("deprivation("), std::string::npos);
+  EXPECT_NE(join->rule_text.find("V_postcode"), std::string::npos);
+}
+
+TEST(MappingGeneratorTest, LowScoreMatchesIgnored) {
+  MappingGeneratorOptions opts;
+  opts.min_match_score = 0.9;
+  MappingGenerator generator(opts);
+  std::vector<MatchCandidate> matches = {
+      {"rightmove", "price", "target", "price", 0.5, "combined"},
+  };
+  Result<std::vector<Mapping>> mappings =
+      generator.Generate(TargetSchema(), {RightmoveSchema()}, matches);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_TRUE(mappings.value().empty());
+}
+
+TEST(MappingGeneratorTest, JoinsCanBeDisabled) {
+  MappingGeneratorOptions opts;
+  opts.generate_joins = false;
+  MappingGenerator generator(opts);
+  Result<std::vector<Mapping>> mappings = generator.Generate(
+      TargetSchema(), {RightmoveSchema(), DeprivationSchema()},
+      ScenarioMatches());
+  ASSERT_TRUE(mappings.ok());
+  for (const Mapping& m : mappings.value()) {
+    EXPECT_EQ(m.source_relations.size(), 1u);
+  }
+}
+
+TEST(MappingSerializationTest, RoundTrip) {
+  Mapping m;
+  m.id = "m0_x";
+  m.source_relations = {"a", "b"};
+  m.target_relation = "target";
+  m.covered_attributes = {"p", "q"};
+  m.result_predicate = "mapping_result_m0_x";
+  m.rule_text = "mapping_result_m0_x(X) :- a(X).";
+  Relation rel = MappingsToRelation({m});
+  Result<std::vector<Mapping>> back = MappingsFromRelation(rel);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 1u);
+  EXPECT_EQ(back.value()[0].id, m.id);
+  EXPECT_EQ(back.value()[0].source_relations, m.source_relations);
+  EXPECT_EQ(back.value()[0].covered_attributes, m.covered_attributes);
+  EXPECT_EQ(back.value()[0].rule_text, m.rule_text);
+}
+
+class MappingExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(kb_.CreateRelation(RightmoveSchema()).ok());
+    ASSERT_TRUE(kb_.CreateRelation(DeprivationSchema()).ok());
+    ASSERT_TRUE(kb_.Assert("rightmove",
+                           {Value::Int(100), Value::String("High St"),
+                            Value::String("LS1")})
+                    .ok());
+    ASSERT_TRUE(kb_.Assert("rightmove",
+                           {Value::Int(200), Value::String("Park Rd"),
+                            Value::String("LS2")})
+                    .ok());
+    ASSERT_TRUE(
+        kb_.Assert("deprivation", {Value::String("LS1"), Value::Int(7)}).ok());
+    MappingGenerator generator;
+    Result<std::vector<Mapping>> mappings = generator.Generate(
+        TargetSchema(), {RightmoveSchema(), DeprivationSchema()},
+        ScenarioMatches());
+    ASSERT_TRUE(mappings.ok());
+    mappings_ = std::move(mappings).value();
+  }
+
+  const Mapping* FindJoin() const {
+    for (const Mapping& m : mappings_) {
+      if (m.source_relations.size() == 2) return &m;
+    }
+    return nullptr;
+  }
+  const Mapping* FindProjection(const std::string& source) const {
+    for (const Mapping& m : mappings_) {
+      if (m.source_relations == std::vector<std::string>{source}) return &m;
+    }
+    return nullptr;
+  }
+
+  KnowledgeBase kb_;
+  std::vector<Mapping> mappings_;
+};
+
+TEST_F(MappingExecutionTest, ProjectionFillsMatchedAndNullsRest) {
+  const Mapping* proj = FindProjection("rightmove");
+  ASSERT_NE(proj, nullptr);
+  MappingExecutor executor;
+  Result<Relation> result = executor.Execute(*proj, TargetSchema(), kb_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().size(), 2u);
+  // Attribute order: street, postcode, price, crimerank.
+  for (const Tuple& row : result.value().rows()) {
+    EXPECT_FALSE(row.at(0).is_null());  // street
+    EXPECT_FALSE(row.at(2).is_null());  // price
+    EXPECT_TRUE(row.at(3).is_null());   // crimerank not covered
+  }
+}
+
+TEST_F(MappingExecutionTest, JoinFillsCrimerankForMatchingPostcodes) {
+  const Mapping* join = FindJoin();
+  ASSERT_NE(join, nullptr);
+  MappingExecutor executor;
+  Result<Relation> result = executor.Execute(*join, TargetSchema(), kb_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Only LS1 has deprivation data.
+  ASSERT_EQ(result.value().size(), 1u);
+  const Tuple& row = result.value().rows()[0];
+  EXPECT_EQ(row.at(1), Value::String("LS1"));
+  EXPECT_EQ(row.at(3), Value::Int(7));
+}
+
+TEST_F(MappingExecutionTest, ExecuteUnionMergesMappings) {
+  MappingExecutor executor;
+  Result<Relation> result =
+      executor.ExecuteUnion(mappings_, TargetSchema(), kb_, "out");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().name(), "out");
+  EXPECT_GE(result.value().size(), 3u);
+}
+
+TEST_F(MappingExecutionTest, BadRuleTextSurfacesError) {
+  Mapping bad;
+  bad.id = "bad";
+  bad.result_predicate = "r";
+  bad.rule_text = "r(X :- broken";
+  MappingExecutor executor;
+  EXPECT_FALSE(executor.Execute(bad, TargetSchema(), kb_).ok());
+}
+
+TEST(MappingSelectorTest, HigherMetricsWin) {
+  Mapping a;
+  a.id = "a";
+  Mapping b;
+  b.id = "b";
+  std::vector<QualityMetricFact> metrics = {
+      {"a", "completeness", "price", 0.9},
+      {"b", "completeness", "price", 0.3},
+  };
+  MappingSelector selector;
+  std::vector<MappingScore> scores = selector.Score({a, b}, metrics, nullptr);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_EQ(scores[0].mapping_id, "a");
+  EXPECT_GT(scores[0].total, scores[1].total);
+}
+
+TEST(MappingSelectorTest, WeightsFlipSelection) {
+  Mapping a;
+  a.id = "a";
+  Mapping b;
+  b.id = "b";
+  std::vector<QualityMetricFact> metrics = {
+      {"a", "completeness", "crimerank", 1.0},
+      {"a", "completeness", "bedrooms", 0.2},
+      {"b", "completeness", "crimerank", 0.1},
+      {"b", "completeness", "bedrooms", 1.0},
+  };
+  UserContext crime_first;
+  ASSERT_TRUE(crime_first
+                  .AddStatement("completeness", "crimerank", "extremely",
+                                "completeness", "bedrooms")
+                  .ok());
+  UserContext bedrooms_first;
+  ASSERT_TRUE(bedrooms_first
+                  .AddStatement("completeness", "bedrooms", "extremely",
+                                "completeness", "crimerank")
+                  .ok());
+  CriterionWeights w_crime = crime_first.DeriveWeights().value();
+  CriterionWeights w_bed = bedrooms_first.DeriveWeights().value();
+
+  MappingSelector selector;
+  std::vector<MappingScore> s_crime =
+      selector.Score({a, b}, metrics, &w_crime);
+  std::vector<MappingScore> s_bed = selector.Score({a, b}, metrics, &w_bed);
+  EXPECT_EQ(s_crime[0].mapping_id, "a");
+  EXPECT_EQ(s_bed[0].mapping_id, "b");
+}
+
+TEST(MappingSelectorTest, DottedSubjectsMatchAttributes) {
+  Mapping a;
+  a.id = "a";
+  std::vector<QualityMetricFact> metrics = {
+      {"a", "completeness", "bedrooms", 0.5}};
+  UserContext uc;
+  ASSERT_TRUE(uc.AddStatement("completeness", "property.bedrooms", "strongly",
+                              "completeness", "property.price")
+                  .ok());
+  CriterionWeights w = uc.DeriveWeights().value();
+  MappingSelector selector;
+  std::vector<MappingScore> scores = selector.Score({a}, metrics, &w);
+  ASSERT_EQ(scores.size(), 1u);
+  // The bedrooms criterion got the user weight, not the fallback.
+  const auto& [weight, value] =
+      scores[0].per_criterion.at("completeness(bedrooms)");
+  EXPECT_GT(weight, 0.5);
+  EXPECT_DOUBLE_EQ(value, 0.5);
+}
+
+TEST(MappingSelectorTest, RelativeThresholdSelection) {
+  SelectorOptions opts;
+  opts.relative_threshold = 0.9;
+  MappingSelector selector(opts);
+  std::vector<MappingScore> scores;
+  MappingScore s1;
+  s1.mapping_id = "x";
+  s1.total = 1.0;
+  MappingScore s2;
+  s2.mapping_id = "y";
+  s2.total = 0.95;
+  MappingScore s3;
+  s3.mapping_id = "z";
+  s3.total = 0.5;
+  scores = {s1, s2, s3};
+  std::vector<std::string> selected = selector.Select(scores);
+  EXPECT_EQ(selected, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(MappingSelectorTest, MaxSelectedCap) {
+  SelectorOptions opts;
+  opts.relative_threshold = 0.0;
+  opts.max_selected = 1;
+  MappingSelector selector(opts);
+  MappingScore s1;
+  s1.mapping_id = "x";
+  s1.total = 1.0;
+  MappingScore s2;
+  s2.mapping_id = "y";
+  s2.total = 0.9;
+  std::vector<std::string> selected = selector.Select({s1, s2});
+  EXPECT_EQ(selected, (std::vector<std::string>{"x"}));
+}
+
+TEST(MappingSelectorTest, EmptyScores) {
+  MappingSelector selector;
+  EXPECT_TRUE(selector.Select({}).empty());
+}
+
+}  // namespace
+}  // namespace vada

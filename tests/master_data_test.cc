@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "extract/open_government.h"
+#include "extract/real_estate.h"
+#include "quality/metrics.h"
+#include "wrangler/session.h"
+
+namespace vada {
+namespace {
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<Value>>& rows) {
+  Relation rel(Schema::Untyped(name, attrs));
+  for (const std::vector<Value>& row : rows) {
+    EXPECT_TRUE(rel.InsertUnchecked(Tuple(row)).ok());
+  }
+  return rel;
+}
+
+TEST(RelevanceMetricTest, CountsJointMatchesAgainstMaster) {
+  Relation data = MakeRelation(
+      "r", {"street", "postcode"},
+      {{Value::String("High St"), Value::String("LS1")},
+       {Value::String("Park Rd"), Value::String("LS2")},
+       {Value::String("Park Rd"), Value::String("WRONG")},  // joint mismatch
+       {Value::Null(), Value::String("LS1")}});             // unidentifiable
+  Relation master = MakeRelation(
+      "wanted", {"str", "pc"},
+      {{Value::String("High St"), Value::String("LS1")},
+       {Value::String("Park Rd"), Value::String("LS2")}});
+  QualityEstimator estimator;
+  estimator.SetMaster(&master,
+                      {{"street", "str"}, {"postcode", "pc"}});
+  RelationQuality q = estimator.Estimate(data);
+  ASSERT_TRUE(q.relevance.has_value());
+  EXPECT_DOUBLE_EQ(*q.relevance, 0.5);  // 2 of 4 rows identified in master
+}
+
+TEST(RelevanceMetricTest, AbsentWithoutMaster) {
+  Relation data = MakeRelation("r", {"a"}, {{Value::Int(1)}});
+  QualityEstimator estimator;
+  EXPECT_FALSE(estimator.Estimate(data).relevance.has_value());
+}
+
+TEST(RelevanceMetricTest, FactsIncludeRelevance) {
+  Relation data = MakeRelation("r", {"street"}, {{Value::String("High St")}});
+  Relation master = MakeRelation("wanted", {"str"},
+                                 {{Value::String("High St")}});
+  QualityEstimator estimator;
+  estimator.SetMaster(&master, {{"street", "str"}});
+  std::vector<QualityMetricFact> facts = estimator.EstimateFacts(data, "m0");
+  bool found = false;
+  for (const QualityMetricFact& f : facts) {
+    if (f.metric == "relevance") {
+      found = true;
+      EXPECT_DOUBLE_EQ(f.value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MasterDataSessionTest, MasterContextYieldsRelevanceMetrics) {
+  PropertyUniverseOptions uopts;
+  uopts.num_properties = 80;
+  uopts.num_postcodes = 12;
+  uopts.seed = 55;
+  GroundTruth truth = GeneratePropertyUniverse(uopts);
+  ExtractionErrorOptions eopts;
+  eopts.seed = 2;
+  Relation rightmove = ExtractRightmove(truth, eopts);
+
+  // Master data: the user only cares about a handful of streets.
+  Relation master(Schema::Untyped("portfolio", {"street_name"}));
+  size_t added = 0;
+  for (const Tuple& row : truth.properties.rows()) {
+    if (added >= 5) break;
+    bool is_new = false;
+    ASSERT_TRUE(master.InsertUnchecked(Tuple({row.at(1)}), &is_new).ok());
+    if (is_new) ++added;
+  }
+
+  WranglingSession session;
+  ASSERT_TRUE(session
+                  .SetTargetSchema(Schema::Untyped(
+                      "target", {"type", "description", "street", "postcode",
+                                 "bedrooms", "price", "crimerank"}))
+                  .ok());
+  ASSERT_TRUE(session.AddSource(rightmove).ok());
+  ASSERT_TRUE(session
+                  .AddDataContext(master, RelationRole::kMaster,
+                                  {{"street", "street_name"}})
+                  .ok());
+  Status s = session.Run();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  const Relation* metrics = session.kb().FindRelation("quality_metric");
+  ASSERT_NE(metrics, nullptr);
+  bool found_relevance = false;
+  for (const Tuple& row : metrics->rows()) {
+    if (row.at(1) == Value::String("relevance")) {
+      found_relevance = true;
+      std::optional<double> v = row.at(3).AsDouble();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_GT(*v, 0.0);
+      EXPECT_LT(*v, 1.0);  // only part of the portfolio is listed
+    }
+  }
+  EXPECT_TRUE(found_relevance);
+}
+
+TEST(MasterDataSessionTest, UserContextCanPrioritiseRelevance) {
+  // The relevance criterion is addressable from the user context like any
+  // other metric ("relevance of the property table").
+  UserContext uc;
+  ASSERT_TRUE(uc.AddStatement("relevance", "property", "strongly",
+                              "completeness", "property.price")
+                  .ok());
+  Result<CriterionWeights> w = uc.DeriveWeights();
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w.value().Get(Criterion{"relevance", "property"}),
+            w.value().Get(Criterion{"completeness", "property.price"}));
+}
+
+}  // namespace
+}  // namespace vada

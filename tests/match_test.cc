@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "match/combiner.h"
+#include "match/instance_matcher.h"
+#include "match/match_types.h"
+#include "match/schema_matcher.h"
+
+namespace vada {
+namespace {
+
+Schema RightmoveSchema() {
+  return Schema::Untyped("rightmove", {"price", "street", "postcode",
+                                       "bedrooms", "type", "description"});
+}
+
+Schema OnthemarketSchema() {
+  return Schema::Untyped(
+      "onthemarket", {"cost", "road", "post_code", "beds", "category",
+                      "details"});
+}
+
+Schema TargetSchema() {
+  return Schema::Untyped("target", {"type", "description", "street",
+                                    "postcode", "bedrooms", "price",
+                                    "crimerank"});
+}
+
+TEST(SchemaMatcherTest, IdenticalNamesScoreHigh) {
+  SchemaMatcher matcher;
+  EXPECT_GE(matcher.NameScore("price", "price"), 0.95);
+  EXPECT_GE(matcher.NameScore("Price", "price"), 0.95);
+}
+
+TEST(SchemaMatcherTest, SynonymsScoreHigh) {
+  SchemaMatcher matcher;
+  EXPECT_GE(matcher.NameScore("cost", "price"), 0.9);
+  EXPECT_GE(matcher.NameScore("zip", "postcode"), 0.9);
+  EXPECT_GE(matcher.NameScore("beds", "bedrooms"), 0.9);
+  EXPECT_GE(matcher.NameScore("road", "street"), 0.9);
+}
+
+TEST(SchemaMatcherTest, UnrelatedNamesScoreLow) {
+  SchemaMatcher matcher;
+  EXPECT_LT(matcher.NameScore("price", "description"), 0.4);
+  EXPECT_LT(matcher.NameScore("crimerank", "bedrooms"), 0.4);
+}
+
+TEST(SchemaMatcherTest, TokenizedCompoundNames) {
+  SchemaMatcher matcher;
+  EXPECT_GT(matcher.NameScore("post_code", "postcode"), 0.5);
+  EXPECT_GT(matcher.NameScore("numberOfBedrooms", "bedrooms"), 0.3);
+}
+
+TEST(SchemaMatcherTest, SynonymsCanBeDisabled) {
+  SchemaMatcherOptions opts;
+  opts.use_builtin_synonyms = false;
+  SchemaMatcher without(opts);
+  SchemaMatcher with;
+  EXPECT_LT(without.NameScore("cost", "price"), with.NameScore("cost", "price"));
+}
+
+TEST(SchemaMatcherTest, ExtraSynonymGroups) {
+  SchemaMatcherOptions opts;
+  opts.extra_synonyms = {{"crimerank", "dep_index"}};
+  SchemaMatcher matcher(opts);
+  EXPECT_GE(matcher.NameScore("dep_index", "crimerank"), 0.9);
+}
+
+TEST(SchemaMatcherTest, RightmoveMatchesAllSharedAttributes) {
+  SchemaMatcher matcher;
+  std::vector<MatchCandidate> matches =
+      matcher.Match(RightmoveSchema(), TargetSchema());
+  std::set<std::string> matched_targets;
+  for (const MatchCandidate& m : matches) {
+    if (m.source_attribute == m.target_attribute && m.score >= 0.9) {
+      matched_targets.insert(m.target_attribute);
+    }
+  }
+  for (const char* attr :
+       {"price", "street", "postcode", "bedrooms", "type", "description"}) {
+    EXPECT_TRUE(matched_targets.count(attr) > 0) << attr;
+  }
+}
+
+TEST(SchemaMatcherTest, OnthemarketRenamedAttributesStillMatch) {
+  SchemaMatcher matcher;
+  std::vector<MatchCandidate> matches =
+      matcher.Match(OnthemarketSchema(), TargetSchema());
+  std::map<std::string, std::string> best;  // target -> source
+  std::map<std::string, double> best_score;
+  for (const MatchCandidate& m : matches) {
+    if (m.score > best_score[m.target_attribute]) {
+      best_score[m.target_attribute] = m.score;
+      best[m.target_attribute] = m.source_attribute;
+    }
+  }
+  EXPECT_EQ(best["price"], "cost");
+  EXPECT_EQ(best["street"], "road");
+  EXPECT_EQ(best["postcode"], "post_code");
+  EXPECT_EQ(best["bedrooms"], "beds");
+  EXPECT_EQ(best["description"], "details");
+}
+
+TEST(MatchTypesTest, RelationRoundTrip) {
+  std::vector<MatchCandidate> matches = {
+      {"src", "a", "tgt", "x", 0.8, "schema_name"},
+      {"src", "b", "tgt", "y", 0.5, "instance"},
+  };
+  Relation rel = MatchesToRelation(matches);
+  Result<std::vector<MatchCandidate>> back = MatchesFromRelation(rel);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 2u);
+  // Relation rows are unordered vs input; check contents.
+  bool found = false;
+  for (const MatchCandidate& m : back.value()) {
+    if (m.source_attribute == "a") {
+      EXPECT_DOUBLE_EQ(m.score, 0.8);
+      EXPECT_EQ(m.matcher, "schema_name");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MatchTypesTest, BestPerPairKeepsMaximum) {
+  std::vector<MatchCandidate> matches = {
+      {"s", "a", "t", "x", 0.5, "m1"},
+      {"s", "a", "t", "x", 0.9, "m2"},
+      {"s", "a", "t", "y", 0.4, "m1"},
+  };
+  std::vector<MatchCandidate> best = BestPerPair(matches);
+  ASSERT_EQ(best.size(), 2u);
+  for (const MatchCandidate& m : best) {
+    if (m.target_attribute == "x") EXPECT_DOUBLE_EQ(m.score, 0.9);
+  }
+}
+
+TEST(MatchTypesTest, GreedyOneToOneEnforcesAssignment) {
+  std::vector<MatchCandidate> matches = {
+      {"s", "a", "t", "x", 0.9, "m"},
+      {"s", "a", "t", "y", 0.8, "m"},  // source attr a already used
+      {"s", "b", "t", "x", 0.7, "m"},  // target attr x already used
+      {"s", "b", "t", "y", 0.6, "m"},
+      {"s", "c", "t", "z", 0.1, "m"},  // below threshold
+  };
+  std::vector<MatchCandidate> assigned = GreedyOneToOne(matches, 0.5);
+  ASSERT_EQ(assigned.size(), 2u);
+  EXPECT_EQ(assigned[0].source_attribute, "a");
+  EXPECT_EQ(assigned[0].target_attribute, "x");
+  EXPECT_EQ(assigned[1].source_attribute, "b");
+  EXPECT_EQ(assigned[1].target_attribute, "y");
+}
+
+TEST(MatchTypesTest, OneToOnePerSourceRelation) {
+  // Two different sources may both fill target attribute x.
+  std::vector<MatchCandidate> matches = {
+      {"s1", "a", "t", "x", 0.9, "m"},
+      {"s2", "b", "t", "x", 0.8, "m"},
+  };
+  std::vector<MatchCandidate> assigned = GreedyOneToOne(matches, 0.5);
+  EXPECT_EQ(assigned.size(), 2u);
+}
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<Value>>& rows) {
+  Relation rel(Schema::Untyped(name, attrs));
+  for (const std::vector<Value>& row : rows) {
+    EXPECT_TRUE(rel.InsertUnchecked(Tuple(row)).ok());
+  }
+  return rel;
+}
+
+TEST(InstanceMatcherTest, ValueOverlapFindsCorrespondence) {
+  Relation source = MakeRelation(
+      "src", {"colA", "colB"},
+      {{Value::String("SW1A 1AA"), Value::Int(3)},
+       {Value::String("M1 2AB"), Value::Int(2)},
+       {Value::String("OL5 3XY"), Value::Int(4)}});
+  Relation reference = MakeRelation(
+      "ref", {"pc"},
+      {{Value::String("SW1A 1AA")}, {Value::String("M1 2AB")},
+       {Value::String("OL5 3XY")}, {Value::String("BL1 9ZZ")}});
+  InstanceMatcher matcher;
+  double score = matcher.ColumnScore(source, "colA", reference, "pc");
+  EXPECT_GT(score, 0.5);
+  EXPECT_LT(matcher.ColumnScore(source, "colB", reference, "pc"), 0.1);
+}
+
+TEST(InstanceMatcherTest, MatchRenamesToTargetAttributes) {
+  Relation source = MakeRelation("src", {"colA"},
+                                 {{Value::String("x")}, {Value::String("y")}});
+  Relation reference =
+      MakeRelation("ref", {"pc"}, {{Value::String("x")}, {Value::String("y")}});
+  InstanceMatcher matcher;
+  std::vector<MatchCandidate> matches =
+      matcher.Match(source, reference, "target", {{"pc", "postcode"}});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].target_attribute, "postcode");
+  EXPECT_EQ(matches[0].target_relation, "target");
+  EXPECT_EQ(matches[0].matcher, "instance");
+}
+
+TEST(InstanceMatcherTest, NumericProfileSimilarity) {
+  std::vector<std::vector<Value>> src_rows;
+  std::vector<std::vector<Value>> ref_rows;
+  for (int i = 0; i < 50; ++i) {
+    src_rows.push_back({Value::Int(100000 + i * 1000)});
+    ref_rows.push_back({Value::Int(101000 + i * 1000)});
+  }
+  Relation source = MakeRelation("src", {"p"}, src_rows);
+  Relation reference = MakeRelation("ref", {"q"}, ref_rows);
+  InstanceMatcher matcher;
+  // Values barely overlap but the distributions are nearly identical.
+  EXPECT_GT(matcher.ColumnScore(source, "p", reference, "q"), 0.2);
+}
+
+TEST(CombinerTest, MergesEvidenceAcrossMatchers) {
+  std::vector<MatchCandidate> candidates = {
+      {"s", "a", "t", "x", 0.6, "schema_name"},
+      {"s", "a", "t", "x", 0.9, "instance"},
+  };
+  std::vector<MatchCandidate> combined = CombineMatches(candidates);
+  ASSERT_EQ(combined.size(), 1u);
+  // Weighted mean with instance weight 1.2 > plain mean 0.75.
+  EXPECT_GT(combined[0].score, 0.74);
+  EXPECT_LT(combined[0].score, 0.9);
+  EXPECT_EQ(combined[0].matcher, "combined");
+}
+
+TEST(CombinerTest, ThresholdDropsWeakCandidates) {
+  CombinerOptions opts;
+  opts.threshold = 0.7;
+  std::vector<MatchCandidate> combined =
+      CombineMatches({{"s", "a", "t", "x", 0.5, "schema_name"}}, opts);
+  EXPECT_TRUE(combined.empty());
+}
+
+}  // namespace
+}  // namespace vada

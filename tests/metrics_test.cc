@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "quality/metrics.h"
+
+namespace vada {
+namespace {
+
+Relation MakeRelation(const std::string& name,
+                      const std::vector<std::string>& attrs,
+                      const std::vector<std::vector<Value>>& rows) {
+  Relation rel(Schema::Untyped(name, attrs));
+  for (const std::vector<Value>& row : rows) {
+    EXPECT_TRUE(rel.InsertUnchecked(Tuple(row)).ok());
+  }
+  return rel;
+}
+
+TEST(QualityEstimatorTest, CompletenessOnly) {
+  Relation data = MakeRelation("r", {"a", "b"},
+                               {{Value::Int(1), Value::Null()},
+                                {Value::Int(2), Value::Int(3)}});
+  QualityEstimator estimator;
+  RelationQuality q = estimator.Estimate(data);
+  EXPECT_EQ(q.row_count, 2u);
+  EXPECT_DOUBLE_EQ(q.attribute.at("a").completeness, 1.0);
+  EXPECT_DOUBLE_EQ(q.attribute.at("b").completeness, 0.5);
+  EXPECT_FALSE(q.attribute.at("a").accuracy.has_value());
+  EXPECT_FALSE(q.consistency.has_value());
+}
+
+TEST(QualityEstimatorTest, AccuracyAgainstReference) {
+  Relation data = MakeRelation(
+      "r", {"postcode"},
+      {{Value::String("LS1")}, {Value::String("BAD")}, {Value::Null()}});
+  Relation reference = MakeRelation(
+      "address", {"pc"}, {{Value::String("LS1")}, {Value::String("LS2")}});
+  QualityEstimator estimator;
+  estimator.SetReference(&reference, {{"postcode", "pc"}});
+  RelationQuality q = estimator.Estimate(data);
+  ASSERT_TRUE(q.attribute.at("postcode").accuracy.has_value());
+  // 1 of 2 non-null postcodes confirmed.
+  EXPECT_DOUBLE_EQ(*q.attribute.at("postcode").accuracy, 0.5);
+}
+
+TEST(QualityEstimatorTest, AccuracyVacuouslyPerfectOnAllNull) {
+  Relation data = MakeRelation("r", {"postcode"}, {{Value::Null()}});
+  Relation reference = MakeRelation("address", {"pc"}, {{Value::String("X")}});
+  QualityEstimator estimator;
+  estimator.SetReference(&reference, {{"postcode", "pc"}});
+  RelationQuality q = estimator.Estimate(data);
+  EXPECT_DOUBLE_EQ(*q.attribute.at("postcode").accuracy, 1.0);
+}
+
+TEST(QualityEstimatorTest, ConsistencyViaCfds) {
+  Relation evidence = MakeRelation(
+      "address", {"street", "postcode"},
+      {{Value::String("High St"), Value::String("LS1")},
+       {Value::String("High St"), Value::String("LS1")},
+       {Value::String("Park Rd"), Value::String("LS2")},
+       {Value::String("Park Rd"), Value::String("LS2")}});
+  CfdLearnerOptions opts;
+  opts.min_support_count = 2;
+  opts.try_pairs = false;
+  std::vector<Cfd> cfds = CfdLearner(opts).Learn(evidence);
+  ASSERT_FALSE(cfds.empty());
+
+  Relation data = MakeRelation(
+      "r", {"street", "postcode"},
+      {{Value::String("High St"), Value::String("LS1")},
+       {Value::String("Park Rd"), Value::String("WRONG")}});
+  QualityEstimator estimator;
+  estimator.SetCfds(cfds, &evidence);
+  RelationQuality q = estimator.Estimate(data);
+  ASSERT_TRUE(q.consistency.has_value());
+  EXPECT_DOUBLE_EQ(*q.consistency, 0.5);
+}
+
+TEST(QualityEstimatorTest, FactsFlattenReport) {
+  Relation data = MakeRelation("r", {"a"}, {{Value::Int(1)}});
+  QualityEstimator estimator;
+  std::vector<QualityMetricFact> facts = estimator.EstimateFacts(data, "m0");
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].entity, "m0");
+  EXPECT_EQ(facts[0].metric, "completeness");
+  EXPECT_EQ(facts[0].subject, "a");
+  EXPECT_DOUBLE_EQ(facts[0].value, 1.0);
+}
+
+TEST(QualityMetricsRelationTest, RoundTrip) {
+  std::vector<QualityMetricFact> facts = {
+      {"m0", "completeness", "price", 0.9},
+      {"m0", "consistency", "", 0.8},
+  };
+  Relation rel = QualityMetricsToRelation(facts);
+  Result<std::vector<QualityMetricFact>> back =
+      QualityMetricsFromRelation(rel);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+}
+
+TEST(QualityMetricsRelationTest, WrongArityRejected) {
+  Relation rel(Schema::Untyped("quality_metric", {"a"}));
+  EXPECT_FALSE(QualityMetricsFromRelation(rel).ok());
+}
+
+TEST(RelationQualityTest, ToStringMentionsAttributes) {
+  Relation data = MakeRelation("r", {"alpha"}, {{Value::Int(1)}});
+  QualityEstimator estimator;
+  std::string s = estimator.Estimate(data).ToString();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vada

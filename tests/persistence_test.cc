@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include "kb/persistence.h"
+
+namespace vada {
+namespace {
+
+std::string TempDir(const char* name) {
+  return testing::TempDir() + "/vada_persistence_" + name;
+}
+
+KnowledgeBase SampleKb() {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.CreateRelation(
+                    Schema("listing", {{"street", AttributeType::kString},
+                                       {"price", AttributeType::kInt},
+                                       {"score", AttributeType::kAny}}))
+                  .ok());
+  kb.catalog().SetRole("listing", RelationRole::kSource);
+  EXPECT_TRUE(kb.Assert("listing", {Value::String("High St"),
+                                    Value::Int(100000), Value::Double(0.5)})
+                  .ok());
+  EXPECT_TRUE(kb.Assert("listing", {Value::String("42"),  // number-like string
+                                    Value::Null(), Value::Bool(true)})
+                  .ok());
+  EXPECT_TRUE(kb.CreateRelation(Schema::Untyped("notes", {"text"})).ok());
+  EXPECT_TRUE(
+      kb.Assert("notes", {Value::String("tricky \"quoted\", comma")}).ok());
+  EXPECT_TRUE(kb.Assert("notes", {Value::String("line1\nline2")}).ok());
+  return kb;
+}
+
+TEST(CellCodecTest, RoundTripsEveryType) {
+  for (const Value& v :
+       {Value::Null(), Value::Bool(true), Value::Bool(false), Value::Int(-7),
+        Value::Double(2.5), Value::String(""), Value::String("plain"),
+        Value::String("42"), Value::String("true"),
+        Value::String("with \"quotes\" and \\ backslash")}) {
+    Result<Value> back = DecodeCell(EncodeCell(v));
+    ASSERT_TRUE(back.ok()) << EncodeCell(v) << ": "
+                           << back.status().ToString();
+    EXPECT_EQ(back.value(), v) << EncodeCell(v);
+  }
+}
+
+TEST(CellCodecTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeCell("not a literal").ok());
+  EXPECT_FALSE(DecodeCell("\"unterminated").ok());
+  EXPECT_FALSE(DecodeCell("\"x\"y").ok());
+}
+
+TEST(PersistenceTest, SaveLoadRoundTrip) {
+  KnowledgeBase kb = SampleKb();
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded.value().RelationNames(), kb.RelationNames());
+  for (const std::string& name : kb.RelationNames()) {
+    const Relation* original = kb.FindRelation(name);
+    const Relation* restored = loaded.value().FindRelation(name);
+    ASSERT_NE(restored, nullptr) << name;
+    EXPECT_EQ(restored->schema(), original->schema()) << name;
+    EXPECT_EQ(restored->SortedRows(), original->SortedRows()) << name;
+  }
+  // Catalog roles survive.
+  EXPECT_EQ(*loaded.value().catalog().GetRole("listing"),
+            RelationRole::kSource);
+  EXPECT_FALSE(loaded.value().catalog().GetRole("notes").has_value());
+}
+
+TEST(PersistenceTest, NumberLikeStringsStayStrings) {
+  KnowledgeBase kb = SampleKb();
+  std::string dir = TempDir("typed");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok());
+  // The row with street = "42" (string!) must not come back as Int.
+  bool found = false;
+  for (const Tuple& row : loaded.value().FindRelation("listing")->rows()) {
+    if (row.at(0) == Value::String("42")) {
+      found = true;
+      EXPECT_EQ(row.at(2), Value::Bool(true));
+      EXPECT_TRUE(row.at(1).is_null());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PersistenceTest, OverwriteExistingDirectory) {
+  KnowledgeBase kb = SampleKb();
+  std::string dir = TempDir("overwrite");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  ASSERT_TRUE(kb.Assert("notes", {Value::String("new note")}).ok());
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().FindRelation("notes")->size(), 3u);
+}
+
+TEST(PersistenceTest, MissingDirectoryFails) {
+  EXPECT_FALSE(LoadKnowledgeBase("/nonexistent/vada").ok());
+}
+
+TEST(PersistenceTest, NonManifestDirectoryFails) {
+  std::string dir = TempDir("bad");
+  ::mkdir(dir.c_str(), 0755);
+  FILE* f = fopen((dir + "/manifest.tsv").c_str(), "w");
+  fputs("something else\n", f);
+  fclose(f);
+  EXPECT_FALSE(LoadKnowledgeBase(dir).ok());
+}
+
+TEST(PersistenceTest, EmptyRelationsSurvive) {
+  KnowledgeBase kb;
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("empty", {"a", "b"})).ok());
+  std::string dir = TempDir("empty");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded.value().HasRelation("empty"));
+  EXPECT_EQ(loaded.value().FindRelation("empty")->size(), 0u);
+  EXPECT_EQ(loaded.value().FindRelation("empty")->schema().arity(), 2u);
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "context/ahp.h"
+#include "fusion/dedup.h"
+#include "fusion/fuser.h"
+#include "kb/csv.h"
+#include "kb/persistence.h"
+#include "quality/cfd.h"
+
+namespace vada {
+namespace {
+
+/// Property: AHP recovers the generating weights from any perfectly
+/// consistent matrix (a_ij = w_i / w_j), for random weights and sizes.
+class AhpRecovery : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhpRecovery, ::testing::Range(0, 10));
+
+TEST_P(AhpRecovery, ConsistentMatrixRecoversWeights) {
+  Rng rng(GetParam());
+  size_t n = static_cast<size_t>(rng.UniformInt(2, 8));
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (double& v : w) {
+    v = 0.05 + rng.UniformDouble();
+    sum += v;
+  }
+  for (double& v : w) v /= sum;
+  std::vector<std::vector<double>> m(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) m[i][j] = w[i] / w[j];
+  }
+  Result<AhpResult> r = ComputeAhp(m);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.value().weights[i], w[i], 1e-6) << "seed " << GetParam();
+  }
+  EXPECT_NEAR(r.value().consistency_ratio, 0.0, 1e-6);
+}
+
+/// Property: perturbing a consistent matrix raises lambda_max (and thus
+/// the consistency ratio) — CR is a genuine inconsistency detector.
+TEST(AhpPropertyTest, PerturbationRaisesConsistencyRatio) {
+  std::vector<std::vector<double>> m = {
+      {1.0, 2.0, 4.0}, {0.5, 1.0, 2.0}, {0.25, 0.5, 1.0}};
+  double base_cr = ComputeAhp(m).value().consistency_ratio;
+  m[0][2] = 9.0;  // now inconsistent with m[0][1] * m[1][2] = 4
+  m[2][0] = 1.0 / 9.0;
+  double perturbed_cr = ComputeAhp(m).value().consistency_ratio;
+  EXPECT_GT(perturbed_cr, base_cr + 0.01);
+}
+
+/// Property: CSV round-trip preserves every relation built from random
+/// typed values (via the typed persistence codec, which is lossless).
+class PersistenceFuzz : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistenceFuzz, ::testing::Range(0, 8));
+
+Value RandomValue(Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case 2:
+      return Value::Int(rng->UniformInt(-1000000, 1000000));
+    case 3:
+      return Value::Double(rng->Gaussian(0, 100.0));
+    default: {
+      std::string s;
+      size_t len = rng->Index(12);
+      for (size_t i = 0; i < len; ++i) {
+        // Hostile alphabet: quotes, commas, newlines, digits, backslash.
+        const char alphabet[] = "ab\"\\,\n\r 0123456789.eE-";
+        s += alphabet[rng->Index(sizeof(alphabet) - 1)];
+      }
+      return Value::String(std::move(s));
+    }
+  }
+}
+
+TEST_P(PersistenceFuzz, RandomKbRoundTrips) {
+  Rng rng(1000 + GetParam());
+  KnowledgeBase kb;
+  size_t num_relations = 1 + rng.Index(3);
+  for (size_t r = 0; r < num_relations; ++r) {
+    std::string name = "rel" + std::to_string(r);
+    size_t arity = 1 + rng.Index(4);
+    std::vector<std::string> attrs;
+    for (size_t a = 0; a < arity; ++a) {
+      attrs.push_back("a" + std::to_string(a));
+    }
+    ASSERT_TRUE(kb.CreateRelation(Schema::Untyped(name, attrs)).ok());
+    size_t rows = rng.Index(20);
+    for (size_t i = 0; i < rows; ++i) {
+      std::vector<Value> cells;
+      for (size_t a = 0; a < arity; ++a) cells.push_back(RandomValue(&rng));
+      ASSERT_TRUE(kb.Insert(name, Tuple(std::move(cells))).ok());
+    }
+  }
+  std::string dir = testing::TempDir() + "/vada_fuzz_" +
+                    std::to_string(GetParam());
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const std::string& name : kb.RelationNames()) {
+    EXPECT_EQ(loaded.value().FindRelation(name)->SortedRows(),
+              kb.FindRelation(name)->SortedRows())
+        << name << " seed " << GetParam();
+  }
+}
+
+/// Property: fusion never invents values — every non-null fused cell
+/// appears in some member of its cluster.
+class FusionConservatism : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionConservatism, ::testing::Range(0, 8));
+
+TEST_P(FusionConservatism, FusedValuesComeFromInputs) {
+  Rng rng(77 + GetParam());
+  Relation rel(Schema::Untyped("r", {"a", "b", "c"}));
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Value> cells;
+    for (int c = 0; c < 3; ++c) {
+      cells.push_back(rng.Bernoulli(0.2)
+                          ? Value::Null()
+                          : Value::Int(rng.UniformInt(0, 5)));
+    }
+    rel.InsertUnchecked(Tuple(std::move(cells)));
+  }
+  // Random clustering.
+  DuplicateClusters clusters;
+  clusters.num_clusters = 5;
+  for (size_t r = 0; r < rel.size(); ++r) {
+    clusters.cluster_of.push_back(rng.Index(5));
+  }
+  std::set<size_t> used(clusters.cluster_of.begin(),
+                        clusters.cluster_of.end());
+  // Densify cluster ids (Fuse expects ids < num_clusters, which holds).
+  Fuser fuser;
+  Result<Relation> fused = fuser.Fuse(rel, clusters, "out");
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_EQ(fused.value().size(), used.size());
+  // Every fused value exists somewhere in the inputs of its column.
+  for (const Tuple& row : fused.value().rows()) {
+    for (size_t c = 0; c < 3; ++c) {
+      if (row.at(c).is_null()) continue;
+      bool found = false;
+      for (const Tuple& in : rel.rows()) {
+        if (in.at(c) == row.at(c)) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+/// Property: CFD repair converges in one pass (second repair is a no-op)
+/// on random corruptions of FD-clean data.
+class RepairConvergence : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairConvergence, ::testing::Range(0, 6));
+
+TEST_P(RepairConvergence, SecondRepairIsNoop) {
+  Rng rng(31 + GetParam());
+  // Clean data: key -> value FD.
+  Relation evidence(Schema::Untyped("e", {"id", "key", "value"}));
+  for (int i = 0; i < 40; ++i) {
+    int key = i % 8;
+    evidence.InsertUnchecked(Tuple({Value::Int(i), Value::Int(key),
+                                    Value::Int(key * 100)}));
+  }
+  CfdLearnerOptions opts;
+  opts.min_support_count = 2;
+  opts.try_pairs = false;
+  std::vector<Cfd> cfds = CfdLearner(opts).Learn(evidence);
+  ASSERT_FALSE(cfds.empty());
+
+  // Corrupt some values.
+  Relation dirty(evidence.schema());
+  for (const Tuple& row : evidence.rows()) {
+    Tuple copy = row;
+    if (rng.Bernoulli(0.25)) copy[2] = Value::Int(rng.UniformInt(0, 9999));
+    dirty.InsertUnchecked(std::move(copy));
+  }
+  CfdChecker checker(cfds, &evidence);
+  ASSERT_TRUE(checker.Repair(&dirty).ok());
+  Result<size_t> second = checker.Repair(&dirty);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), 0u) << "seed " << GetParam();
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "kb/relation.h"
+#include "kb/schema.h"
+
+namespace vada {
+namespace {
+
+Schema PropertySchema() {
+  return Schema("property", {{"street", AttributeType::kString},
+                             {"price", AttributeType::kInt},
+                             {"score", AttributeType::kDouble}});
+}
+
+TEST(SchemaTest, UntypedFactory) {
+  Schema s = Schema::Untyped("r", {"a", "b"});
+  EXPECT_EQ(s.relation_name(), "r");
+  ASSERT_EQ(s.arity(), 2u);
+  EXPECT_EQ(s.attributes()[0].type, AttributeType::kAny);
+}
+
+TEST(SchemaTest, AttributeIndex) {
+  Schema s = PropertySchema();
+  EXPECT_EQ(*s.AttributeIndex("price"), 1u);
+  EXPECT_FALSE(s.AttributeIndex("missing").has_value());
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicates) {
+  Schema s = Schema::Untyped("r", {"a", "a"});
+  EXPECT_FALSE(s.Validate().ok());
+  EXPECT_FALSE(Schema::Untyped("", {"a"}).Validate().ok());
+  EXPECT_TRUE(PropertySchema().Validate().ok());
+}
+
+TEST(SchemaTest, TypeCompatibility) {
+  EXPECT_TRUE(IsCompatible(AttributeType::kInt, ValueType::kInt));
+  EXPECT_TRUE(IsCompatible(AttributeType::kInt, ValueType::kNull));
+  EXPECT_FALSE(IsCompatible(AttributeType::kInt, ValueType::kString));
+  EXPECT_TRUE(IsCompatible(AttributeType::kDouble, ValueType::kInt));
+  EXPECT_TRUE(IsCompatible(AttributeType::kAny, ValueType::kString));
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(PropertySchema());
+  Tuple t({Value::String("High St"), Value::Int(100000), Value::Double(0.5)});
+  bool added = false;
+  ASSERT_TRUE(r.Insert(t, &added).ok());
+  EXPECT_TRUE(added);
+  ASSERT_TRUE(r.Insert(t, &added).ok());
+  EXPECT_FALSE(added);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, InsertChecksArityAndTypes) {
+  Relation r(PropertySchema());
+  EXPECT_FALSE(r.Insert(Tuple({Value::Int(1)})).ok());
+  EXPECT_FALSE(r.Insert(Tuple({Value::Int(1), Value::Int(2), Value::Double(3)}))
+                   .ok());  // street must be string
+  // Nulls always allowed.
+  EXPECT_TRUE(
+      r.Insert(Tuple({Value::Null(), Value::Null(), Value::Null()})).ok());
+}
+
+TEST(RelationTest, EraseAndContains) {
+  Relation r(Schema::Untyped("r", {"a"}));
+  Tuple t({Value::Int(1)});
+  ASSERT_TRUE(r.Insert(t).ok());
+  EXPECT_TRUE(r.Contains(t));
+  EXPECT_TRUE(r.Erase(t));
+  EXPECT_FALSE(r.Contains(t));
+  EXPECT_FALSE(r.Erase(t));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, ProjectReordersColumns) {
+  Relation r(Schema::Untyped("r", {"a", "b"}));
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  Result<Relation> p = r.Project({"b", "a"}, "p");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().schema().AttributeNames(),
+            (std::vector<std::string>{"b", "a"}));
+  EXPECT_EQ(p.value().rows()[0], Tuple({Value::Int(2), Value::Int(1)}));
+}
+
+TEST(RelationTest, ProjectDeduplicates) {
+  Relation r(Schema::Untyped("r", {"a", "b"}));
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(3)})).ok());
+  Result<Relation> p = r.Project({"a"}, "p");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().size(), 1u);
+}
+
+TEST(RelationTest, ProjectUnknownAttributeFails) {
+  Relation r(Schema::Untyped("r", {"a"}));
+  EXPECT_FALSE(r.Project({"zz"}, "p").ok());
+}
+
+TEST(RelationTest, SelectEquals) {
+  Relation r(Schema::Untyped("r", {"a", "b"}));
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::String("x")})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(2), Value::String("y")})).ok());
+  Result<Relation> sel = r.SelectEquals("b", Value::String("y"));
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel.value().size(), 1u);
+  EXPECT_EQ(sel.value().rows()[0].at(0), Value::Int(2));
+}
+
+TEST(RelationTest, NonNullFraction) {
+  Relation r(Schema::Untyped("r", {"a"}));
+  EXPECT_DOUBLE_EQ(r.NonNullFraction("a").value(), 1.0);  // vacuous
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1)})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Null()})).ok());
+  EXPECT_DOUBLE_EQ(r.NonNullFraction("a").value(), 0.5);
+  EXPECT_FALSE(r.NonNullFraction("zz").ok());
+}
+
+TEST(RelationTest, SortedRowsDeterministic) {
+  Relation r(Schema::Untyped("r", {"a"}));
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(3)})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1)})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(2)})).ok());
+  std::vector<Tuple> sorted = r.SortedRows();
+  EXPECT_EQ(sorted[0].at(0), Value::Int(1));
+  EXPECT_EQ(sorted[2].at(0), Value::Int(3));
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "extract/open_government.h"
+#include "extract/real_estate.h"
+#include "wrangler/evaluation.h"
+#include "wrangler/session.h"
+
+namespace vada {
+namespace {
+
+/// The paper's target schema (Figure 2(b)).
+Schema TargetSchema() {
+  return Schema::Untyped("target", {"type", "description", "street",
+                                    "postcode", "bedrooms", "price",
+                                    "crimerank"});
+}
+
+/// Fixture generating the Figure 2 demonstration scenario.
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyUniverseOptions uopts;
+    uopts.num_properties = 120;
+    uopts.num_postcodes = 20;
+    uopts.seed = 5;
+    truth_ = GeneratePropertyUniverse(uopts);
+    ExtractionErrorOptions rm;
+    rm.seed = 101;
+    rightmove_ = ExtractRightmove(truth_, rm);
+    ExtractionErrorOptions otm;
+    otm.seed = 202;
+    otm.coverage = 0.6;
+    onthemarket_ = ExtractOnthemarket(truth_, otm);
+    deprivation_ = GenerateDeprivation(truth_);
+    address_ = GenerateAddressReference(truth_);
+  }
+
+  /// Bootstrap inputs (paper step 1).
+  Status Bootstrap(WranglingSession* session) {
+    VADA_RETURN_IF_ERROR(session->SetTargetSchema(TargetSchema()));
+    VADA_RETURN_IF_ERROR(session->AddSource(rightmove_));
+    VADA_RETURN_IF_ERROR(session->AddSource(onthemarket_));
+    VADA_RETURN_IF_ERROR(session->AddSource(deprivation_));
+    return Status::OK();
+  }
+
+  Status AddAddressContext(WranglingSession* session) {
+    return session->AddDataContext(
+        address_, RelationRole::kReference,
+        {{"street", "street"}, {"postcode", "postcode"}});
+  }
+
+  GroundTruth truth_;
+  Relation rightmove_{Schema()};
+  Relation onthemarket_{Schema()};
+  Relation deprivation_{Schema()};
+  Relation address_{Schema()};
+};
+
+TEST_F(SessionTest, RunWithoutTargetFails) {
+  WranglingSession session;
+  EXPECT_EQ(session.Run().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, BootstrapProducesResult) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  OrchestrationStats stats;
+  Status s = session.Run(&stats);
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\n" << session.trace().ToString();
+  ASSERT_NE(session.result(), nullptr);
+  EXPECT_GT(session.result()->size(), 0u);
+  EXPECT_GT(stats.steps, 3u);
+  // The result uses the target schema's attributes.
+  EXPECT_EQ(session.result()->schema().AttributeNames(),
+            TargetSchema().AttributeNames());
+}
+
+TEST_F(SessionTest, BootstrapGeneratesJoinMappings) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  bool has_join = false;
+  for (const Mapping& m : session.mappings()) {
+    if (m.source_relations.size() == 2) has_join = true;
+  }
+  EXPECT_TRUE(has_join) << "deprivation should join a property source";
+}
+
+TEST_F(SessionTest, RunIsIdempotentAtFixpoint) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  uint64_t version = session.kb().global_version();
+  OrchestrationStats stats;
+  ASSERT_TRUE(session.Run(&stats).ok());
+  EXPECT_EQ(session.kb().global_version(), version);
+  EXPECT_EQ(stats.effective_steps, 0u);
+}
+
+TEST_F(SessionTest, DataContextEnablesCfdLearningAndRepair) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  EXPECT_EQ(session.kb().FindRelation("cfd"), nullptr);
+
+  ASSERT_TRUE(AddAddressContext(&session).ok());
+  Status s = session.Run();
+  ASSERT_TRUE(s.ok()) << s.ToString() << "\n" << session.trace().ToString();
+  const Relation* cfds = session.kb().FindRelation("cfd");
+  ASSERT_NE(cfds, nullptr);
+  EXPECT_GT(cfds->size(), 0u) << "street->postcode should be learnable";
+}
+
+TEST_F(SessionTest, PayAsYouGoQualityImproves) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  ScenarioEvaluation step1 = EvaluateScenario(*session.result(), truth_);
+
+  ASSERT_TRUE(AddAddressContext(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  ScenarioEvaluation step2 = EvaluateScenario(*session.result(), truth_);
+
+  // Pay-as-you-go: more information must not materially worsen the
+  // outcome, and must widen coverage. (Dimensions trade off: with
+  // reference data the selector adds projection mappings, which raises
+  // coverage while the newly covered rows lack crimerank values — the
+  // equal-weight aggregate may dip within tolerance; step 4's user
+  // context exists precisely to arbitrate this trade-off.)
+  EXPECT_GE(step2.overall, step1.overall - 0.02);
+  EXPECT_GT(step2.coverage, step1.coverage);
+  EXPECT_GT(step2.rows, step1.rows);
+}
+
+TEST_F(SessionTest, FeedbackRevisesMatchScores) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+
+  // Find a result row with implausible bedrooms and flag it.
+  const Relation* result = session.result();
+  ASSERT_NE(result, nullptr);
+  std::optional<size_t> bed_idx = result->schema().AttributeIndex("bedrooms");
+  ASSERT_TRUE(bed_idx.has_value());
+  size_t flagged = 0;
+  for (const Tuple& row : result->rows()) {
+    std::optional<double> d = row.at(*bed_idx).AsDouble();
+    if (d.has_value() && *d > 8.0) {
+      ASSERT_TRUE(session
+                      .AddFeedback(FeedbackItem{row, "bedrooms",
+                                                FeedbackPolarity::kIncorrect})
+                      .ok());
+      if (++flagged >= 10) break;
+    }
+  }
+  ASSERT_GT(flagged, 0u) << "expected some area-extraction errors";
+
+  Status s = session.Run();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const Relation* penalties = session.kb().FindRelation("match_penalty");
+  ASSERT_NE(penalties, nullptr);
+  EXPECT_GT(penalties->size(), 0u);
+}
+
+TEST_F(SessionTest, UserContextChangesSelection) {
+  auto run_with_context = [this](bool crime_first) {
+    WranglingSession session;
+    EXPECT_TRUE(Bootstrap(&session).ok());
+    EXPECT_TRUE(AddAddressContext(&session).ok());
+    UserContext uc;
+    if (crime_first) {
+      // Figure 2(d): completeness of crimerank dominates.
+      EXPECT_TRUE(uc.AddStatement("completeness", "crimerank", "very strongly",
+                                  "completeness", "bedrooms")
+                      .ok());
+    } else {
+      EXPECT_TRUE(uc.AddStatement("completeness", "bedrooms", "very strongly",
+                                  "completeness", "crimerank")
+                      .ok());
+    }
+    EXPECT_TRUE(session.SetUserContext(uc).ok());
+    EXPECT_TRUE(session.Run().ok());
+    return session.selected_mappings();
+  };
+
+  std::vector<std::string> crime_selection = run_with_context(true);
+  std::vector<std::string> bedrooms_selection = run_with_context(false);
+  ASSERT_FALSE(crime_selection.empty());
+  ASSERT_FALSE(bedrooms_selection.empty());
+  // Crimerank-priority must keep a join mapping (the only crimerank
+  // provider) at the top.
+  EXPECT_NE(crime_selection.front().find("join"), std::string::npos)
+      << "crimerank priority should prefer a deprivation join";
+}
+
+TEST_F(SessionTest, TraceRecordsOrchestration) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  const ExecutionTrace& trace = session.trace();
+  EXPECT_GT(trace.size(), 0u);
+  std::map<std::string, size_t> counts = trace.ExecutionCounts();
+  EXPECT_GT(counts["schema_matching"], 0u);
+  EXPECT_GT(counts["mapping_generation"], 0u);
+  EXPECT_GT(counts["mapping_execution"], 0u);
+  EXPECT_GT(counts["fusion"], 0u);
+  // Browsable rendering mentions the transducers.
+  EXPECT_NE(trace.ToString().find("schema_matching"), std::string::npos);
+}
+
+TEST_F(SessionTest, CustomTransducerParticipates) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  // A Vadalog-implemented transducer: flags cheap properties once the
+  // result relation is non-empty (extensibility route of §2.3).
+  ASSERT_TRUE(
+      session
+          .AddTransducer(std::make_unique<VadalogTransducer>(
+              "cheap_flagger", "quality",
+              "ready() :- sys_relation_nonempty(\"wrangled_result\").",
+              "cheap(S, P) :- wrangled_result(T, D, S, PC, B, P, C), "
+              "P < 150000.",
+              std::vector<std::string>{"cheap"}))
+          .ok());
+  ASSERT_TRUE(session.Run().ok());
+  const Relation* cheap = session.kb().FindRelation("cheap");
+  ASSERT_NE(cheap, nullptr);
+  EXPECT_GT(cheap->size(), 0u);
+}
+
+TEST_F(SessionTest, DuplicateTargetSchemaRejected) {
+  WranglingSession session;
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  EXPECT_FALSE(session.SetTargetSchema(TargetSchema()).ok());
+}
+
+TEST_F(SessionTest, ResultQualityEstimateAvailable) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(AddAddressContext(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  Result<RelationQuality> q = session.EstimateResultQuality();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GT(q.value().row_count, 0u);
+  // With reference data, accuracy for street must be available.
+  ASSERT_TRUE(q.value().attribute.count("street") > 0);
+  EXPECT_TRUE(q.value().attribute.at("street").accuracy.has_value());
+}
+
+}  // namespace
+}  // namespace vada

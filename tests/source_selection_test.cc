@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "extract/real_estate.h"
+#include "wrangler/session.h"
+
+namespace vada {
+namespace {
+
+Schema TargetSchema() {
+  return Schema::Untyped("target", {"type", "description", "street",
+                                    "postcode", "bedrooms", "price",
+                                    "crimerank"});
+}
+
+/// A near-useless source: the right attribute names, almost all nulls.
+Relation JunkSource(size_t rows) {
+  Relation rel(Schema::Untyped(
+      "junkportal",
+      {"price", "street", "postcode", "bedrooms", "type", "description"}));
+  Rng rng(123);
+  for (size_t i = 0; i < rows; ++i) {
+    rel.InsertUnchecked(Tuple({Value::Int(static_cast<int64_t>(i)),
+                               Value::Null(), Value::Null(), Value::Null(),
+                               Value::Null(), Value::Null()}));
+  }
+  return rel;
+}
+
+class SourceSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyUniverseOptions uopts;
+    uopts.num_properties = 100;
+    uopts.num_postcodes = 15;
+    uopts.seed = 77;
+    truth_ = GeneratePropertyUniverse(uopts);
+    ExtractionErrorOptions opts;
+    opts.seed = 5;
+    rightmove_ = ExtractRightmove(truth_, opts);
+  }
+
+  GroundTruth truth_;
+  Relation rightmove_{Schema()};
+};
+
+TEST_F(SourceSelectionTest, TrustScoresPublished) {
+  WranglingSession session;
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  ASSERT_TRUE(session.AddSource(rightmove_).ok());
+  ASSERT_TRUE(session.Run().ok());
+  const Relation* trust = session.kb().FindRelation("source_trust");
+  ASSERT_NE(trust, nullptr);
+  ASSERT_EQ(trust->size(), 1u);
+  EXPECT_EQ(trust->rows()[0].at(0), Value::String("rightmove"));
+  std::optional<double> score = trust->rows()[0].at(1).AsDouble();
+  ASSERT_TRUE(score.has_value());
+  EXPECT_GT(*score, 0.8);  // mostly complete extraction
+}
+
+TEST_F(SourceSelectionTest, JunkSourceExcluded) {
+  WranglingSession session;
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  ASSERT_TRUE(session.AddSource(rightmove_).ok());
+  ASSERT_TRUE(session.AddSource(JunkSource(60)).ok());
+  Status s = session.Run();
+  ASSERT_TRUE(s.ok()) << s.ToString();
+
+  const Relation* excluded = session.kb().FindRelation("excluded_source");
+  ASSERT_NE(excluded, nullptr);
+  EXPECT_TRUE(excluded->Contains(Tuple({Value::String("junkportal")})));
+  EXPECT_FALSE(excluded->Contains(Tuple({Value::String("rightmove")})));
+
+  // No mapping ranges over the junk source.
+  for (const Mapping& m : session.mappings()) {
+    for (const std::string& src : m.source_relations) {
+      EXPECT_NE(src, "junkportal") << m.ToString();
+    }
+  }
+}
+
+TEST_F(SourceSelectionTest, JunkSourceDoesNotDegradeResult) {
+  auto run = [this](bool with_junk) {
+    WranglingSession session;
+    EXPECT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+    EXPECT_TRUE(session.AddSource(rightmove_).ok());
+    if (with_junk) EXPECT_TRUE(session.AddSource(JunkSource(60)).ok());
+    EXPECT_TRUE(session.Run().ok());
+    return session.result()->SortedRows();
+  };
+  // With the junk source excluded, the result is identical to never
+  // having registered it.
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST_F(SourceSelectionTest, ExclusionCanBeDisabled) {
+  WranglerConfig config;
+  config.source_selector.exclude_below_min = false;
+  WranglingSession session(config);
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  ASSERT_TRUE(session.AddSource(rightmove_).ok());
+  ASSERT_TRUE(session.AddSource(JunkSource(60)).ok());
+  ASSERT_TRUE(session.Run().ok());
+  const Relation* excluded = session.kb().FindRelation("excluded_source");
+  ASSERT_NE(excluded, nullptr);
+  EXPECT_TRUE(excluded->empty());
+}
+
+TEST_F(SourceSelectionTest, EmptySourceNotScored) {
+  // A registered but empty source never satisfies source_quality's
+  // dependency and must not crash selection.
+  WranglingSession session;
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  ASSERT_TRUE(session.AddSource(rightmove_).ok());
+  Relation empty(Schema::Untyped("emptyportal", {"a", "b"}));
+  ASSERT_TRUE(session.AddSource(empty).ok());
+  EXPECT_TRUE(session.Run().ok());
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "kb/tuple.h"
+#include "kb/value.h"
+
+namespace vada {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+}
+
+TEST(ValueTest, EqualityIsStrictOnType) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Double(3.0));
+  EXPECT_NE(Value::String("3"), Value::Int(3));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, OrderingByTypeTagThenPayload) {
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Double(1.0));  // type tag dominates
+  EXPECT_LT(Value::Double(9.0), Value::String(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, AsDoubleCoercesNumericsOnly) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(4.5).AsDouble(), 4.5);
+  EXPECT_FALSE(Value::String("4").AsDouble().has_value());
+  EXPECT_FALSE(Value::Null().AsDouble().has_value());
+  EXPECT_FALSE(Value::Bool(true).AsDouble().has_value());
+}
+
+TEST(ValueTest, FromTextInference) {
+  EXPECT_EQ(Value::FromText(""), Value::Null());
+  EXPECT_EQ(Value::FromText("true"), Value::Bool(true));
+  EXPECT_EQ(Value::FromText("false"), Value::Bool(false));
+  EXPECT_EQ(Value::FromText("42"), Value::Int(42));
+  EXPECT_EQ(Value::FromText("-17"), Value::Int(-17));
+  EXPECT_EQ(Value::FromText("2.5"), Value::Double(2.5));
+  EXPECT_EQ(Value::FromText("1e3"), Value::Double(1000.0));
+  EXPECT_EQ(Value::FromText("SW1A 1AA"), Value::String("SW1A 1AA"));
+  EXPECT_EQ(Value::FromText("12b"), Value::String("12b"));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Null().ToString(/*null_as_empty=*/true), "");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(12).ToString(), "12");
+  EXPECT_EQ(Value::String("x").ToString(), "x");
+}
+
+TEST(ValueTest, ToLiteralQuotesStrings) {
+  EXPECT_EQ(Value::String("a \"b\"").ToLiteral(), "\"a \\\"b\\\"\"");
+  EXPECT_EQ(Value::Int(5).ToLiteral(), "5");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Int(3).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // Different types should (practically always) hash differently.
+  EXPECT_NE(Value::Int(0).Hash(), Value::Null().Hash());
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  Tuple a({Value::Int(1), Value::String("x")});
+  Tuple b({Value::Int(1), Value::String("x")});
+  Tuple c({Value::Int(1), Value::String("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(TupleTest, Project) {
+  Tuple t({Value::Int(1), Value::Int(2), Value::Int(3)});
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0), Value::Int(3));
+  EXPECT_EQ(p.at(1), Value::Int(1));
+}
+
+TEST(TupleTest, HashMatchesEquality) {
+  Tuple a({Value::Int(1), Value::Null()});
+  Tuple b({Value::Int(1), Value::Null()});
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, ToStringQuotesStrings) {
+  Tuple t({Value::Int(1), Value::String("a")});
+  EXPECT_EQ(t.ToString(), "(1, \"a\")");
+}
+
+}  // namespace
+}  // namespace vada
