@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cfd.dir/bench_cfd.cpp.o"
+  "CMakeFiles/bench_cfd.dir/bench_cfd.cpp.o.d"
+  "bench_cfd"
+  "bench_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_context_sweep.dir/bench_data_context_sweep.cpp.o"
+  "CMakeFiles/bench_data_context_sweep.dir/bench_data_context_sweep.cpp.o.d"
+  "bench_data_context_sweep"
+  "bench_data_context_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_context_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_feedback_sweep.cpp" "bench/CMakeFiles/bench_feedback_sweep.dir/bench_feedback_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_feedback_sweep.dir/bench_feedback_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wrangler/CMakeFiles/vada_wrangler.dir/DependInfo.cmake"
+  "/root/repo/build/src/transducer/CMakeFiles/vada_transducer.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/vada_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/feedback/CMakeFiles/vada_feedback.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/vada_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/vada_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/vada_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/vada_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/context/CMakeFiles/vada_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/vada_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/vada_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feedback_sweep.dir/bench_feedback_sweep.cpp.o"
+  "CMakeFiles/bench_feedback_sweep.dir/bench_feedback_sweep.cpp.o.d"
+  "bench_feedback_sweep"
+  "bench_feedback_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feedback_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_payg_steps.dir/bench_payg_steps.cpp.o"
+  "CMakeFiles/bench_payg_steps.dir/bench_payg_steps.cpp.o.d"
+  "bench_payg_steps"
+  "bench_payg_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_payg_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dependencies.dir/bench_table1_dependencies.cpp.o"
+  "CMakeFiles/bench_table1_dependencies.dir/bench_table1_dependencies.cpp.o.d"
+  "bench_table1_dependencies"
+  "bench_table1_dependencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_user_context.dir/bench_user_context.cpp.o"
+  "CMakeFiles/bench_user_context.dir/bench_user_context.cpp.o.d"
+  "bench_user_context"
+  "bench_user_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_user_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

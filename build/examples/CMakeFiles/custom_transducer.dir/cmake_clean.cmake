@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_transducer.dir/custom_transducer.cpp.o"
+  "CMakeFiles/custom_transducer.dir/custom_transducer.cpp.o.d"
+  "custom_transducer"
+  "custom_transducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_transducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

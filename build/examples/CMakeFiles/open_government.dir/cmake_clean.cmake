@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_government.dir/open_government.cpp.o"
+  "CMakeFiles/open_government.dir/open_government.cpp.o.d"
+  "open_government"
+  "open_government.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_government.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_estate.dir/real_estate.cpp.o"
+  "CMakeFiles/real_estate.dir/real_estate.cpp.o.d"
+  "real_estate"
+  "real_estate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_estate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrangle_csv.dir/wrangle_csv.cpp.o"
+  "CMakeFiles/wrangle_csv.dir/wrangle_csv.cpp.o.d"
+  "wrangle_csv"
+  "wrangle_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrangle_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

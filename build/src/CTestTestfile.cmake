@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("kb")
+subdirs("datalog")
+subdirs("context")
+subdirs("match")
+subdirs("quality")
+subdirs("mapping")
+subdirs("fusion")
+subdirs("feedback")
+subdirs("extract")
+subdirs("transducer")
+subdirs("wrangler")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_common.dir/logging.cc.o"
+  "CMakeFiles/vada_common.dir/logging.cc.o.d"
+  "CMakeFiles/vada_common.dir/rng.cc.o"
+  "CMakeFiles/vada_common.dir/rng.cc.o.d"
+  "CMakeFiles/vada_common.dir/similarity.cc.o"
+  "CMakeFiles/vada_common.dir/similarity.cc.o.d"
+  "CMakeFiles/vada_common.dir/status.cc.o"
+  "CMakeFiles/vada_common.dir/status.cc.o.d"
+  "CMakeFiles/vada_common.dir/strings.cc.o"
+  "CMakeFiles/vada_common.dir/strings.cc.o.d"
+  "libvada_common.a"
+  "libvada_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_context.dir/ahp.cc.o"
+  "CMakeFiles/vada_context.dir/ahp.cc.o.d"
+  "CMakeFiles/vada_context.dir/data_context.cc.o"
+  "CMakeFiles/vada_context.dir/data_context.cc.o.d"
+  "CMakeFiles/vada_context.dir/user_context.cc.o"
+  "CMakeFiles/vada_context.dir/user_context.cc.o.d"
+  "libvada_context.a"
+  "libvada_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/ast.cc" "src/datalog/CMakeFiles/vada_datalog.dir/ast.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/datalog/database.cc" "src/datalog/CMakeFiles/vada_datalog.dir/database.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/database.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/vada_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/kb_adapter.cc" "src/datalog/CMakeFiles/vada_datalog.dir/kb_adapter.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/kb_adapter.cc.o.d"
+  "/root/repo/src/datalog/lexer.cc" "src/datalog/CMakeFiles/vada_datalog.dir/lexer.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/lexer.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/vada_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/provenance.cc" "src/datalog/CMakeFiles/vada_datalog.dir/provenance.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/provenance.cc.o.d"
+  "/root/repo/src/datalog/stratify.cc" "src/datalog/CMakeFiles/vada_datalog.dir/stratify.cc.o" "gcc" "src/datalog/CMakeFiles/vada_datalog.dir/stratify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/vada_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_datalog.dir/ast.cc.o"
+  "CMakeFiles/vada_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/database.cc.o"
+  "CMakeFiles/vada_datalog.dir/database.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/vada_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/kb_adapter.cc.o"
+  "CMakeFiles/vada_datalog.dir/kb_adapter.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/lexer.cc.o"
+  "CMakeFiles/vada_datalog.dir/lexer.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/parser.cc.o"
+  "CMakeFiles/vada_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/provenance.cc.o"
+  "CMakeFiles/vada_datalog.dir/provenance.cc.o.d"
+  "CMakeFiles/vada_datalog.dir/stratify.cc.o"
+  "CMakeFiles/vada_datalog.dir/stratify.cc.o.d"
+  "libvada_datalog.a"
+  "libvada_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_extract.dir/open_government.cc.o"
+  "CMakeFiles/vada_extract.dir/open_government.cc.o.d"
+  "CMakeFiles/vada_extract.dir/real_estate.cc.o"
+  "CMakeFiles/vada_extract.dir/real_estate.cc.o.d"
+  "libvada_extract.a"
+  "libvada_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_feedback.dir/feedback.cc.o"
+  "CMakeFiles/vada_feedback.dir/feedback.cc.o.d"
+  "CMakeFiles/vada_feedback.dir/propagation.cc.o"
+  "CMakeFiles/vada_feedback.dir/propagation.cc.o.d"
+  "libvada_feedback.a"
+  "libvada_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/dedup.cc" "src/fusion/CMakeFiles/vada_fusion.dir/dedup.cc.o" "gcc" "src/fusion/CMakeFiles/vada_fusion.dir/dedup.cc.o.d"
+  "/root/repo/src/fusion/fuser.cc" "src/fusion/CMakeFiles/vada_fusion.dir/fuser.cc.o" "gcc" "src/fusion/CMakeFiles/vada_fusion.dir/fuser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/vada_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_fusion.dir/dedup.cc.o"
+  "CMakeFiles/vada_fusion.dir/dedup.cc.o.d"
+  "CMakeFiles/vada_fusion.dir/fuser.cc.o"
+  "CMakeFiles/vada_fusion.dir/fuser.cc.o.d"
+  "libvada_fusion.a"
+  "libvada_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/catalog.cc" "src/kb/CMakeFiles/vada_kb.dir/catalog.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/catalog.cc.o.d"
+  "/root/repo/src/kb/csv.cc" "src/kb/CMakeFiles/vada_kb.dir/csv.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/csv.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/kb/CMakeFiles/vada_kb.dir/knowledge_base.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/persistence.cc" "src/kb/CMakeFiles/vada_kb.dir/persistence.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/persistence.cc.o.d"
+  "/root/repo/src/kb/relation.cc" "src/kb/CMakeFiles/vada_kb.dir/relation.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/relation.cc.o.d"
+  "/root/repo/src/kb/schema.cc" "src/kb/CMakeFiles/vada_kb.dir/schema.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/schema.cc.o.d"
+  "/root/repo/src/kb/tuple.cc" "src/kb/CMakeFiles/vada_kb.dir/tuple.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/tuple.cc.o.d"
+  "/root/repo/src/kb/value.cc" "src/kb/CMakeFiles/vada_kb.dir/value.cc.o" "gcc" "src/kb/CMakeFiles/vada_kb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_kb.dir/catalog.cc.o"
+  "CMakeFiles/vada_kb.dir/catalog.cc.o.d"
+  "CMakeFiles/vada_kb.dir/csv.cc.o"
+  "CMakeFiles/vada_kb.dir/csv.cc.o.d"
+  "CMakeFiles/vada_kb.dir/knowledge_base.cc.o"
+  "CMakeFiles/vada_kb.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/vada_kb.dir/persistence.cc.o"
+  "CMakeFiles/vada_kb.dir/persistence.cc.o.d"
+  "CMakeFiles/vada_kb.dir/relation.cc.o"
+  "CMakeFiles/vada_kb.dir/relation.cc.o.d"
+  "CMakeFiles/vada_kb.dir/schema.cc.o"
+  "CMakeFiles/vada_kb.dir/schema.cc.o.d"
+  "CMakeFiles/vada_kb.dir/tuple.cc.o"
+  "CMakeFiles/vada_kb.dir/tuple.cc.o.d"
+  "CMakeFiles/vada_kb.dir/value.cc.o"
+  "CMakeFiles/vada_kb.dir/value.cc.o.d"
+  "libvada_kb.a"
+  "libvada_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_mapping.dir/executor.cc.o"
+  "CMakeFiles/vada_mapping.dir/executor.cc.o.d"
+  "CMakeFiles/vada_mapping.dir/generator.cc.o"
+  "CMakeFiles/vada_mapping.dir/generator.cc.o.d"
+  "CMakeFiles/vada_mapping.dir/mapping.cc.o"
+  "CMakeFiles/vada_mapping.dir/mapping.cc.o.d"
+  "CMakeFiles/vada_mapping.dir/selector.cc.o"
+  "CMakeFiles/vada_mapping.dir/selector.cc.o.d"
+  "libvada_mapping.a"
+  "libvada_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

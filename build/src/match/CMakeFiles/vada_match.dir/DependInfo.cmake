@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/combiner.cc" "src/match/CMakeFiles/vada_match.dir/combiner.cc.o" "gcc" "src/match/CMakeFiles/vada_match.dir/combiner.cc.o.d"
+  "/root/repo/src/match/instance_matcher.cc" "src/match/CMakeFiles/vada_match.dir/instance_matcher.cc.o" "gcc" "src/match/CMakeFiles/vada_match.dir/instance_matcher.cc.o.d"
+  "/root/repo/src/match/match_types.cc" "src/match/CMakeFiles/vada_match.dir/match_types.cc.o" "gcc" "src/match/CMakeFiles/vada_match.dir/match_types.cc.o.d"
+  "/root/repo/src/match/schema_matcher.cc" "src/match/CMakeFiles/vada_match.dir/schema_matcher.cc.o" "gcc" "src/match/CMakeFiles/vada_match.dir/schema_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/vada_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vada_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

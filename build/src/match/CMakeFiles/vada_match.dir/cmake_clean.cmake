@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_match.dir/combiner.cc.o"
+  "CMakeFiles/vada_match.dir/combiner.cc.o.d"
+  "CMakeFiles/vada_match.dir/instance_matcher.cc.o"
+  "CMakeFiles/vada_match.dir/instance_matcher.cc.o.d"
+  "CMakeFiles/vada_match.dir/match_types.cc.o"
+  "CMakeFiles/vada_match.dir/match_types.cc.o.d"
+  "CMakeFiles/vada_match.dir/schema_matcher.cc.o"
+  "CMakeFiles/vada_match.dir/schema_matcher.cc.o.d"
+  "libvada_match.a"
+  "libvada_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvada_match.a"
+)

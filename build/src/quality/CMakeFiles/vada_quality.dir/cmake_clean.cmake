@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_quality.dir/cfd.cc.o"
+  "CMakeFiles/vada_quality.dir/cfd.cc.o.d"
+  "CMakeFiles/vada_quality.dir/metrics.cc.o"
+  "CMakeFiles/vada_quality.dir/metrics.cc.o.d"
+  "libvada_quality.a"
+  "libvada_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_transducer.dir/network.cc.o"
+  "CMakeFiles/vada_transducer.dir/network.cc.o.d"
+  "CMakeFiles/vada_transducer.dir/trace.cc.o"
+  "CMakeFiles/vada_transducer.dir/trace.cc.o.d"
+  "CMakeFiles/vada_transducer.dir/transducer.cc.o"
+  "CMakeFiles/vada_transducer.dir/transducer.cc.o.d"
+  "libvada_transducer.a"
+  "libvada_transducer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_transducer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vada_transducer.
+# This may be replaced when dependencies are built.

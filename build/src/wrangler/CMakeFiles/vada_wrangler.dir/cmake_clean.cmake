@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vada_wrangler.dir/etl_baseline.cc.o"
+  "CMakeFiles/vada_wrangler.dir/etl_baseline.cc.o.d"
+  "CMakeFiles/vada_wrangler.dir/evaluation.cc.o"
+  "CMakeFiles/vada_wrangler.dir/evaluation.cc.o.d"
+  "CMakeFiles/vada_wrangler.dir/session.cc.o"
+  "CMakeFiles/vada_wrangler.dir/session.cc.o.d"
+  "CMakeFiles/vada_wrangler.dir/standard_transducers.cc.o"
+  "CMakeFiles/vada_wrangler.dir/standard_transducers.cc.o.d"
+  "libvada_wrangler.a"
+  "libvada_wrangler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vada_wrangler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vada_wrangler.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_adapter_test.dir/datalog_adapter_test.cc.o"
+  "CMakeFiles/datalog_adapter_test.dir/datalog_adapter_test.cc.o.d"
+  "datalog_adapter_test"
+  "datalog_adapter_test.pdb"
+  "datalog_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

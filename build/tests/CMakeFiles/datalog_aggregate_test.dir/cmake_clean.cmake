@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_aggregate_test.dir/datalog_aggregate_test.cc.o"
+  "CMakeFiles/datalog_aggregate_test.dir/datalog_aggregate_test.cc.o.d"
+  "datalog_aggregate_test"
+  "datalog_aggregate_test.pdb"
+  "datalog_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

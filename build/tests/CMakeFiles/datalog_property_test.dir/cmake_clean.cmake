@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_property_test.dir/datalog_property_test.cc.o"
+  "CMakeFiles/datalog_property_test.dir/datalog_property_test.cc.o.d"
+  "datalog_property_test"
+  "datalog_property_test.pdb"
+  "datalog_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_provenance_test.dir/datalog_provenance_test.cc.o"
+  "CMakeFiles/datalog_provenance_test.dir/datalog_provenance_test.cc.o.d"
+  "datalog_provenance_test"
+  "datalog_provenance_test.pdb"
+  "datalog_provenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_provenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

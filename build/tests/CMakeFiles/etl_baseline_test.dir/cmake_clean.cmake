@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_baseline_test.dir/etl_baseline_test.cc.o"
+  "CMakeFiles/etl_baseline_test.dir/etl_baseline_test.cc.o.d"
+  "etl_baseline_test"
+  "etl_baseline_test.pdb"
+  "etl_baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_data_test.dir/master_data_test.cc.o"
+  "CMakeFiles/master_data_test.dir/master_data_test.cc.o.d"
+  "master_data_test"
+  "master_data_test.pdb"
+  "master_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
