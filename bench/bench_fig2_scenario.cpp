@@ -72,7 +72,15 @@ int main() {
 
   std::printf("\nWrangled Target table (%.1f ms):\n%s",
               ms, session.result()->ToDebugString(8).c_str());
-  std::printf("\nevaluation: %s\n",
-              EvaluateScenario(*session.result(), sc.truth).ToString().c_str());
+  ScenarioEvaluation eval = EvaluateScenario(*session.result(), sc.truth);
+  std::printf("\nevaluation: %s\n", eval.ToString().c_str());
+
+  BenchReport report("fig2_scenario");
+  report.Add("wrangle_ms", ms);
+  report.Add("result_rows", static_cast<double>(eval.rows));
+  report.Add("overall_quality", eval.overall);
+  report.Add("coverage", eval.coverage);
+  report.AddSnapshot(session.MetricsReport().snapshot);
+  report.WriteJson();
   return 0;
 }

@@ -142,5 +142,14 @@ int main() {
       cover[1] > cover[0] ? "OK" : "MISS", cover[0], cover[1],
       beds[2] > beds[1] ? "OK" : "MISS", beds[1], beds[2],
       crime[3] >= crime[2] ? "OK" : "MISS", crime[2], crime[3]);
+
+  BenchReport report("payg_steps");
+  const char* kStepKeys[] = {"step1", "step2", "step3", "step4"};
+  for (int st = 0; st < 4; ++st) {
+    report.Add(std::string(kStepKeys[st]) + "_rows", rows[st]);
+    report.Add(std::string(kStepKeys[st]) + "_coverage", cover[st]);
+    report.Add(std::string(kStepKeys[st]) + "_overall", overall[st]);
+  }
+  report.WriteJson();
   return 0;
 }

@@ -3,12 +3,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "extract/open_government.h"
 #include "extract/real_estate.h"
 #include "kb/schema.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace vada::bench {
 
@@ -68,6 +73,75 @@ inline std::string Fmt(double v, int precision = 3) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+/// Machine-readable bench output: collects named scalar results (wall
+/// times, ns/op, counters) and writes them as BENCH_<name>.json so every
+/// bench run extends the perf trajectory. Values keep insertion order.
+///
+///   BenchReport report("orchestration");
+///   report.Add("bootstrap_ms", boot_ms);
+///   report.AddNsPerOp("step_ns_per_op", boot_ms, stats.steps);
+///   report.AddSnapshot(session.MetricsReport().snapshot);
+///   report.WriteJson();  // honours $VADA_BENCH_DIR, defaults to cwd
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    entries_.push_back({key, value});
+  }
+
+  /// Records `total_ms` over `iterations` as nanoseconds per operation.
+  void AddNsPerOp(const std::string& key, double total_ms, size_t iterations) {
+    if (iterations == 0) return;
+    Add(key, total_ms * 1e6 / static_cast<double>(iterations));
+  }
+
+  /// Folds a metrics snapshot in: counters and gauges by name (labels
+  /// joined with '/'), histograms as <name>_count.
+  void AddSnapshot(const obs::MetricsSnapshot& snapshot) {
+    for (const obs::MetricSample& s : snapshot.samples) {
+      std::string key = s.name;
+      for (const auto& [k, v] : s.labels) key += "/" + v;
+      if (s.kind == obs::MetricKind::kHistogram) {
+        Add(key + "_count", static_cast<double>(s.count));
+      } else {
+        Add(key, s.value);
+      }
+    }
+  }
+
+  /// Writes BENCH_<name>.json into $VADA_BENCH_DIR (default: cwd).
+  /// Returns false (after a warning) when the file cannot be written —
+  /// benches still print their human-readable tables regardless.
+  bool WriteJson() const {
+    const char* dir = std::getenv("VADA_BENCH_DIR");
+    std::string path =
+        (dir != nullptr && *dir != '\0' ? std::string(dir) + "/" : "") +
+        "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\"bench\":\"" << obs::JsonEscape(name_) << "\",\"entries\":{";
+    bool first = true;
+    for (const auto& [key, value] : entries_) {
+      if (!first) out << ",";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out << "\"" << obs::JsonEscape(key) << "\":" << buf;
+    }
+    out << "}}\n";
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 /// The paper's target schema (Figure 2(b)).
 inline Schema PaperTargetSchema() {

@@ -1,11 +1,32 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace vada {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+// Guarded by SinkMutex().
+std::vector<std::shared_ptr<LogSink>>& Sinks() {
+  static std::vector<std::shared_ptr<LogSink>>* sinks =
+      new std::vector<std::shared_ptr<LogSink>>{
+          std::make_shared<StderrLogSink>()};
+  return *sinks;
+}
+
 }  // namespace
 
 const char* LogLevelName(LogLevel level) {
@@ -22,15 +43,56 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
-void Logger::SetLevel(LogLevel level) { g_level = level; }
+void StderrLogSink::Write(const LogRecord& record) {
+  // Single fprintf call: whole lines even if another writer bypasses the
+  // logger's mutex (e.g. a direct stderr user).
+  std::fprintf(stderr, "[%s] %s: %s\n", LogLevelName(record.level),
+               record.component.c_str(), record.message.c_str());
+}
 
-LogLevel Logger::level() { return g_level; }
+void Logger::SetLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void Logger::AddSink(std::shared_ptr<LogSink> sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sinks().push_back(std::move(sink));
+}
+
+void Logger::ClearSinks() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sinks().clear();
+}
+
+void Logger::ResetSinks() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sinks().clear();
+  Sinks().push_back(std::make_shared<StderrLogSink>());
+}
 
 void Logger::Log(LogLevel level, const std::string& component,
                  const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", LogLevelName(level), component.c_str(),
-               message.c_str());
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.unix_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  record.thread_id = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  for (const std::shared_ptr<LogSink>& sink : Sinks()) {
+    sink->Write(record);
+  }
 }
 
 }  // namespace vada

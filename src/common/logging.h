@@ -1,6 +1,8 @@
 #ifndef VADA_COMMON_LOGGING_H_
 #define VADA_COMMON_LOGGING_H_
 
+#include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -12,9 +14,33 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Returns "DEBUG", "INFO", "WARN" or "ERROR".
 const char* LogLevelName(LogLevel level);
 
-/// Minimal process-wide logger writing to stderr. Thread-compatible: the
-/// level is plain state set once at startup; concurrent Log calls from one
-/// thread interleave whole lines.
+/// One log event, as handed to sinks.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  int64_t unix_nanos = 0;   ///< wall-clock timestamp
+  uint64_t thread_id = 0;   ///< hashed std::thread::id
+};
+
+/// Output backend for the logger. Write is always invoked under the
+/// logger's sink mutex, so implementations see whole records one at a
+/// time and need no locking of their own (unless shared elsewhere).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// The default sink: one "[LEVEL] component: message" line to stderr.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override;
+};
+
+/// Minimal process-wide logger. Thread-safe: the level is atomic and the
+/// sink list is mutex-guarded, so concurrent Log calls from different
+/// threads emit whole, non-interleaved records.
 class Logger {
  public:
   /// Sets the minimum severity that will be emitted. Default: kWarning,
@@ -22,7 +48,15 @@ class Logger {
   static void SetLevel(LogLevel level);
   static LogLevel level();
 
-  /// Emits one line "[LEVEL] component: message" if `level` is enabled.
+  /// Appends a sink alongside the existing ones.
+  static void AddSink(std::shared_ptr<LogSink> sink);
+  /// Drops every sink (including the default stderr sink); messages are
+  /// discarded until a sink is added.
+  static void ClearSinks();
+  /// Restores the default configuration: the stderr sink only.
+  static void ResetSinks();
+
+  /// Emits one record to every sink if `level` is enabled.
   static void Log(LogLevel level, const std::string& component,
                   const std::string& message);
 };

@@ -5,6 +5,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/span.h"
+
 namespace vada::datalog {
 
 std::optional<int> CompareValues(const Value& a, const Value& b) {
@@ -348,6 +350,10 @@ class RuleExecutor {
 
   BindingEnv& env() { return env_; }
 
+  /// Candidate facts scanned by body-atom evaluation (the join-probe
+  /// count optimisation work cares about).
+  size_t probes() const { return probes_; }
+
   /// Ground instances of the rule's positive body atoms under the current
   /// (complete) bindings — the premises of the derivation just emitted.
   std::vector<std::pair<std::string, Tuple>> GroundPositiveAtoms() const {
@@ -463,6 +469,7 @@ class RuleExecutor {
       if (candidates == nullptr) return;  // no fact matches the bound column
     }
     size_t count = (candidates != nullptr) ? candidates->size() : all.size();
+    probes_ += count;
     for (size_t ci = 0; ci < count; ++ci) {
       const Tuple& fact =
           (candidates != nullptr) ? all[(*candidates)[ci]] : all[ci];
@@ -489,6 +496,7 @@ class RuleExecutor {
   const Database* delta_;
   size_t delta_position_;
   BindingEnv env_;
+  size_t probes_ = 0;
 };
 
 constexpr size_t kNoDelta = static_cast<size_t>(-1);
@@ -510,7 +518,8 @@ void EvaluateRule(
     const CompiledRule& rule, const Database& db, const Database* delta,
     size_t delta_position, std::vector<Tuple>* out,
     std::vector<std::vector<std::pair<std::string, Tuple>>>* premises_out =
-        nullptr) {
+        nullptr,
+    size_t* probes = nullptr) {
   RuleExecutor exec(rule, db, delta, delta_position);
   exec.ForEachSolution([&](const BindingEnv& env) {
     out->push_back(BuildHead(rule, env));
@@ -518,13 +527,15 @@ void EvaluateRule(
       premises_out->push_back(exec.GroundPositiveAtoms());
     }
   });
+  if (probes != nullptr) *probes += exec.probes();
 }
 
 /// Evaluates an aggregate rule: groups body solutions by the non-aggregate
 /// head terms; each aggregate ranges over the *distinct values* its
 /// variable takes within the group (set semantics).
 void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
-                           std::vector<Tuple>* out) {
+                           std::vector<Tuple>* out,
+                           size_t* probes = nullptr) {
   struct GroupState {
     std::vector<std::set<Value>> distinct;  // one per aggregate
   };
@@ -551,6 +562,8 @@ void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
       state.distinct[a].insert(env.value(rule.aggregates[a].slot));
     }
   });
+
+  if (probes != nullptr) *probes += exec.probes();
 
   for (const auto& [key, state] : groups) {
     std::vector<Value> values(rule.head.terms.size());
@@ -624,8 +637,16 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
   }
   EvalStats local_stats;
   EvalStats* st = (stats != nullptr) ? stats : &local_stats;
+  obs::Histogram* stratum_hist =
+      options_.metrics == nullptr
+          ? nullptr
+          : options_.metrics->GetHistogram(
+                "vada_datalog_stratum_seconds",
+                "Wall time per stratum fixpoint",
+                obs::Histogram::DefaultLatencyBucketsSeconds());
 
   for (const std::vector<std::string>& stratum : stratification_.strata) {
+    obs::ScopedSpan stratum_span(nullptr, stratum_hist, "stratum");
     std::set<std::string> stratum_preds(stratum.begin(), stratum.end());
 
     // Compile this stratum's rules.
@@ -647,7 +668,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     for (const CompiledRule& rule : aggregate_rules) {
       ++st->rule_applications;
       std::vector<Tuple> produced;
-      EvaluateAggregateRule(rule, *db, &produced);
+      EvaluateAggregateRule(rule, *db, &produced, &st->join_probes);
       for (Tuple& t : produced) {
         if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
           // Aggregates summarise whole groups; record the rule alone.
@@ -671,7 +692,8 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
           std::vector<Tuple> produced;
           std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
           EvaluateRule(rule, *db, nullptr, kNoDelta, &produced,
-                       provenance != nullptr ? &premises : nullptr);
+                       provenance != nullptr ? &premises : nullptr,
+                       &st->join_probes);
           for (size_t i = 0; i < produced.size(); ++i) {
             Tuple& t = produced[i];
             if (provenance != nullptr &&
@@ -703,7 +725,8 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       std::vector<Tuple> produced;
       std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
       EvaluateRule(rule, *db, nullptr, kNoDelta, &produced,
-                   provenance != nullptr ? &premises : nullptr);
+                   provenance != nullptr ? &premises : nullptr,
+                   &st->join_probes);
       for (size_t i = 0; i < produced.size(); ++i) {
         Tuple& t = produced[i];
         if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
@@ -729,7 +752,8 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
           std::vector<Tuple> produced;
           std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
           EvaluateRule(rule, *db, &delta, pos, &produced,
-                       provenance != nullptr ? &premises : nullptr);
+                       provenance != nullptr ? &premises : nullptr,
+                       &st->join_probes);
           for (size_t i = 0; i < produced.size(); ++i) {
             Tuple& t = produced[i];
             if (provenance != nullptr &&
@@ -749,6 +773,23 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
         return Status::Internal("semi-naive evaluation exceeded max_iterations");
       }
     }
+  }
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* m = options_.metrics;
+    m->GetCounter("vada_datalog_rules_fired",
+                  "Rule body evaluations attempted")
+        ->Increment(st->rule_applications);
+    m->GetCounter("vada_datalog_facts_derived", "New IDB facts derived")
+        ->Increment(st->facts_derived);
+    m->GetCounter("vada_datalog_iterations",
+                  "Fixpoint rounds across all strata")
+        ->Increment(st->iterations);
+    m->GetCounter("vada_datalog_join_probes",
+                  "Candidate facts scanned while joining body atoms")
+        ->Increment(st->join_probes);
+    m->GetCounter("vada_datalog_evaluations", "Evaluator::Run invocations")
+        ->Increment();
   }
   return Status::OK();
 }

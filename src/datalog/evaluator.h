@@ -9,6 +9,7 @@
 #include "datalog/database.h"
 #include "datalog/provenance.h"
 #include "datalog/stratify.h"
+#include "obs/metrics.h"
 
 namespace vada::datalog {
 
@@ -21,6 +22,10 @@ struct EvalOptions {
   /// Hard cap on fixpoint iterations per stratum (safety valve; Datalog
   /// always terminates, so hitting this indicates an engine bug).
   size_t max_iterations = 1000000;
+  /// When set, Run() additionally records vada_datalog_* metrics
+  /// (rules fired, facts derived, join probes, per-stratum time) into
+  /// this registry. Null: no instrumentation beyond EvalStats.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Counters describing one evaluation run.
@@ -28,6 +33,7 @@ struct EvalStats {
   size_t iterations = 0;         ///< total fixpoint rounds across strata
   size_t facts_derived = 0;      ///< new IDB facts added
   size_t rule_applications = 0;  ///< rule body evaluations attempted
+  size_t join_probes = 0;        ///< candidate facts scanned by body atoms
 };
 
 /// Bottom-up evaluator for validated, stratifiable programs.

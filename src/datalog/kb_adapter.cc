@@ -37,18 +37,18 @@ void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
 
 Result<std::vector<Tuple>> QueryKnowledgeBase(
     const Program& program, const KnowledgeBase& kb,
-    const std::string& goal_predicate) {
+    const std::string& goal_predicate, const EvalOptions& options) {
   Database db;
   LoadReferencedRelations(program, kb, &db);
-  return Query(program, &db, goal_predicate);
+  return Query(program, &db, goal_predicate, options);
 }
 
 Result<std::vector<Tuple>> QueryKnowledgeBase(
     const std::string& source, const KnowledgeBase& kb,
-    const std::string& goal_predicate) {
+    const std::string& goal_predicate, const EvalOptions& options) {
   Result<Program> program = Parser::Parse(source);
   if (!program.ok()) return program.status();
-  return QueryKnowledgeBase(program.value(), kb, goal_predicate);
+  return QueryKnowledgeBase(program.value(), kb, goal_predicate, options);
 }
 
 }  // namespace vada::datalog

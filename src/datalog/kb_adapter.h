@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "datalog/database.h"
+#include "datalog/evaluator.h"
 #include "kb/knowledge_base.h"
 
 namespace vada::datalog {
@@ -29,17 +30,19 @@ void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
 /// Evaluates `program` over a snapshot of `kb` and returns the derived
 /// facts for `goal_predicate`, sorted. This is the primitive behind
 /// transducer input-dependency checks and Vadalog-specified mappings.
-Result<std::vector<Tuple>> QueryKnowledgeBase(const Program& program,
-                                              const KnowledgeBase& kb,
-                                              const std::string& goal_predicate);
+Result<std::vector<Tuple>> QueryKnowledgeBase(
+    const Program& program, const KnowledgeBase& kb,
+    const std::string& goal_predicate,
+    const EvalOptions& options = EvalOptions());
 
 /// Parses `source`, then QueryKnowledgeBase. Convenience used by the
 /// orchestrator, where dependency queries live as text in transducer
 /// declarations (paper §2: "input and output dependencies defined as
 /// Datalog queries over the knowledge base").
-Result<std::vector<Tuple>> QueryKnowledgeBase(const std::string& source,
-                                              const KnowledgeBase& kb,
-                                              const std::string& goal_predicate);
+Result<std::vector<Tuple>> QueryKnowledgeBase(
+    const std::string& source, const KnowledgeBase& kb,
+    const std::string& goal_predicate,
+    const EvalOptions& options = EvalOptions());
 
 }  // namespace vada::datalog
 

@@ -56,7 +56,10 @@ Status KnowledgeBase::Insert(const std::string& relation_name, Tuple tuple) {
   }
   bool added = false;
   VADA_RETURN_IF_ERROR(it->second.Insert(std::move(tuple), &added));
-  if (added) Bump(relation_name);
+  if (added) {
+    ++facts_added_;
+    Bump(relation_name);
+  }
   return Status::OK();
 }
 
@@ -72,6 +75,7 @@ Status KnowledgeBase::InsertAll(const Relation& relation) {
   for (const Tuple& row : relation.rows()) {
     bool added = false;
     VADA_RETURN_IF_ERROR(it->second.Insert(row, &added));
+    if (added) ++facts_added_;
     any = any || added;
   }
   if (any) Bump(relation.name());
@@ -85,7 +89,10 @@ Status KnowledgeBase::Retract(const std::string& relation_name,
     return Status::NotFound("relation " + relation_name +
                             " not in knowledge base");
   }
-  if (it->second.Erase(tuple)) Bump(relation_name);
+  if (it->second.Erase(tuple)) {
+    ++facts_removed_;
+    Bump(relation_name);
+  }
   return Status::OK();
 }
 
@@ -96,6 +103,7 @@ Status KnowledgeBase::ClearRelation(const std::string& relation_name) {
                             " not in knowledge base");
   }
   if (!it->second.empty()) {
+    facts_removed_ += it->second.size();
     it->second.Clear();
     Bump(relation_name);
   }
@@ -107,6 +115,7 @@ Status KnowledgeBase::DropRelation(const std::string& name) {
   if (it == relations_.end()) {
     return Status::NotFound("relation " + name + " not in knowledge base");
   }
+  facts_removed_ += it->second.size();
   relations_.erase(it);
   versions_.erase(name);
   catalog_.Remove(name);
@@ -123,6 +132,8 @@ Status KnowledgeBase::ReplaceRelation(const Relation& relation) {
     return Status::FailedPrecondition(
         "relation " + relation.name() + " exists with a different schema");
   }
+  facts_removed_ += it->second.size();
+  facts_added_ += relation.size();
   it->second = relation;
   Bump(relation.name());
   return Status::OK();
@@ -152,6 +163,12 @@ Status KnowledgeBase::ReplaceRelationIfChanged(const Relation& relation,
 uint64_t KnowledgeBase::relation_version(const std::string& name) const {
   auto it = versions_.find(name);
   return it == versions_.end() ? 0 : it->second;
+}
+
+size_t KnowledgeBase::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
 }
 
 std::vector<std::string> KnowledgeBase::RelationNames() const {

@@ -83,6 +83,16 @@ class KnowledgeBase {
   uint64_t relation_version(const std::string& name) const;
   uint64_t global_version() const { return global_version_; }
 
+  /// Monotonic lifetime mutation counters. Observability layers diff them
+  /// around an operation to attribute KB churn (e.g. facts added per
+  /// orchestration step). Replace counts as remove-all + add-all, so for
+  /// replaced relations these are upper bounds on the logical change.
+  uint64_t facts_added() const { return facts_added_; }
+  uint64_t facts_removed() const { return facts_removed_; }
+
+  /// Total rows across all relations.
+  size_t TotalRows() const;
+
   /// All relation names, sorted.
   std::vector<std::string> RelationNames() const;
 
@@ -95,6 +105,8 @@ class KnowledgeBase {
   std::map<std::string, Relation> relations_;
   std::map<std::string, uint64_t> versions_;
   uint64_t global_version_ = 0;
+  uint64_t facts_added_ = 0;
+  uint64_t facts_removed_ = 0;
   Catalog catalog_;
 };
 

@@ -1,0 +1,48 @@
+#include "obs/chrome_trace.h"
+
+#include "obs/json.h"
+
+namespace vada::obs {
+
+void ChromeTraceBuilder::AddSpans(const SpanCollector& collector, int tid) {
+  for (const SpanRecord& span : collector.spans()) {
+    ChromeTraceEvent e;
+    e.name = span.name;
+    e.category = span.category.empty() ? "span" : span.category;
+    e.ts_us = span.start_ns / 1000;
+    e.dur_us = (span.end_ns - span.start_ns) / 1000;
+    e.tid = tid;
+    Add(std::move(e));
+  }
+}
+
+std::string ChromeTraceBuilder::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const ChromeTraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\"";
+    out += ",\"cat\":\"" + JsonEscape(e.category.empty() ? "event"
+                                                        : e.category) + "\"";
+    out += ",\"ph\":\"X\"";
+    out += ",\"ts\":" + std::to_string(e.ts_us);
+    out += ",\"dur\":" + std::to_string(e.dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"" + JsonEscape(k) + "\":\"" + JsonEscape(v) + "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace vada::obs

@@ -1,0 +1,216 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vada::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    bool ok = Value() && (SkipWs(), pos_ == text_.size());
+    if (!ok && error != nullptr) {
+      *error = error_.empty()
+                   ? "trailing content at offset " + std::to_string(pos_)
+                   : error_;
+    }
+    return ok;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char* c) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    *c = text_[pos_];
+    return true;
+  }
+
+  bool Consume(char expected) {
+    char c;
+    if (!Peek(&c) || c != expected) {
+      return Fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            break;
+          case 'u':
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= text_.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return Fail("bad \\u escape");
+              }
+              ++pos_;
+            }
+            break;
+          default:
+            return Fail("bad escape");
+        }
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected number");
+    char* end = nullptr;
+    std::string num(text_.substr(start, pos_ - start));
+    std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return Fail("malformed number");
+    return true;
+  }
+
+  bool Value() {
+    char c;
+    if (!Peek(&c)) return Fail("expected value");
+    switch (c) {
+      case '{': {
+        ++pos_;
+        char n;
+        if (Peek(&n) && n == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          if (!String()) return false;
+          if (!Consume(':')) return false;
+          if (!Value()) return false;
+          if (!Peek(&n)) return Fail("unterminated object");
+          if (n == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++pos_;
+        char n;
+        if (Peek(&n) && n == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          if (!Value()) return false;
+          if (!Peek(&n)) return Fail("unterminated array");
+          if (n == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume(']');
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool JsonLint(std::string_view text, std::string* error) {
+  return Linter(text).Run(error);
+}
+
+}  // namespace vada::obs

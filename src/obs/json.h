@@ -1,0 +1,20 @@
+#ifndef VADA_OBS_JSON_H_
+#define VADA_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace vada::obs {
+
+/// Escapes `s` for inclusion inside a double-quoted JSON string (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Minimal recursive-descent JSON syntax checker. Accepts exactly one
+/// top-level value. Used by the exporter tests and by BENCH_*.json
+/// emission; not a parser — it never builds a document tree.
+bool JsonLint(std::string_view text, std::string* error = nullptr);
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_JSON_H_

@@ -1,0 +1,33 @@
+#include "obs/log_sinks.h"
+
+#include "obs/json.h"
+
+namespace vada::obs {
+
+void JsonlLogSink::Write(const LogRecord& record) {
+  if (out_ == nullptr || !*out_) return;
+  *out_ << "{\"ts_ns\":" << record.unix_nanos << ",\"level\":\""
+        << LogLevelName(record.level) << "\",\"component\":\""
+        << JsonEscape(record.component) << "\",\"message\":\""
+        << JsonEscape(record.message) << "\",\"thread\":" << record.thread_id
+        << "}\n";
+  out_->flush();
+}
+
+void RingBufferLogSink::Write(const LogRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::vector<LogRecord> RingBufferLogSink::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {records_.begin(), records_.end()};
+}
+
+size_t RingBufferLogSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace vada::obs

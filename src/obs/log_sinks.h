@@ -1,0 +1,55 @@
+#ifndef VADA_OBS_LOG_SINKS_H_
+#define VADA_OBS_LOG_SINKS_H_
+
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace vada::obs {
+
+/// Structured sink: one JSON object per line
+/// ({"ts_ns":...,"level":"INFO","component":"...","message":"...",
+///   "thread":...}), suitable for jq / log shippers.
+class JsonlLogSink : public LogSink {
+ public:
+  /// Writes to a stream the caller keeps alive (tests pass an
+  /// ostringstream).
+  explicit JsonlLogSink(std::ostream* out) : out_(out) {}
+  /// Opens (appends to) `path`.
+  explicit JsonlLogSink(const std::string& path)
+      : file_(path, std::ios::app), out_(&file_) {}
+
+  void Write(const LogRecord& record) override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+};
+
+/// Keeps the last `capacity` records in memory — the test / debugging
+/// sink (assert on what was logged without touching stderr).
+class RingBufferLogSink : public LogSink {
+ public:
+  explicit RingBufferLogSink(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void Write(const LogRecord& record) override;
+
+  std::vector<LogRecord> records() const;
+  size_t size() const;
+
+ private:
+  // The logger serialises Write calls, but records() is read from test
+  // threads concurrently with logging — guard the deque.
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::deque<LogRecord> records_;
+};
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_LOG_SINKS_H_

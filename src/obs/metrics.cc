@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace vada::obs {
+
+namespace {
+
+/// Deterministic map key: name + '\x01' + "k=v" pairs (maps iterate
+/// sorted, so equal label sets serialize identically).
+std::string EntryKey(const std::string& name,
+                     const std::map<std::string, std::string>& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+std::string RenderLabels(const std::map<std::string, std::string>& labels,
+                         const std::string& extra_key = "",
+                         const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + JsonEscape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  // %g keeps integers terse (1234 not 1234.000000) and bounds are exact.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_ = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::Observe(double value) {
+  size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  // upper_bound is strict; bounds are inclusive upper limits.
+  if (i > 0 && bounds_[i - 1] == value) --i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsSeconds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::Find(
+    const std::string& name,
+    const std::map<std::string, std::string>& labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name != name) continue;
+    if (labels.empty() || s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::Value(
+    const std::string& name,
+    const std::map<std::string, std::string>& labels) const {
+  const MetricSample* s = Find(name, labels);
+  if (s == nullptr) return 0.0;
+  return s->kind == MetricKind::kHistogram ? static_cast<double>(s->count)
+                                           : s->value;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(const std::string& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(
+    const std::string& name, const std::string& help,
+    const std::map<std::string, std::string>& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = EntryKey(name, labels);
+  Entry* e = FindOrNull(key);
+  if (e == nullptr) {
+    Entry entry;
+    entry.name = name;
+    entry.labels = labels;
+    entry.kind = MetricKind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    e = &entries_.emplace(key, std::move(entry)).first->second;
+    help_.emplace(name, help);
+  }
+  return e->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(
+    const std::string& name, const std::string& help,
+    const std::map<std::string, std::string>& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = EntryKey(name, labels);
+  Entry* e = FindOrNull(key);
+  if (e == nullptr) {
+    Entry entry;
+    entry.name = name;
+    entry.labels = labels;
+    entry.kind = MetricKind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    e = &entries_.emplace(key, std::move(entry)).first->second;
+    help_.emplace(name, help);
+  }
+  return e->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& help,
+    std::vector<double> bounds,
+    const std::map<std::string, std::string>& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = EntryKey(name, labels);
+  Entry* e = FindOrNull(key);
+  if (e == nullptr) {
+    Entry entry;
+    entry.name = name;
+    entry.labels = labels;
+    entry.kind = MetricKind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    e = &entries_.emplace(key, std::move(entry)).first->second;
+    help_.emplace(name, help);
+  }
+  return e->histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricKind::kGauge:
+        s.value = static_cast<double>(e.gauge->value());
+        break;
+      case MetricKind::kHistogram:
+        s.bucket_bounds = e.histogram->bounds();
+        s.bucket_counts = e.histogram->bucket_counts();
+        s.count = e.histogram->count();
+        s.sum = e.histogram->sum();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MetricsSnapshot snap = Snapshot();
+  // Group samples by family, keeping per-family sample order stable.
+  std::map<std::string, std::vector<const MetricSample*>> families;
+  for (const MetricSample& s : snap.samples) families[s.name].push_back(&s);
+
+  std::map<std::string, std::string> help;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    help = help_;
+  }
+
+  std::string out;
+  for (const auto& [name, samples] : families) {
+    auto h = help.find(name);
+    if (h != help.end() && !h->second.empty()) {
+      out += "# HELP " + name + " " + h->second + "\n";
+    }
+    const char* type = "untyped";
+    switch (samples.front()->kind) {
+      case MetricKind::kCounter:
+        type = "counter";
+        break;
+      case MetricKind::kGauge:
+        type = "gauge";
+        break;
+      case MetricKind::kHistogram:
+        type = "histogram";
+        break;
+    }
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+    for (const MetricSample* s : samples) {
+      if (s->kind != MetricKind::kHistogram) {
+        out += name + RenderLabels(s->labels) + " " + FmtDouble(s->value) +
+               "\n";
+        continue;
+      }
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < s->bucket_bounds.size(); ++i) {
+        cumulative += s->bucket_counts[i];
+        out += name + "_bucket" +
+               RenderLabels(s->labels, "le", FmtDouble(s->bucket_bounds[i])) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      cumulative += s->bucket_counts.back();
+      out += name + "_bucket" + RenderLabels(s->labels, "le", "+Inf") + " " +
+             std::to_string(cumulative) + "\n";
+      out += name + "_sum" + RenderLabels(s->labels) + " " +
+             FmtDouble(s->sum) + "\n";
+      out += name + "_count" + RenderLabels(s->labels) + " " +
+             std::to_string(s->count) + "\n";
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace vada::obs

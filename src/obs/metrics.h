@@ -1,0 +1,144 @@
+#ifndef VADA_OBS_METRICS_H_
+#define VADA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vada::obs {
+
+/// Metric naming convention: `vada_<layer>_<name>`, e.g.
+/// `vada_datalog_rules_fired` or `vada_transducer_execute_seconds`.
+/// Durations are always seconds (Prometheus convention).
+
+/// Monotonically increasing counter. Increments are lock-free and safe
+/// from any thread; reads are relaxed snapshots.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (relation cardinalities, versions).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: per-bucket atomic counters plus an atomic sum,
+/// so hot-path Observe() never takes a lock. Bucket bounds are inclusive
+/// upper bounds; observations above the last bound land in the implicit
+/// +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Power-of-ten latency buckets from 1us to 10s, in seconds.
+  static std::vector<double> DefaultLatencyBucketsSeconds();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size == bounds().size() + 1,
+  /// the last entry being the +Inf bucket.
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric (one label combination).
+struct MetricSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;                  ///< counter / gauge value
+  std::vector<double> bucket_bounds;   ///< histogram only
+  std::vector<uint64_t> bucket_counts; ///< non-cumulative, +Inf last
+  uint64_t count = 0;                  ///< histogram only
+  double sum = 0.0;                    ///< histogram only
+};
+
+/// Consistent snapshot of a registry, detached from the live atomics.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  bool empty() const { return samples.empty(); }
+  /// First sample whose name (and, when given, labels) match; nullptr
+  /// when absent. Empty `labels` matches any label set.
+  const MetricSample* Find(
+      const std::string& name,
+      const std::map<std::string, std::string>& labels = {}) const;
+  /// Counter/gauge value (histograms: observation count); 0 when absent.
+  double Value(const std::string& name,
+               const std::map<std::string, std::string>& labels = {}) const;
+};
+
+/// Owns metrics keyed by (family name, label set). Get* registers on
+/// first use and returns a pointer that stays valid for the registry's
+/// lifetime — callers on hot paths should cache it. Registration takes a
+/// mutex; increments on the returned objects are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const std::map<std::string, std::string>& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const std::map<std::string, std::string>& labels = {});
+  /// `bounds` is only consulted when this (name, labels) pair is new.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const std::map<std::string, std::string>& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (version 0.0.4): families sorted
+  /// by name with # HELP / # TYPE headers, histograms as cumulative
+  /// <name>_bucket{le=...} plus <name>_sum / <name>_count.
+  std::string RenderPrometheus() const;
+
+  /// The process-wide default registry.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::map<std::string, std::string> labels;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrNull(const std::string& key);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;      // key: name + serialized labels
+  std::map<std::string, std::string> help_;   // per family name
+};
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_METRICS_H_

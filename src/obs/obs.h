@@ -1,0 +1,54 @@
+#ifndef VADA_OBS_OBS_H_
+#define VADA_OBS_OBS_H_
+
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace vada::obs {
+
+/// Observability configuration for a session / orchestrator. With
+/// `enabled == false` every instrumentation site degrades to a null-
+/// pointer check: no clock reads, no atomics, no allocations.
+struct ObsOptions {
+  bool enabled = true;
+  /// Registry to record into; nullptr means the context owns a private
+  /// registry (so concurrent sessions do not mix their numbers). Pass
+  /// &MetricsRegistry::Default() to aggregate process-wide.
+  MetricsRegistry* registry = nullptr;
+  /// Collect a per-session span tree (feeds the Chrome trace export).
+  bool collect_spans = true;
+};
+
+/// Bundles the live observability objects instrumented layers record
+/// into. metrics()/spans() return nullptr when disabled, which is the
+/// signal instrumentation sites use to skip all work.
+class ObsContext {
+ public:
+  explicit ObsContext(ObsOptions options = ObsOptions()) : options_(options) {
+    if (!options_.enabled) return;
+    if (options_.registry == nullptr) {
+      owned_registry_ = std::make_unique<MetricsRegistry>();
+      options_.registry = owned_registry_.get();
+    }
+    if (options_.collect_spans) {
+      spans_ = std::make_unique<SpanCollector>();
+    }
+  }
+
+  bool enabled() const { return options_.enabled; }
+  MetricsRegistry* metrics() const {
+    return options_.enabled ? options_.registry : nullptr;
+  }
+  SpanCollector* spans() const { return spans_.get(); }
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  std::unique_ptr<SpanCollector> spans_;
+};
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_OBS_H_

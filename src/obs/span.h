@@ -1,0 +1,109 @@
+#ifndef VADA_OBS_SPAN_H_
+#define VADA_OBS_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace vada::obs {
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch; the
+/// common time base for spans and trace events (Chrome traces only need
+/// relative timestamps).
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One finished span. Depth is the nesting level at open time; Chrome
+/// trace viewers reconstruct the tree from nested [start, end) intervals.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  size_t depth = 0;
+};
+
+/// Collects finished spans for one session. Thread-safe appends; spans
+/// from concurrent sessions go to their own collectors.
+class SpanCollector {
+ public:
+  void Record(SpanRecord span) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+  }
+
+  std::vector<SpanRecord> spans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+  }
+
+  /// Current nesting depth bookkeeping for ScopedSpan.
+  size_t EnterScope() { return depth_++; }
+  void LeaveScope() {
+    if (depth_ > 0) --depth_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  size_t depth_ = 0;
+};
+
+/// RAII timer: times its scope, records the elapsed seconds into an
+/// optional histogram and the interval into an optional collector. Both
+/// may be null — then the constructor does not even read the clock, which
+/// is what makes instrumented code near-free when observability is off.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanCollector* collector, Histogram* histogram,
+             std::string name, std::string category = "")
+      : collector_(collector), histogram_(histogram) {
+    if (collector_ == nullptr && histogram_ == nullptr) return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    if (collector_ != nullptr) depth_ = collector_->EnterScope();
+    start_ns_ = MonotonicNanos();
+  }
+
+  ~ScopedSpan() {
+    if (collector_ == nullptr && histogram_ == nullptr) return;
+    uint64_t end_ns = MonotonicNanos();
+    if (histogram_ != nullptr) {
+      histogram_->Observe(static_cast<double>(end_ns - start_ns_) * 1e-9);
+    }
+    if (collector_ != nullptr) {
+      collector_->LeaveScope();
+      collector_->Record(
+          SpanRecord{std::move(name_), std::move(category_), start_ns_,
+                     end_ns, depth_});
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanCollector* collector_;
+  Histogram* histogram_;
+  std::string name_;
+  std::string category_;
+  uint64_t start_ns_ = 0;
+  size_t depth_ = 0;
+};
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_SPAN_H_

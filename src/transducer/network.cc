@@ -90,34 +90,83 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
   OrchestrationStats local;
   OrchestrationStats* st = (stats != nullptr) ? stats : &local;
 
-  for (size_t step = 0; step < options_.max_steps; ++step) {
-    VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+  obs::MetricsRegistry* m =
+      options_.obs != nullptr ? options_.obs->metrics() : nullptr;
+  obs::SpanCollector* spans =
+      options_.obs != nullptr ? options_.obs->spans() : nullptr;
+  obs::Counter* steps_counter = nullptr;
+  obs::Counter* effective_counter = nullptr;
+  obs::Counter* dep_checks_counter = nullptr;
+  obs::Histogram* eligibility_hist = nullptr;
+  obs::Histogram* dep_check_hist = nullptr;
+  datalog::EvalOptions eval_options;
+  if (m != nullptr) {
+    steps_counter =
+        m->GetCounter("vada_orchestrator_steps", "Transducer executions");
+    effective_counter = m->GetCounter("vada_orchestrator_effective_steps",
+                                      "Executions that changed the KB");
+    dep_checks_counter = m->GetCounter("vada_orchestrator_dependency_checks",
+                                       "Input-dependency query evaluations");
+    eligibility_hist = m->GetHistogram(
+        "vada_orchestrator_eligibility_seconds",
+        "Per-step control-fact sync plus eligibility scan",
+        obs::Histogram::DefaultLatencyBucketsSeconds());
+    dep_check_hist = m->GetHistogram(
+        "vada_orchestrator_dependency_check_seconds",
+        "One input-dependency Datalog query",
+        obs::Histogram::DefaultLatencyBucketsSeconds());
+    eval_options.metrics = m;
+  }
 
+  for (size_t step = 0; step < options_.max_steps; ++step) {
     // Eligibility: dependency satisfied AND the KB moved since last run.
     std::vector<Transducer*> eligible;
-    for (const std::unique_ptr<Transducer>& t : registry_->transducers()) {
-      auto it = last_run_version_.find(t->name());
-      if (it != last_run_version_.end() &&
-          it->second >= kb->global_version()) {
-        continue;  // nothing new since this transducer last ran
+    {
+      obs::ScopedSpan eligibility_span(spans, eligibility_hist, "eligibility",
+                                       "orchestrator");
+      VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+      for (const std::unique_ptr<Transducer>& t : registry_->transducers()) {
+        auto it = last_run_version_.find(t->name());
+        if (it != last_run_version_.end() &&
+            it->second >= kb->global_version()) {
+          continue;  // nothing new since this transducer last ran
+        }
+        ++st->dependency_checks;
+        if (dep_checks_counter != nullptr) dep_checks_counter->Increment();
+        Result<std::vector<Tuple>> ready = [&] {
+          obs::ScopedSpan dep_span(nullptr, dep_check_hist, "dep_check");
+          return datalog::QueryKnowledgeBase(t->input_dependency(), *kb,
+                                             "ready", eval_options);
+        }();
+        if (!ready.ok()) {
+          return Status::InvalidArgument(
+              "input dependency of " + t->name() +
+              " failed to evaluate: " + ready.status().message());
+        }
+        if (!ready.value().empty()) eligible.push_back(t.get());
       }
-      ++st->dependency_checks;
-      Result<std::vector<Tuple>> ready = datalog::QueryKnowledgeBase(
-          t->input_dependency(), *kb, "ready");
-      if (!ready.ok()) {
-        return Status::InvalidArgument(
-            "input dependency of " + t->name() +
-            " failed to evaluate: " + ready.status().message());
-      }
-      if (!ready.value().empty()) eligible.push_back(t.get());
     }
     if (eligible.empty()) return Status::OK();  // fixpoint
 
     Transducer* chosen = policy_->Choose(eligible);
     uint64_t version_before = kb->global_version();
-    auto t0 = std::chrono::steady_clock::now();
-    Status exec_status = chosen->Execute(kb);
-    auto t1 = std::chrono::steady_clock::now();
+    uint64_t facts_added_before = kb->facts_added();
+    uint64_t facts_removed_before = kb->facts_removed();
+    obs::Histogram* execute_hist =
+        m == nullptr
+            ? nullptr
+            : m->GetHistogram("vada_transducer_execute_seconds",
+                              "Transducer Execute() wall time",
+                              obs::Histogram::DefaultLatencyBucketsSeconds(),
+                              {{"transducer", chosen->name()}});
+    uint64_t t0 = obs::MonotonicNanos();
+    Status exec_status;
+    {
+      obs::ScopedSpan execute_span(spans, execute_hist, chosen->name(),
+                                   chosen->activity());
+      exec_status = chosen->Execute(kb);
+    }
+    uint64_t t1 = obs::MonotonicNanos();
     // Record the version the transducer *saw* — its own writes count as
     // new information (it re-runs once more and must reach a no-op, which
     // is how non-idempotent transducer bugs surface at max_steps instead
@@ -125,19 +174,42 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
     last_run_version_[chosen->name()] = version_before;
     ++st->steps;
     uint64_t version_after = kb->global_version();
-    if (version_after != version_before) ++st->effective_steps;
+    bool changed = version_after != version_before;
+    if (changed) ++st->effective_steps;
+    uint64_t facts_added = kb->facts_added() - facts_added_before;
+    uint64_t facts_removed = kb->facts_removed() - facts_removed_before;
+
+    if (m != nullptr) {
+      steps_counter->Increment();
+      if (changed) effective_counter->Increment();
+      if (facts_added > 0) {
+        m->GetCounter("vada_transducer_kb_facts_added",
+                      "KB facts added by Execute() (replace counts full)",
+                      {{"transducer", chosen->name()}})
+            ->Increment(facts_added);
+      }
+      if (facts_removed > 0) {
+        m->GetCounter("vada_transducer_kb_facts_removed",
+                      "KB facts removed by Execute() (replace counts full)",
+                      {{"transducer", chosen->name()}})
+            ->Increment(facts_removed);
+      }
+    }
 
     if (options_.record_trace) {
       TraceEvent event;
       event.step = next_step_++;
       event.transducer = chosen->name();
       event.activity = chosen->activity();
+      event.policy = policy_->name();
       for (Transducer* t : eligible) event.eligible.push_back(t->name());
       event.version_before = version_before;
       event.version_after = version_after;
-      event.changed_kb = version_after != version_before;
-      event.duration_ms =
-          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      event.changed_kb = changed;
+      event.facts_added = facts_added;
+      event.facts_removed = facts_removed;
+      event.start_ns = t0;
+      event.duration_ms = static_cast<double>(t1 - t0) * 1e-6;
       if (!exec_status.ok()) event.note = exec_status.ToString();
       trace_.Add(std::move(event));
     }

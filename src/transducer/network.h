@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "kb/knowledge_base.h"
+#include "obs/obs.h"
 #include "transducer/trace.h"
 #include "transducer/transducer.h"
 
@@ -64,6 +65,9 @@ struct OrchestratorOptions {
   /// with an error instead of spinning.
   size_t max_steps = 500;
   bool record_trace = true;
+  /// Observability context (not owned; may outlive many Run calls). Null
+  /// or disabled: every instrumentation site reduces to a pointer check.
+  obs::ObsContext* obs = nullptr;
 };
 
 /// Aggregate statistics of one orchestration run.

@@ -5,13 +5,17 @@
 namespace vada {
 
 std::string TraceEvent::ToString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "step %3zu  %-28s [%-10s] v%llu->%llu %s %.2fms",
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "step %3zu  %-28s [%-10s] v%llu->%llu %s +%llu/-%llu %.2fms",
                 step, transducer.c_str(), activity.c_str(),
                 static_cast<unsigned long long>(version_before),
                 static_cast<unsigned long long>(version_after),
-                changed_kb ? "changed " : "no-op   ", duration_ms);
+                changed_kb ? "changed " : "no-op   ",
+                static_cast<unsigned long long>(facts_added),
+                static_cast<unsigned long long>(facts_removed), duration_ms);
   std::string out = buf;
+  if (!policy.empty()) out += "  policy: " + policy;
   if (!note.empty()) out += "  (" + note + ")";
   out += "  eligible: {" + Join(eligible, ", ") + "}";
   return out;
@@ -50,14 +54,18 @@ std::string ExecutionTrace::ToString() const {
 
 std::string ExecutionTrace::ToMarkdown() const {
   std::string out =
-      "| step | transducer | activity | effect | duration (ms) | eligible |\n"
-      "|---|---|---|---|---|---|\n";
+      "| step | transducer | activity | policy | effect | +facts | -facts "
+      "| duration (ms) | eligible |\n"
+      "|---|---|---|---|---|---|---|---|---|\n";
   for (const TraceEvent& e : events_) {
     char duration[32];
     std::snprintf(duration, sizeof(duration), "%.2f", e.duration_ms);
     out += "| " + std::to_string(e.step) + " | " + e.transducer + " | " +
-           e.activity + " | " + (e.changed_kb ? "changed" : "no-op") + " | " +
-           duration + " | " + std::to_string(e.eligible.size()) + " |\n";
+           e.activity + " | " + e.policy + " | " +
+           (e.changed_kb ? "changed" : "no-op") + " | " +
+           std::to_string(e.facts_added) + " | " +
+           std::to_string(e.facts_removed) + " | " + duration + " | " +
+           std::to_string(e.eligible.size()) + " |\n";
   }
   return out;
 }

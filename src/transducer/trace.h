@@ -14,10 +14,19 @@ struct TraceEvent {
   size_t step = 0;
   std::string transducer;
   std::string activity;
+  /// Name of the scheduling policy that made the choice.
+  std::string policy;
   std::vector<std::string> eligible;
   uint64_t version_before = 0;
   uint64_t version_after = 0;
   bool changed_kb = false;
+  /// KB delta attributed to this step (Replace counts remove+add, so
+  /// these are upper bounds on the logical change).
+  uint64_t facts_added = 0;
+  uint64_t facts_removed = 0;
+  /// Step start on the monotonic clock (obs::MonotonicNanos time base;
+  /// lets exporters place the step on a shared timeline with spans).
+  uint64_t start_ns = 0;
   double duration_ms = 0.0;
   std::string note;
 

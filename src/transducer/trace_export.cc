@@ -1,0 +1,35 @@
+#include "transducer/trace_export.h"
+
+#include "common/strings.h"
+#include "obs/chrome_trace.h"
+
+namespace vada {
+
+std::string TraceExport::ToChromeTrace(const ExecutionTrace& trace,
+                                       const obs::SpanCollector* spans) {
+  obs::ChromeTraceBuilder builder;
+  for (const TraceEvent& e : trace.events()) {
+    obs::ChromeTraceEvent event;
+    event.name = e.transducer;
+    event.category = e.activity.empty() ? "step" : e.activity;
+    event.ts_us = e.start_ns / 1000;
+    event.dur_us = static_cast<uint64_t>(e.duration_ms * 1000.0);
+    event.tid = 1;
+    event.args = {
+        {"step", std::to_string(e.step)},
+        {"policy", e.policy},
+        {"changed_kb", e.changed_kb ? "true" : "false"},
+        {"facts_added", std::to_string(e.facts_added)},
+        {"facts_removed", std::to_string(e.facts_removed)},
+        {"version", std::to_string(e.version_before) + "->" +
+                        std::to_string(e.version_after)},
+        {"eligible", Join(e.eligible, ", ")},
+    };
+    if (!e.note.empty()) event.args.push_back({"note", e.note});
+    builder.Add(std::move(event));
+  }
+  if (spans != nullptr) builder.AddSpans(*spans, 2);
+  return builder.ToJson();
+}
+
+}  // namespace vada

@@ -1,0 +1,25 @@
+#ifndef VADA_TRANSDUCER_TRACE_EXPORT_H_
+#define VADA_TRANSDUCER_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "obs/span.h"
+#include "transducer/trace.h"
+
+namespace vada {
+
+/// Machine-readable exports of the orchestration trace — the "browsable
+/// trace information" of the demo (paper §3), in formats external tools
+/// understand.
+class TraceExport {
+ public:
+  /// Chrome trace-event JSON: one complete event per orchestration step
+  /// (lane 1), plus one event per recorded span (lane 2) when `spans` is
+  /// given. Open in Perfetto (ui.perfetto.dev) or chrome://tracing.
+  static std::string ToChromeTrace(const ExecutionTrace& trace,
+                                   const obs::SpanCollector* spans = nullptr);
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_TRACE_EXPORT_H_

@@ -15,6 +15,7 @@
 #include "match/combiner.h"
 #include "match/instance_matcher.h"
 #include "match/schema_matcher.h"
+#include "obs/obs.h"
 #include "quality/cfd.h"
 
 namespace vada {
@@ -44,6 +45,10 @@ struct WranglerConfig {
   SourceSelectorOptions source_selector;
   DedupOptions dedup;  ///< blocking attribute auto-chosen when empty
   PropagatorOptions propagator;
+  /// Observability: metrics, spans and exports (see WranglingSession::
+  /// MetricsReport). `obs.enabled = false` strips all instrumentation
+  /// down to pointer checks on the hot paths.
+  obs::ObsOptions obs;
   /// Name of the final result relation in the knowledge base.
   std::string result_relation = "wrangled_result";
 };

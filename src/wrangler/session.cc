@@ -2,16 +2,21 @@
 
 #include "mapping/executor.h"
 #include "mapping/mapping.h"
+#include "transducer/trace_export.h"
 
 namespace vada {
 
 WranglingSession::WranglingSession(WranglerConfig config) {
   state_ = std::make_unique<WranglingState>();
   state_->config = std::move(config);
+  obs_ = std::make_unique<obs::ObsContext>(state_->config.obs);
+  OrchestratorOptions orch_options;
+  orch_options.obs = obs_.get();
   orchestrator_ = std::make_unique<NetworkTransducer>(
       &registry_,
       std::make_unique<ActivityPriorityPolicy>(
-          ActivityPriorityPolicy::DefaultActivityOrder()));
+          ActivityPriorityPolicy::DefaultActivityOrder()),
+      orch_options);
 }
 
 Status WranglingSession::SetTargetSchema(const Schema& target) {
@@ -78,7 +83,58 @@ Status WranglingSession::Run(OrchestrationStats* stats) {
     return Status::FailedPrecondition(
         "no target schema: call SetTargetSchema first");
   }
-  return orchestrator_->Run(&kb_, stats);
+  obs::MetricsRegistry* m = obs_->metrics();
+  obs::Histogram* run_hist =
+      m == nullptr ? nullptr
+                   : m->GetHistogram(
+                         "vada_session_run_seconds",
+                         "WranglingSession::Run wall time",
+                         obs::Histogram::DefaultLatencyBucketsSeconds());
+  Status status;
+  {
+    obs::ScopedSpan run_span(obs_->spans(), run_hist, "session.run",
+                             "session");
+    status = orchestrator_->Run(&kb_, stats);
+  }
+  if (m != nullptr) {
+    m->GetCounter("vada_session_runs", "WranglingSession::Run invocations")
+        ->Increment();
+    PublishKbGauges();
+  }
+  return status;
+}
+
+void WranglingSession::PublishKbGauges() const {
+  obs::MetricsRegistry* m = obs_->metrics();
+  if (m == nullptr) return;
+  for (const std::string& name : kb_.RelationNames()) {
+    const Relation* rel = kb_.FindRelation(name);
+    if (rel == nullptr) continue;
+    m->GetGauge("vada_kb_relation_rows", "Current relation cardinality",
+                {{"relation", name}})
+        ->Set(static_cast<int64_t>(rel->size()));
+  }
+  m->GetGauge("vada_kb_relations", "Number of registered relations")
+      ->Set(static_cast<int64_t>(kb_.RelationNames().size()));
+  m->GetGauge("vada_kb_global_version",
+              "KB global version (bumped on every mutation)")
+      ->Set(static_cast<int64_t>(kb_.global_version()));
+  m->GetGauge("vada_kb_facts_added", "Lifetime facts added to the KB")
+      ->Set(static_cast<int64_t>(kb_.facts_added()));
+  m->GetGauge("vada_kb_facts_removed", "Lifetime facts removed from the KB")
+      ->Set(static_cast<int64_t>(kb_.facts_removed()));
+}
+
+SessionMetricsReport WranglingSession::MetricsReport() const {
+  SessionMetricsReport report;
+  obs::MetricsRegistry* m = obs_->metrics();
+  if (m == nullptr) return report;
+  PublishKbGauges();
+  report.snapshot = m->Snapshot();
+  report.prometheus = m->RenderPrometheus();
+  report.chrome_trace =
+      TraceExport::ToChromeTrace(orchestrator_->trace(), obs_->spans());
+  return report;
 }
 
 const Relation* WranglingSession::result() const {

@@ -7,12 +7,24 @@
 
 #include "common/status.h"
 #include "kb/knowledge_base.h"
+#include "obs/obs.h"
 #include "quality/metrics.h"
 #include "transducer/network.h"
 #include "wrangler/config.h"
 #include "wrangler/standard_transducers.h"
 
 namespace vada {
+
+/// The session's observability snapshot plus both machine-readable
+/// renderings (see WranglingSession::MetricsReport). All fields are
+/// empty when the session runs with ObsOptions{enabled = false}.
+struct SessionMetricsReport {
+  obs::MetricsSnapshot snapshot;
+  std::string prometheus;    ///< Prometheus text exposition format
+  std::string chrome_trace;  ///< Chrome trace-event JSON (Perfetto)
+
+  bool empty() const { return snapshot.empty(); }
+};
 
 /// The public facade of the VADA architecture: one pay-as-you-go data
 /// wrangling task (paper §3). The user supplies, in any order and at any
@@ -88,14 +100,27 @@ class WranglingSession {
   /// counterpart of the orchestration trace.
   Result<std::string> ExplainResultRow(const Tuple& row) const;
 
+  /// One-stop observability readout: refreshes the KB gauges
+  /// (vada_kb_relation_rows et al.), snapshots the session's metrics
+  /// registry, and renders both export formats. Non-empty after any
+  /// Run() unless the session was built with ObsOptions{enabled=false}.
+  SessionMetricsReport MetricsReport() const;
+
+  /// The live observability context (metrics registry + span collector);
+  /// disabled contexts return nullptr from metrics()/spans().
+  const obs::ObsContext& obs() const { return *obs_; }
+
   const ExecutionTrace& trace() const { return orchestrator_->trace(); }
   KnowledgeBase& kb() { return kb_; }
   const KnowledgeBase& kb() const { return kb_; }
   const WranglingState& state() const { return *state_; }
 
  private:
+  void PublishKbGauges() const;
+
   KnowledgeBase kb_;
   std::unique_ptr<WranglingState> state_;
+  std::unique_ptr<obs::ObsContext> obs_;
   TransducerRegistry registry_;
   std::unique_ptr<NetworkTransducer> orchestrator_;
   bool transducers_registered_ = false;

@@ -1,9 +1,30 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
 #include "common/logging.h"
+#include "obs/json.h"
+#include "obs/log_sinks.h"
 
 namespace vada {
 namespace {
+
+/// Restores the default sink configuration and level when a test ends,
+/// so sink-swapping tests cannot leak state into later ones.
+class SinkGuard {
+ public:
+  SinkGuard() : level_(Logger::level()) {}
+  ~SinkGuard() {
+    Logger::ResetSinks();
+    Logger::SetLevel(level_);
+  }
+
+ private:
+  LogLevel level_;
+};
 
 TEST(LoggingTest, LevelNames) {
   EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
@@ -28,6 +49,111 @@ TEST(LoggingTest, MacroBuildsMessageWithoutCrashing) {
   // At threshold: emitted to stderr (not captured; just must not crash).
   VADA_LOG(kError, "test") << "emitted " << 1.5;
   Logger::SetLevel(before);
+}
+
+TEST(LoggingTest, RingBufferSinkCapturesRecords) {
+  SinkGuard guard;
+  auto ring = std::make_shared<obs::RingBufferLogSink>();
+  Logger::ClearSinks();
+  Logger::AddSink(ring);
+  Logger::SetLevel(LogLevel::kInfo);
+
+  VADA_LOG(kInfo, "orchestrator") << "step " << 3;
+  VADA_LOG(kDebug, "orchestrator") << "suppressed";
+  VADA_LOG(kError, "datalog") << "boom";
+
+  std::vector<LogRecord> records = ring->records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].level, LogLevel::kInfo);
+  EXPECT_EQ(records[0].component, "orchestrator");
+  EXPECT_EQ(records[0].message, "step 3");
+  EXPECT_GT(records[0].unix_nanos, 0);
+  EXPECT_EQ(records[1].level, LogLevel::kError);
+  EXPECT_EQ(records[1].component, "datalog");
+}
+
+TEST(LoggingTest, RingBufferSinkEvictsOldest) {
+  SinkGuard guard;
+  auto ring = std::make_shared<obs::RingBufferLogSink>(3);
+  Logger::ClearSinks();
+  Logger::AddSink(ring);
+  Logger::SetLevel(LogLevel::kInfo);
+
+  for (int i = 0; i < 5; ++i) {
+    VADA_LOG(kInfo, "test") << "msg " << i;
+  }
+  std::vector<LogRecord> records = ring->records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().message, "msg 2");
+  EXPECT_EQ(records.back().message, "msg 4");
+}
+
+TEST(LoggingTest, JsonlSinkEmitsOneValidObjectPerLine) {
+  SinkGuard guard;
+  std::ostringstream out;
+  Logger::ClearSinks();
+  Logger::AddSink(std::make_shared<obs::JsonlLogSink>(&out));
+  Logger::SetLevel(LogLevel::kInfo);
+
+  VADA_LOG(kWarning, "kb") << "version \"bump\"\nwith newline";
+  VADA_LOG(kInfo, "session") << "run done";
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    std::string error;
+    EXPECT_TRUE(obs::JsonLint(line, &error)) << line << ": " << error;
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_NE(out.str().find("\"level\":\"WARN\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"component\":\"kb\""), std::string::npos);
+  // The raw newline in the message must have been escaped, not emitted.
+  EXPECT_NE(out.str().find("\\nwith newline"), std::string::npos);
+}
+
+TEST(LoggingTest, ConcurrentLoggingKeepsRecordsWhole) {
+  SinkGuard guard;
+  auto ring = std::make_shared<obs::RingBufferLogSink>(4096);
+  Logger::ClearSinks();
+  Logger::AddSink(ring);
+  Logger::SetLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        VADA_LOG(kInfo, "worker") << "thread " << t << " message " << i;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::vector<LogRecord> records = ring->records();
+  ASSERT_EQ(records.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const LogRecord& r : records) {
+    // Whole lines: every record begins with the full prefix and was not
+    // interleaved with another thread's write.
+    EXPECT_EQ(r.component, "worker");
+    EXPECT_EQ(r.message.rfind("thread ", 0), 0u) << r.message;
+    EXPECT_NE(r.thread_id, 0u);
+  }
+}
+
+TEST(LoggingTest, ClearSinksDropsMessages) {
+  SinkGuard guard;
+  auto ring = std::make_shared<obs::RingBufferLogSink>();
+  Logger::ClearSinks();
+  Logger::SetLevel(LogLevel::kInfo);
+  VADA_LOG(kInfo, "test") << "discarded";
+  Logger::AddSink(ring);
+  VADA_LOG(kInfo, "test") << "captured";
+  std::vector<LogRecord> records = ring->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].message, "captured");
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include "extract/open_government.h"
 #include "extract/real_estate.h"
+#include "obs/json.h"
 #include "wrangler/evaluation.h"
 #include "wrangler/session.h"
 
@@ -246,6 +247,100 @@ TEST_F(SessionTest, ResultQualityEstimateAvailable) {
   // With reference data, accuracy for street must be available.
   ASSERT_TRUE(q.value().attribute.count("street") > 0);
   EXPECT_TRUE(q.value().attribute.at("street").accuracy.has_value());
+}
+
+TEST_F(SessionTest, MetricsReportExposesOrchestrationMetrics) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  OrchestrationStats stats;
+  ASSERT_TRUE(session.Run(&stats).ok());
+
+  SessionMetricsReport report = session.MetricsReport();
+  ASSERT_FALSE(report.empty());
+  EXPECT_GT(report.snapshot.Value("vada_datalog_rules_fired"), 0.0);
+  EXPECT_GT(report.snapshot.Value("vada_datalog_join_probes"), 0.0);
+  EXPECT_DOUBLE_EQ(report.snapshot.Value("vada_orchestrator_steps"),
+                   static_cast<double>(stats.steps));
+  EXPECT_DOUBLE_EQ(report.snapshot.Value("vada_orchestrator_dependency_checks"),
+                   static_cast<double>(stats.dependency_checks));
+  EXPECT_DOUBLE_EQ(report.snapshot.Value("vada_session_runs"), 1.0);
+  EXPECT_GT(report.snapshot.Value("vada_kb_relations"), 0.0);
+
+  // Per-transducer execute-duration histograms, one observation per run.
+  std::map<std::string, size_t> counts = session.trace().ExecutionCounts();
+  for (const char* transducer :
+       {"schema_matching", "mapping_generation", "mapping_execution",
+        "fusion"}) {
+    const obs::MetricSample* h = report.snapshot.Find(
+        "vada_transducer_execute_seconds", {{"transducer", transducer}});
+    ASSERT_NE(h, nullptr) << transducer;
+    EXPECT_EQ(h->kind, obs::MetricKind::kHistogram);
+    EXPECT_EQ(h->count, counts[transducer]) << transducer;
+    EXPECT_GT(h->sum, 0.0) << transducer;
+  }
+}
+
+TEST_F(SessionTest, MetricsReportRendersBothExportFormats) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  SessionMetricsReport report = session.MetricsReport();
+
+  // Prometheus text exposition: typed families, our metrics present.
+  ASSERT_FALSE(report.prometheus.empty());
+  EXPECT_NE(report.prometheus.find("# TYPE vada_orchestrator_steps counter"),
+            std::string::npos);
+  EXPECT_NE(report.prometheus.find(
+                "# TYPE vada_transducer_execute_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(report.prometheus.find("vada_kb_relation_rows{relation="),
+            std::string::npos);
+  EXPECT_NE(report.prometheus.find("le=\"+Inf\""), std::string::npos);
+
+  // Chrome trace: valid JSON with at least one event per orchestration
+  // step (steps on tid 1, spans on tid 2).
+  std::string error;
+  ASSERT_TRUE(obs::JsonLint(report.chrome_trace, &error)) << error;
+  size_t events = 0;
+  for (size_t pos = report.chrome_trace.find("\"ph\":\"X\"");
+       pos != std::string::npos;
+       pos = report.chrome_trace.find("\"ph\":\"X\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_GE(events, session.trace().size());
+  EXPECT_NE(report.chrome_trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(report.chrome_trace.find("schema_matching"), std::string::npos);
+}
+
+TEST_F(SessionTest, MetricsReportEmptyWhenObservabilityDisabled) {
+  WranglerConfig config;
+  config.obs.enabled = false;
+  WranglingSession session(config);
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_NE(session.result(), nullptr);
+  EXPECT_GT(session.result()->size(), 0u);
+
+  SessionMetricsReport report = session.MetricsReport();
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.prometheus.empty());
+  EXPECT_TRUE(report.chrome_trace.empty());
+  EXPECT_EQ(session.obs().metrics(), nullptr);
+  EXPECT_EQ(session.obs().spans(), nullptr);
+}
+
+TEST_F(SessionTest, MetricsAccumulateAcrossRuns) {
+  WranglingSession session;
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  double steps_after_bootstrap =
+      session.MetricsReport().snapshot.Value("vada_orchestrator_steps");
+  ASSERT_TRUE(AddAddressContext(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  SessionMetricsReport report = session.MetricsReport();
+  EXPECT_GT(report.snapshot.Value("vada_orchestrator_steps"),
+            steps_after_bootstrap);
+  EXPECT_DOUBLE_EQ(report.snapshot.Value("vada_session_runs"), 2.0);
 }
 
 }  // namespace

@@ -240,5 +240,28 @@ TEST(TraceTest, CountsAndRendering) {
   EXPECT_NE(trace.ToString().find("alpha"), std::string::npos);
 }
 
+TEST(TraceTest, RenderingIncludesPolicyAndFactDeltas) {
+  ExecutionTrace trace;
+  TraceEvent e;
+  e.step = 0;
+  e.transducer = "alpha";
+  e.activity = "act";
+  e.policy = "activity_priority";
+  e.changed_kb = true;
+  e.facts_added = 12;
+  e.facts_removed = 3;
+  trace.Add(e);
+
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("+12/-3"), std::string::npos) << text;
+  EXPECT_NE(text.find("policy: activity_priority"), std::string::npos) << text;
+
+  std::string md = trace.ToMarkdown();
+  EXPECT_NE(md.find("| policy |"), std::string::npos);
+  EXPECT_NE(md.find("| +facts | -facts |"), std::string::npos);
+  EXPECT_NE(md.find("| activity_priority |"), std::string::npos);
+  EXPECT_NE(md.find("| 12 | 3 |"), std::string::npos) << md;
+}
+
 }  // namespace
 }  // namespace vada
