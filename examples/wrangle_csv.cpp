@@ -1,9 +1,9 @@
 // A command-line wrangler: point it at CSV files, name a target schema,
 // get a wrangled CSV back — the session API as a shippable tool.
 //
-//   wrangle_csv --target name,price,postcode \
-//               --source shops_a.csv --source shops_b.csv \
-//               [--reference addr.csv --bind postcode=pc --bind street=str] \
+//   wrangle_csv --target name,price,postcode
+//               --source shops_a.csv --source shops_b.csv
+//               [--reference addr.csv --bind postcode=pc --bind street=str]
 //               [--out result.csv] [--save-kb kb_dir] [--trace] [--explain N]
 //
 // Every flag maps 1:1 onto a WranglingSession call, so this file doubles

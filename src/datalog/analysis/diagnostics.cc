@@ -1,0 +1,87 @@
+#include "datalog/analysis/diagnostics.h"
+
+#include <algorithm>
+
+namespace vada::datalog::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+const char* WardedClassName(WardedClass c) {
+  switch (c) {
+    case WardedClass::kWarded:
+      return "warded";
+    case WardedClass::kShy:
+      return "shy";
+    case WardedClass::kUnrestricted:
+      return "unrestricted";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (pos.known()) {
+    out += pos.ToString() + ": ";
+  } else if (rule_index >= 0) {
+    out += "rule " + std::to_string(rule_index) + ": ";
+  }
+  out += SeverityName(severity);
+  out += " [" + check_id + "]: " + message;
+  if (!fix_hint.empty()) out += " (fix: " + fix_hint + ")";
+  return out;
+}
+
+size_t AnalysisReport::CountAtSeverity(Severity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  // Errors first; within a severity, keep discovery (source) order.
+  std::vector<const Diagnostic*> ordered;
+  ordered.reserve(diagnostics.size());
+  for (const Diagnostic& d : diagnostics) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  for (const Diagnostic* d : ordered) {
+    out += d->ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status AnalysisReport::ToStatus(const std::string& context) const {
+  size_t errors = error_count();
+  if (errors == 0) return Status::OK();
+  const Diagnostic* first = nullptr;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) {
+      first = &d;
+      break;
+    }
+  }
+  std::string msg = context + ": " + first->ToString();
+  if (errors > 1) {
+    msg += " (and " + std::to_string(errors - 1) + " more error(s))";
+  }
+  return Status::InvalidArgument(std::move(msg));
+}
+
+}  // namespace vada::datalog::analysis

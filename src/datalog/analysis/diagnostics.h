@@ -1,0 +1,75 @@
+#ifndef VADA_DATALOG_ANALYSIS_DIAGNOSTICS_H_
+#define VADA_DATALOG_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace vada::datalog::analysis {
+
+/// Finding severity. Errors make a program unfit for evaluation (unsafe,
+/// non-stratifiable, arity-inconsistent); warnings flag likely mistakes
+/// that still evaluate; infos are purely informational (classification,
+/// possibly-unused outputs).
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// "info", "warning" or "error".
+const char* SeverityName(Severity severity);
+
+/// Wardedness classification of a program (Vadalog tractability ladder,
+/// Bellomarini et al. VLDB'18 / Baldazzi et al. 2023). In this dialect
+/// "invented" values originate from aggregates and arithmetic
+/// assignments rather than existential quantifiers; see DESIGN.md for
+/// the exact approximation.
+///  - kWarded: every rule confines its dangerous variables to one atom.
+///  - kShy: dangerous variables never join, but some rule lacks a single
+///    ward atom containing all of them.
+///  - kUnrestricted: some dangerous variable joins across body atoms.
+enum class WardedClass { kWarded = 0, kShy = 1, kUnrestricted = 2 };
+
+/// "warded", "shy" or "unrestricted".
+const char* WardedClassName(WardedClass c);
+
+/// One static-analysis finding, anchored to the source token that
+/// triggered it (pos.known() is false for ASTs built programmatically).
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  /// Stable machine-readable id, "<family>/<check>" — e.g.
+  /// "safety/unbound-head-variable", "lint/singleton-variable".
+  std::string check_id;
+  /// Index into Program::rules, or -1 for whole-program findings.
+  int rule_index = -1;
+  SourcePos pos;
+  std::string message;
+  /// Suggested remedy, empty when none applies.
+  std::string fix_hint;
+
+  /// "line L, col C: error [safety/...]: message (fix: hint)".
+  std::string ToString() const;
+};
+
+/// Everything one ProgramAnalyzer::Analyze pass found.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  WardedClass warded_class = WardedClass::kWarded;
+
+  size_t CountAtSeverity(Severity severity) const;
+  size_t error_count() const { return CountAtSeverity(Severity::kError); }
+  size_t warning_count() const { return CountAtSeverity(Severity::kWarning); }
+  bool ok() const { return error_count() == 0; }
+
+  /// All diagnostics, one per line, errors first within source order.
+  std::string ToString() const;
+
+  /// OK when ok(); otherwise kInvalidArgument naming `context` and the
+  /// first error (plus the total error count). Registration-time
+  /// validation returns this to callers.
+  Status ToStatus(const std::string& context) const;
+};
+
+}  // namespace vada::datalog::analysis
+
+#endif  // VADA_DATALOG_ANALYSIS_DIAGNOSTICS_H_

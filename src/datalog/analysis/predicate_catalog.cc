@@ -1,0 +1,60 @@
+#include "datalog/analysis/predicate_catalog.h"
+
+namespace vada::datalog::analysis {
+
+void PredicateCatalog::Declare(const std::string& predicate,
+                               PredicateInfo info) {
+  predicates_[predicate] = std::move(info);
+}
+
+void PredicateCatalog::DeclareSchema(const Schema& schema) {
+  PredicateInfo info;
+  info.arity = schema.arity();
+  bool any_typed = false;
+  for (const Attribute& a : schema.attributes()) {
+    info.attribute_names.push_back(a.name);
+    info.attribute_types.push_back(a.type);
+    if (a.type != AttributeType::kAny) any_typed = true;
+  }
+  if (!any_typed) info.attribute_types.clear();
+  Declare(schema.relation_name(), std::move(info));
+}
+
+const PredicateInfo* PredicateCatalog::Find(
+    const std::string& predicate) const {
+  auto it = predicates_.find(predicate);
+  return it == predicates_.end() ? nullptr : &it->second;
+}
+
+PredicateCatalog PredicateCatalog::SystemRelations() {
+  // The control relations only ever hold relation/attribute/role names,
+  // so declare them string-typed: `sys_relation_nonempty(42)` is a bug
+  // worth catching even without a knowledge base at hand.
+  const auto str = [](std::string name) {
+    return Attribute{std::move(name), AttributeType::kString};
+  };
+  PredicateCatalog catalog;
+  catalog.DeclareSchema(
+      Schema("sys_relation_role", {str("relation"), str("role")}));
+  catalog.DeclareSchema(Schema("sys_relation_nonempty", {str("relation")}));
+  catalog.DeclareSchema(
+      Schema("sys_relation_attribute", {str("relation"), str("attribute")}));
+  return catalog;
+}
+
+PredicateCatalog PredicateCatalog::FromKnowledgeBase(const KnowledgeBase& kb) {
+  PredicateCatalog catalog;
+  for (const std::string& name : kb.RelationNames()) {
+    const Relation* rel = kb.FindRelation(name);
+    if (rel != nullptr) catalog.DeclareSchema(rel->schema());
+  }
+  // Declared last so the typed declarations win over the untyped sys_*
+  // relations the orchestrator may already have materialised in `kb`.
+  PredicateCatalog system = SystemRelations();
+  for (const auto& [name, info] : system.predicates_) {
+    catalog.Declare(name, info);
+  }
+  return catalog;
+}
+
+}  // namespace vada::datalog::analysis

@@ -1,0 +1,53 @@
+#ifndef VADA_DATALOG_ANALYSIS_PREDICATE_CATALOG_H_
+#define VADA_DATALOG_ANALYSIS_PREDICATE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+#include "kb/schema.h"
+
+namespace vada::datalog::analysis {
+
+/// What the analyzer knows about one extensional predicate: its declared
+/// arity and (optionally) per-position attribute names/types, taken from
+/// the KB relation schema the predicate resolves to at evaluation time.
+struct PredicateInfo {
+  size_t arity = 0;
+  /// Attribute names, empty or arity-sized (used in messages only).
+  std::vector<std::string> attribute_names;
+  /// Declared types, empty or arity-sized; kAny entries are unchecked.
+  std::vector<AttributeType> attribute_types;
+};
+
+/// The analyzer-facing view of the knowledge-base catalog: predicate
+/// name -> declared shape. Decoupled from KnowledgeBase so tests (and
+/// the vada_lint CLI, which has no KB) can declare predicates directly.
+class PredicateCatalog {
+ public:
+  void Declare(const std::string& predicate, PredicateInfo info);
+  /// Declares `schema.relation_name()` from a relation schema.
+  void DeclareSchema(const Schema& schema);
+
+  /// nullptr when unknown.
+  const PredicateInfo* Find(const std::string& predicate) const;
+  bool empty() const { return predicates_.empty(); }
+  size_t size() const { return predicates_.size(); }
+
+  /// Every relation currently in `kb`, plus the sys_* control relations
+  /// the orchestrator materialises before each dependency check (so
+  /// input-dependency programs validate even on a fresh KB).
+  static PredicateCatalog FromKnowledgeBase(const KnowledgeBase& kb);
+
+  /// Only the sys_* control relations (sys_relation_role,
+  /// sys_relation_nonempty, sys_relation_attribute).
+  static PredicateCatalog SystemRelations();
+
+ private:
+  std::map<std::string, PredicateInfo> predicates_;
+};
+
+}  // namespace vada::datalog::analysis
+
+#endif  // VADA_DATALOG_ANALYSIS_PREDICATE_CATALOG_H_

@@ -4,6 +4,11 @@
 
 namespace vada::datalog {
 
+std::string SourcePos::ToString() const {
+  if (!known()) return "unknown position";
+  return "line " + std::to_string(line) + ", col " + std::to_string(col);
+}
+
 const char* AggFuncName(AggFunc func) {
   switch (func) {
     case AggFunc::kCount:

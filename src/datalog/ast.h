@@ -9,6 +9,19 @@
 
 namespace vada::datalog {
 
+/// A position in Vadalog source text (1-based). Default-constructed
+/// positions (line 0) mean "unknown" — e.g. programmatically built ASTs.
+/// The parser stamps every term, atom, literal and rule it produces so
+/// static-analysis diagnostics can anchor to the offending token.
+struct SourcePos {
+  int line = 0;
+  int col = 0;
+
+  bool known() const { return line > 0; }
+  /// "line L, col C" (or "unknown position").
+  std::string ToString() const;
+};
+
 /// Aggregate functions usable in rule heads (Vadalog-style aggregation).
 enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
 
@@ -36,6 +49,10 @@ class Term {
   /// Pre-condition: is_aggregate().
   AggFunc agg_func() const { return agg_func_; }
 
+  /// Source anchor of the term's first token; ignored by operator==.
+  const SourcePos& pos() const { return pos_; }
+  void set_pos(SourcePos pos) { pos_ = pos; }
+
   std::string ToString() const;
 
   friend bool operator==(const Term& a, const Term& b);
@@ -45,12 +62,14 @@ class Term {
   Value value_;
   std::string var_;
   AggFunc agg_func_ = AggFunc::kCount;
+  SourcePos pos_;
 };
 
 /// A predicate applied to terms: p(t1, ..., tn).
 struct Atom {
   std::string predicate;
   std::vector<Term> terms;
+  SourcePos pos;  ///< position of the predicate name token
 
   std::string ToString() const;
 };
@@ -85,6 +104,8 @@ struct Literal {
   std::string assign_var;
   ArithOp arith_op = ArithOp::kNone;
 
+  SourcePos pos;  ///< position of the literal's first token
+
   static Literal Positive(Atom a);
   static Literal Negative(Atom a);
   static Literal Comparison(Term lhs, CompareOp op, Term rhs);
@@ -99,6 +120,7 @@ struct Literal {
 struct Rule {
   Atom head;
   std::vector<Literal> body;
+  SourcePos pos;  ///< position of the head predicate token
 
   bool IsFact() const { return body.empty(); }
   bool HasAggregates() const;

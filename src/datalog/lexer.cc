@@ -21,13 +21,18 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
   std::vector<Token> tokens;
   int line = 1;
   size_t i = 0;
+  size_t line_start = 0;  // byte offset of the current line's first char
   const size_t n = source.size();
+  // Column (1-based) of the token whose first character sits at `i`.
+  int token_col = 1;
 
-  auto push = [&tokens, &line](TokenKind kind, std::string text = "") {
+  auto push = [&tokens, &line, &token_col](TokenKind kind,
+                                           std::string text = "") {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.line = line;
+    t.col = token_col;
     tokens.push_back(std::move(t));
   };
 
@@ -36,6 +41,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -47,6 +53,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       while (i < n && source[i] != '\n') ++i;
       continue;
     }
+    token_col = static_cast<int>(i - line_start) + 1;
     if (IsIdentStart(c)) {
       size_t start = i;
       while (i < n && IsIdentChar(source[i])) ++i;
@@ -100,6 +107,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       std::string text(source.substr(start, i - start));
       Token t;
       t.line = line;
+      t.col = token_col;
       t.text = text;
       if (is_double) {
         t.kind = TokenKind::kDouble;
@@ -112,6 +120,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       continue;
     }
     if (c == '"') {
+      const int string_line = line;  // anchor the token at its opening quote
       ++i;
       std::string payload;
       bool closed = false;
@@ -127,7 +136,10 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
           ++i;
           break;
         }
-        if (d == '\n') ++line;
+        if (d == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         payload += d;
         ++i;
       }
@@ -135,7 +147,12 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
         return Status::ParseError("unterminated string literal at line " +
                                   std::to_string(line));
       }
-      push(TokenKind::kString, std::move(payload));
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(payload);
+      t.line = string_line;
+      t.col = token_col;
+      tokens.push_back(std::move(t));
       continue;
     }
     // Punctuation and operators.
@@ -210,6 +227,7 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     }
     ++i;
   }
+  token_col = static_cast<int>(i - line_start) + 1;
   push(TokenKind::kEnd);
   return tokens;
 }

@@ -41,6 +41,7 @@ struct Token {
   int64_t int_value = 0;
   double double_value = 0.0;
   int line = 1;       ///< 1-based source line, for error messages
+  int col = 1;        ///< 1-based column of the token's first character
 };
 
 /// Tokenizes Vadalog-lite source. Comments run from '%' or "//" to end of

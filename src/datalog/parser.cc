@@ -29,8 +29,11 @@ class TokenCursor {
 
   Status Error(const std::string& message) const {
     return Status::ParseError(message + " at line " +
-                              std::to_string(Peek().line));
+                              std::to_string(Peek().line) + ", col " +
+                              std::to_string(Peek().col));
   }
+
+  SourcePos Pos() const { return SourcePos{Peek().line, Peek().col}; }
 
   Status Expect(TokenKind kind, const char* what) {
     if (Peek().kind != kind) {
@@ -93,15 +96,17 @@ class ParserImpl {
   explicit ParserImpl(std::vector<Token> tokens)
       : cursor_(std::move(tokens)) {}
 
-  Result<Program> ParseProgram() {
+  Result<Program> ParseProgram(bool validate) {
     Program program;
     while (!cursor_.AtEnd()) {
       Result<Rule> rule = ParseClause();
       if (!rule.ok()) return rule.status();
       program.rules.push_back(std::move(rule).value());
     }
-    Status s = program.Validate();
-    if (!s.ok()) return s;
+    if (validate) {
+      Status s = program.Validate();
+      if (!s.ok()) return s;
+    }
     return program;
   }
 
@@ -110,6 +115,7 @@ class ParserImpl {
     Result<Atom> head = ParseAtom(/*allow_aggregates=*/true);
     if (!head.ok()) return head.status();
     rule.head = std::move(head).value();
+    rule.pos = rule.head.pos;
     if (cursor_.Peek().kind == TokenKind::kImplies) {
       cursor_.Next();
       while (true) {
@@ -129,18 +135,23 @@ class ParserImpl {
 
  private:
   Result<Literal> ParseLiteral() {
+    const SourcePos literal_pos = cursor_.Pos();
     if (cursor_.Peek().kind == TokenKind::kNot) {
       cursor_.Next();
       Result<Atom> atom = ParseAtom(/*allow_aggregates=*/false);
       if (!atom.ok()) return atom.status();
-      return Literal::Negative(std::move(atom).value());
+      Literal lit = Literal::Negative(std::move(atom).value());
+      lit.pos = literal_pos;
+      return lit;
     }
     // Atom: identifier followed by '('.
     if (cursor_.Peek().kind == TokenKind::kIdent &&
         cursor_.Peek(1).kind == TokenKind::kLParen) {
       Result<Atom> atom = ParseAtom(/*allow_aggregates=*/false);
       if (!atom.ok()) return atom.status();
-      return Literal::Positive(std::move(atom).value());
+      Literal lit = Literal::Positive(std::move(atom).value());
+      lit.pos = literal_pos;
+      return lit;
     }
     // Assignment: VAR '=' term [arith term].
     if (cursor_.Peek().kind == TokenKind::kVariable &&
@@ -150,15 +161,20 @@ class ParserImpl {
       Result<Term> lhs = ParseTerm();
       if (!lhs.ok()) return lhs.status();
       std::optional<ArithOp> arith = ArithOpFromToken(cursor_.Peek().kind);
+      Literal lit;
       if (arith.has_value()) {
         cursor_.Next();
         Result<Term> rhs = ParseTerm();
         if (!rhs.ok()) return rhs.status();
-        return Literal::Assignment(std::move(var), std::move(lhs).value(),
-                                   *arith, std::move(rhs).value());
+        lit = Literal::Assignment(std::move(var), std::move(lhs).value(),
+                                  *arith, std::move(rhs).value());
+      } else {
+        lit = Literal::Assignment(std::move(var), std::move(lhs).value(),
+                                  ArithOp::kNone,
+                                  Term::Constant(Value::Null()));
       }
-      return Literal::Assignment(std::move(var), std::move(lhs).value(),
-                                 ArithOp::kNone, Term::Constant(Value::Null()));
+      lit.pos = literal_pos;
+      return lit;
     }
     // Comparison: term op term.
     Result<Term> lhs = ParseTerm();
@@ -170,8 +186,10 @@ class ParserImpl {
     cursor_.Next();
     Result<Term> rhs = ParseTerm();
     if (!rhs.ok()) return rhs.status();
-    return Literal::Comparison(std::move(lhs).value(), *op,
-                               std::move(rhs).value());
+    Literal lit = Literal::Comparison(std::move(lhs).value(), *op,
+                                      std::move(rhs).value());
+    lit.pos = literal_pos;
+    return lit;
   }
 
   Result<Atom> ParseAtom(bool allow_aggregates) {
@@ -179,6 +197,7 @@ class ParserImpl {
       return cursor_.Error("expected predicate name");
     }
     Atom atom;
+    atom.pos = cursor_.Pos();
     atom.predicate = cursor_.Next().text;
     VADA_RETURN_IF_ERROR(cursor_.Expect(TokenKind::kLParen, "'('"));
     if (cursor_.Peek().kind == TokenKind::kRParen) {
@@ -190,6 +209,7 @@ class ParserImpl {
       if (allow_aggregates && cursor_.Peek().kind == TokenKind::kIdent &&
           AggFuncFromName(cursor_.Peek().text).has_value() &&
           cursor_.Peek(1).kind == TokenKind::kLt) {
+        const SourcePos agg_pos = cursor_.Pos();
         AggFunc func = *AggFuncFromName(cursor_.Next().text);
         cursor_.Next();  // '<'
         if (cursor_.Peek().kind != TokenKind::kVariable) {
@@ -197,7 +217,9 @@ class ParserImpl {
         }
         std::string var = cursor_.Next().text;
         VADA_RETURN_IF_ERROR(cursor_.Expect(TokenKind::kGt, "'>'"));
-        atom.terms.push_back(Term::Aggregate(func, std::move(var)));
+        Term term = Term::Aggregate(func, std::move(var));
+        term.set_pos(agg_pos);
+        atom.terms.push_back(std::move(term));
       } else {
         Result<Term> term = ParseTerm();
         if (!term.ok()) return term.status();
@@ -215,29 +237,34 @@ class ParserImpl {
 
   Result<Term> ParseTerm() {
     const Token& t = cursor_.Peek();
+    const SourcePos pos = cursor_.Pos();
+    auto at = [&pos](Term term) {
+      term.set_pos(pos);
+      return term;
+    };
     switch (t.kind) {
       case TokenKind::kVariable: {
         std::string name = cursor_.Next().text;
-        return Term::Variable(std::move(name));
+        return at(Term::Variable(std::move(name)));
       }
       case TokenKind::kInt: {
         int64_t v = cursor_.Next().int_value;
-        return Term::Constant(Value::Int(v));
+        return at(Term::Constant(Value::Int(v)));
       }
       case TokenKind::kDouble: {
         double v = cursor_.Next().double_value;
-        return Term::Constant(Value::Double(v));
+        return at(Term::Constant(Value::Double(v)));
       }
       case TokenKind::kString: {
         std::string s = cursor_.Next().text;
-        return Term::Constant(Value::String(std::move(s)));
+        return at(Term::Constant(Value::String(std::move(s))));
       }
       case TokenKind::kIdent: {
         std::string word = cursor_.Next().text;
-        if (word == "true") return Term::Constant(Value::Bool(true));
-        if (word == "false") return Term::Constant(Value::Bool(false));
-        if (word == "null") return Term::Constant(Value::Null());
-        return Term::Constant(Value::String(std::move(word)));
+        if (word == "true") return at(Term::Constant(Value::Bool(true)));
+        if (word == "false") return at(Term::Constant(Value::Bool(false)));
+        if (word == "null") return at(Term::Constant(Value::Null()));
+        return at(Term::Constant(Value::String(std::move(word))));
       }
       default:
         return cursor_.Error("expected term");
@@ -253,7 +280,14 @@ Result<Program> Parser::Parse(std::string_view source) {
   Result<std::vector<Token>> tokens = Tokenize(source);
   if (!tokens.ok()) return tokens.status();
   ParserImpl impl(std::move(tokens).value());
-  return impl.ParseProgram();
+  return impl.ParseProgram(/*validate=*/true);
+}
+
+Result<Program> Parser::ParseUnvalidated(std::string_view source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  ParserImpl impl(std::move(tokens).value());
+  return impl.ParseProgram(/*validate=*/false);
 }
 
 Result<Rule> Parser::ParseRule(std::string_view source) {

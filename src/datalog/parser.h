@@ -29,6 +29,11 @@ class Parser {
   /// Parses a whole program and validates it (safety, aggregates).
   static Result<Program> Parse(std::string_view source);
 
+  /// Parses a whole program without running Program::Validate(). Used by
+  /// the static analyzer (datalog/analysis), which reports safety
+  /// violations as structured diagnostics instead of a single error.
+  static Result<Program> ParseUnvalidated(std::string_view source);
+
   /// Parses exactly one clause.
   static Result<Rule> ParseRule(std::string_view source);
 };

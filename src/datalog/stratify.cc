@@ -71,9 +71,37 @@ std::vector<int> TarjanScc(int n, const std::vector<std::vector<int>>& adj) {
   return component;
 }
 
+/// Shortest predicate path from `from` to `to` restricted to one SCC
+/// (both endpoints and every hop share `component_id`). Pre-condition:
+/// such a path exists — `from` and `to` lie in the same component.
+std::vector<int> PathWithinComponent(int from, int to,
+                                     const std::vector<std::vector<int>>& adj,
+                                     const std::vector<int>& component,
+                                     int component_id) {
+  std::vector<int> parent(adj.size(), -1);
+  std::vector<int> queue{from};
+  std::vector<bool> visited(adj.size(), false);
+  visited[from] = true;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    int v = queue[qi];
+    if (v == to) break;
+    for (int w : adj[v]) {
+      if (visited[w] || component[w] != component_id) continue;
+      visited[w] = true;
+      parent[w] = v;
+      queue.push_back(w);
+    }
+  }
+  std::vector<int> path;
+  for (int v = to; v != -1; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 }  // namespace
 
-Result<Stratification> Stratify(const Program& program) {
+Result<Stratification> Stratify(const Program& program,
+                                std::vector<std::string>* negative_cycle) {
   // Collect IDB predicates (those with rules) and assign dense ids.
   std::map<std::string, int> id_of;
   std::vector<std::string> name_of;
@@ -114,13 +142,23 @@ Result<Stratification> Stratify(const Program& program) {
   int num_components = 0;
   for (int c : component) num_components = std::max(num_components, c + 1);
 
-  // Reject strict edges inside a component.
+  // Reject strict edges inside a component, naming the actual cycle: the
+  // strict dependency hop followed by the shortest way back through the
+  // component. `e.from -> e.to` reads "e.to depends on e.from".
   for (const Edge& e : edges) {
     if (e.strict && component[e.from] == component[e.to]) {
+      std::vector<std::string> cycle{name_of[e.from]};
+      for (int v : PathWithinComponent(e.to, e.from, adj, component,
+                                       component[e.from])) {
+        cycle.push_back(name_of[v]);
+      }
+      std::string path = cycle.front();
+      for (size_t i = 1; i < cycle.size(); ++i) path += " -> " + cycle[i];
+      if (negative_cycle != nullptr) *negative_cycle = std::move(cycle);
       return Status::InvalidArgument(
           "program is not stratifiable: predicate " + name_of[e.to] +
           " depends on " + name_of[e.from] +
-          " through negation/aggregation inside a cycle");
+          " through negation/aggregation inside the recursive cycle " + path);
     }
   }
 

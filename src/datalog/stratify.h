@@ -25,8 +25,15 @@ struct Stratification {
 /// Edges: every body predicate of a rule points to the head predicate.
 /// Negated body atoms — and *all* body atoms of a rule whose head carries
 /// aggregates — induce strict edges. Fails with kInvalidArgument when a
-/// strict edge lies inside a cycle (non-stratifiable negation/aggregation).
-Result<Stratification> Stratify(const Program& program);
+/// strict edge lies inside a cycle (non-stratifiable negation/aggregation);
+/// the error message names the offending predicate cycle as a path
+/// "p -> q -> ... -> p", and when `negative_cycle` is non-null it receives
+/// that same path (first element repeated last) for structured reporting —
+/// the datalog/analysis ProgramAnalyzer anchors its stratification
+/// diagnostics to it.
+Result<Stratification> Stratify(const Program& program,
+                                std::vector<std::string>* negative_cycle =
+                                    nullptr);
 
 }  // namespace vada::datalog
 

@@ -41,6 +41,11 @@ class Transducer {
   const std::string& activity() const { return activity_; }
   const std::string& input_dependency() const { return input_dependency_; }
 
+  /// The Vadalog program the transducer's logic is written in, when it
+  /// has one (VadalogTransducer); nullptr for native transducers. Lets
+  /// registration-time static analysis cover the program without RTTI.
+  virtual const std::string* vadalog_program() const { return nullptr; }
+
   virtual Status Execute(KnowledgeBase* kb) = 0;
 
  private:
@@ -81,6 +86,9 @@ class VadalogTransducer : public Transducer {
   Status Execute(KnowledgeBase* kb) override;
 
   const std::string& program_text() const { return program_text_; }
+  const std::string* vadalog_program() const override {
+    return &program_text_;
+  }
 
  private:
   std::string program_text_;

@@ -32,6 +32,15 @@ struct SourceSelectorOptions {
   bool exclude_below_min = true;
 };
 
+/// How strictly the session enforces static analysis of transducer
+/// Vadalog (input dependencies and VadalogTransducer programs) at
+/// registration time.
+enum class AnalysisEnforcement {
+  kOff = 0,         ///< skip analysis entirely
+  kErrorsOnly = 1,  ///< errors fail registration; warnings are logged
+  kStrict = 2,      ///< warnings fail registration too
+};
+
 /// Tuning knobs of the standard transducer suite. Every component's
 /// options are surfaced so deployments (and ablation benches) can adjust
 /// behaviour without new transducers.
@@ -49,6 +58,11 @@ struct WranglerConfig {
   /// MetricsReport). `obs.enabled = false` strips all instrumentation
   /// down to pointer checks on the hot paths.
   obs::ObsOptions obs;
+  /// Registration-time static analysis of transducer Vadalog (safety,
+  /// stratification, wardedness, catalog, lint). With the default,
+  /// analysis errors (unsafe rules, arity mismatches, missing `ready`
+  /// goal) reject the transducer and warnings are logged.
+  AnalysisEnforcement analysis = AnalysisEnforcement::kErrorsOnly;
   /// Name of the final result relation in the knowledge base.
   std::string result_relation = "wrangled_result";
 };

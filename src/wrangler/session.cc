@@ -1,10 +1,40 @@
 #include "wrangler/session.h"
 
+#include "common/logging.h"
+#include "datalog/analysis/analyzer.h"
 #include "mapping/executor.h"
 #include "mapping/mapping.h"
 #include "transducer/trace_export.h"
 
 namespace vada {
+
+namespace {
+
+/// Applies one analysis report under the configured enforcement level:
+/// warnings are logged either way; errors (and, under kStrict, warnings)
+/// fail the registration.
+Status EnforceAnalysis(const datalog::analysis::AnalysisReport& report,
+                       AnalysisEnforcement enforcement,
+                       const std::string& context) {
+  using datalog::analysis::Severity;
+  for (const datalog::analysis::Diagnostic& d : report.diagnostics) {
+    if (d.severity == Severity::kWarning) {
+      VADA_LOG(kWarning, "wrangler") << context << ": " << d.ToString();
+    }
+  }
+  if (report.error_count() > 0) return report.ToStatus(context);
+  if (enforcement == AnalysisEnforcement::kStrict) {
+    for (const datalog::analysis::Diagnostic& d : report.diagnostics) {
+      if (d.severity == Severity::kWarning) {
+        return Status::InvalidArgument(context +
+                                       " (strict analysis): " + d.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 WranglingSession::WranglingSession(WranglerConfig config) {
   state_ = std::make_unique<WranglingState>();
@@ -31,6 +61,11 @@ Status WranglingSession::SetTargetSchema(const Schema& target) {
   if (!transducers_registered_) {
     VADA_RETURN_IF_ERROR(
         RegisterStandardTransducers(&registry_, state_.get()));
+    // The standard suite goes through the same registration-time
+    // analysis as user transducers; it is expected to pass kStrict.
+    for (const std::unique_ptr<Transducer>& t : registry_.transducers()) {
+      VADA_RETURN_IF_ERROR(ValidateTransducer(*t));
+    }
     transducers_registered_ = true;
   }
   return Status::OK();
@@ -75,7 +110,40 @@ Status WranglingSession::AddFeedback(const FeedbackItem& item) {
 }
 
 Status WranglingSession::AddTransducer(std::unique_ptr<Transducer> transducer) {
+  if (transducer == nullptr) {
+    return Status::InvalidArgument("transducer is null");
+  }
+  VADA_RETURN_IF_ERROR(ValidateTransducer(*transducer));
   return registry_.Add(std::move(transducer));
+}
+
+Status WranglingSession::ValidateTransducer(const Transducer& transducer) const {
+  namespace an = datalog::analysis;
+  const AnalysisEnforcement enforcement = state_->config.analysis;
+  if (enforcement == AnalysisEnforcement::kOff) return Status::OK();
+  // Open-world at registration time: most EDB predicates in transducer
+  // Vadalog are produced later, by other transducers, so unknown
+  // predicates cannot be diagnosed — but anything the catalog does know
+  // (sys_* control relations, already-registered KB relations) is
+  // checked for arity and constant types.
+  an::PredicateCatalog catalog = an::PredicateCatalog::FromKnowledgeBase(kb_);
+
+  an::AnalyzerOptions dep_options;
+  dep_options.goal_predicate = "ready";
+  dep_options.unknown_predicates = an::UnknownPredicatePolicy::kIgnore;
+  VADA_RETURN_IF_ERROR(EnforceAnalysis(
+      an::ProgramAnalyzer(dep_options)
+          .AnalyzeSource(transducer.input_dependency(), &catalog),
+      enforcement, "transducer " + transducer.name() + " input dependency"));
+
+  if (const std::string* program = transducer.vadalog_program()) {
+    an::AnalyzerOptions prog_options;
+    prog_options.unknown_predicates = an::UnknownPredicatePolicy::kIgnore;
+    VADA_RETURN_IF_ERROR(EnforceAnalysis(
+        an::ProgramAnalyzer(prog_options).AnalyzeSource(*program, &catalog),
+        enforcement, "transducer " + transducer.name() + " program"));
+  }
+  return Status::OK();
 }
 
 Status WranglingSession::Run(OrchestrationStats* stats) {

@@ -118,6 +118,11 @@ class WranglingSession {
  private:
   void PublishKbGauges() const;
 
+  /// Registration-time static analysis of a transducer's Vadalog (input
+  /// dependency, and the program of a VadalogTransducer) under
+  /// config.analysis. See AnalysisEnforcement.
+  Status ValidateTransducer(const Transducer& transducer) const;
+
   KnowledgeBase kb_;
   std::unique_ptr<WranglingState> state_;
   std::unique_ptr<obs::ObsContext> obs_;

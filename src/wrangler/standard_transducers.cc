@@ -528,14 +528,14 @@ Status RegisterStandardTransducers(TransducerRegistry* registry,
                                    WranglingState* state) {
   VADA_RETURN_IF_ERROR(registry->Add(Make(
       "schema_matching", "matching",
-      "ready() :- sys_relation_role(S, \"source\"), "
-      "sys_relation_role(T, \"target\").",
+      "ready() :- sys_relation_role(_S, \"source\"), "
+      "sys_relation_role(_T, \"target\").",
       state, &SchemaMatchingBody)));
 
   VADA_RETURN_IF_ERROR(registry->Add(Make(
       "instance_matching", "matching",
       "ready() :- sys_relation_role(S, \"source\"), "
-      "sys_relation_nonempty(S), data_context(R, K, TA, CA), "
+      "sys_relation_nonempty(S), data_context(R, _K, _TA, _CA), "
       "sys_relation_nonempty(R).",
       state, &InstanceMatchingBody)));
 
@@ -557,9 +557,9 @@ Status RegisterStandardTransducers(TransducerRegistry* registry,
 
   VADA_RETURN_IF_ERROR(registry->Add(Make(
       "cfd_learning", "quality",
-      "ready() :- data_context(R, \"reference\", TA, CA), "
+      "ready() :- data_context(R, \"reference\", _TA, _CA), "
       "sys_relation_nonempty(R).\n"
-      "ready() :- data_context(R, \"master\", TA, CA), "
+      "ready() :- data_context(R, \"master\", _TA, _CA), "
       "sys_relation_nonempty(R).",
       state, &CfdLearningBody)));
 
@@ -571,7 +571,7 @@ Status RegisterStandardTransducers(TransducerRegistry* registry,
 
   VADA_RETURN_IF_ERROR(registry->Add(Make(
       "quality_metrics", "quality",
-      "ready() :- mapping(I, T, S, C, P, X), sys_relation_nonempty(P).",
+      "ready() :- mapping(_I, _T, _S, _C, P, _X), sys_relation_nonempty(P).",
       state, &QualityMetricsBody)));
 
   VADA_RETURN_IF_ERROR(registry->Add(Make(

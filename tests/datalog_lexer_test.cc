@@ -101,6 +101,43 @@ TEST(LexerTest, LineNumbersInErrors) {
   EXPECT_NE(toks.status().message().find("line 2"), std::string::npos);
 }
 
+TEST(LexerTest, TokensCarryLineAndColumn) {
+  Result<std::vector<Token>> toks = Tokenize("p(X) :- q(X).\n  r(Y).");
+  ASSERT_TRUE(toks.ok());
+  const std::vector<Token>& t = toks.value();
+  EXPECT_EQ(t[0].line, 1);  // p
+  EXPECT_EQ(t[0].col, 1);
+  EXPECT_EQ(t[2].col, 3);  // X
+  EXPECT_EQ(t[4].col, 6);  // :-
+  EXPECT_EQ(t[5].col, 9);  // q
+  // Second line: indentation counts toward the column.
+  EXPECT_EQ(t[10].line, 2);  // r
+  EXPECT_EQ(t[10].col, 3);
+  EXPECT_EQ(t[12].col, 5);  // Y
+}
+
+TEST(LexerTest, ColumnResetsAfterCommentLines) {
+  Result<std::vector<Token>> toks = Tokenize("% comment\n  p(X).");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].line, 2);
+  EXPECT_EQ(toks.value()[0].col, 3);
+}
+
+TEST(LexerTest, StringTokenAnchorsAtOpeningQuote) {
+  Result<std::vector<Token>> toks = Tokenize("p(\"ab\", X)");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks.value()[2].col, 3);
+  EXPECT_EQ(toks.value()[4].col, 9);  // X, after the 4-char string token
+}
+
+TEST(LexerTest, NumberTokenColumn) {
+  Result<std::vector<Token>> toks = Tokenize("  42 3.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].col, 3);
+  EXPECT_EQ(toks.value()[1].col, 6);
+}
+
 TEST(LexerTest, DotAfterNumberEndsClause) {
   // "p(1)." must not lex 1. as a double.
   auto kinds = Kinds("p(1).");

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "datalog/parser.h"
 #include "datalog/stratify.h"
 
@@ -49,6 +51,48 @@ TEST(StratifyTest, NegationInCycleRejected) {
   Result<Stratification> s = Stratify(p);
   EXPECT_FALSE(s.ok());
   EXPECT_NE(s.status().message().find("not stratifiable"), std::string::npos);
+}
+
+TEST(StratifyTest, ErrorNamesTheOffendingPredicatesAndPath) {
+  Program p = MustParse(
+      "p(X) :- q(X), not r(X).\n"
+      "r(X) :- q(X), not p(X).\n");
+  Result<Stratification> s = Stratify(p);
+  ASSERT_FALSE(s.ok());
+  const std::string& msg = s.status().message();
+  EXPECT_NE(msg.find("p"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("r"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(" -> "), std::string::npos) << msg;
+}
+
+TEST(StratifyTest, NegativeCycleOutParamClosesTheLoop) {
+  Program p = MustParse(
+      "a(X) :- e(X), not c(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- b(X).\n");
+  std::vector<std::string> cycle;
+  Result<Stratification> s = Stratify(p, &cycle);
+  ASSERT_FALSE(s.ok());
+  // Path visits every cycle member and repeats the start at the end.
+  ASSERT_GE(cycle.size(), 2u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+  std::set<std::string> members(cycle.begin(), cycle.end());
+  EXPECT_EQ(members, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(StratifyTest, SelfNegationCycleHasLengthTwoPath) {
+  Program p = MustParse("p(X) :- q(X), not p(X).\n");
+  std::vector<std::string> cycle;
+  Result<Stratification> s = Stratify(p, &cycle);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(cycle, (std::vector<std::string>{"p", "p"}));
+}
+
+TEST(StratifyTest, CycleOutParamUntouchedOnSuccess) {
+  Program p = MustParse("p(X) :- q(X).\n");
+  std::vector<std::string> cycle = {"sentinel"};
+  ASSERT_TRUE(Stratify(p, &cycle).ok());
+  EXPECT_EQ(cycle, (std::vector<std::string>{"sentinel"}));
 }
 
 TEST(StratifyTest, AggregateInCycleRejected) {

@@ -84,7 +84,9 @@ TEST_F(SourceSelectionTest, JunkSourceDoesNotDegradeResult) {
     WranglingSession session;
     EXPECT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
     EXPECT_TRUE(session.AddSource(rightmove_).ok());
-    if (with_junk) EXPECT_TRUE(session.AddSource(JunkSource(60)).ok());
+    if (with_junk) {
+      EXPECT_TRUE(session.AddSource(JunkSource(60)).ok());
+    }
     EXPECT_TRUE(session.Run().ok());
     return session.result()->SortedRows();
   };

@@ -1,0 +1,112 @@
+// Registration-time static analysis of transducer Vadalog (see
+// WranglerConfig::analysis and WranglingSession::AddTransducer).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "wrangler/session.h"
+
+namespace vada {
+namespace {
+
+Schema TargetSchema() {
+  return Schema::Untyped("target", {"a", "b"});
+}
+
+std::unique_ptr<Transducer> Custom(const std::string& dependency) {
+  return std::make_unique<FunctionTransducer>(
+      "custom", "testing", dependency,
+      [](KnowledgeBase*) { return Status::OK(); });
+}
+
+TEST(WranglerAnalysisTest, UnsafeDependencyRejectsRegistration) {
+  WranglingSession session;
+  Status s = session.AddTransducer(Custom("ready(X) :- other(Y)."));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("custom"), std::string::npos);
+  EXPECT_NE(s.message().find("safety/unbound-head-variable"),
+            std::string::npos);
+}
+
+TEST(WranglerAnalysisTest, DependencyMustDefineReadyGoal) {
+  WranglingSession session;
+  Status s = session.AddTransducer(
+      Custom("go() :- sys_relation_nonempty(\"x\")."));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("goal/undefined"), std::string::npos);
+}
+
+TEST(WranglerAnalysisTest, SysRelationArityMisuseIsCaught) {
+  WranglingSession session;
+  Status s = session.AddTransducer(
+      Custom("ready() :- sys_relation_nonempty(R, \"extra\")."));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("catalog/arity-mismatch"), std::string::npos);
+}
+
+TEST(WranglerAnalysisTest, UnparsableDependencyIsRejected) {
+  WranglingSession session;
+  Status s = session.AddTransducer(Custom("ready( :- ."));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("parse/error"), std::string::npos);
+}
+
+TEST(WranglerAnalysisTest, CleanDependencyRegisters) {
+  WranglingSession session;
+  Status s = session.AddTransducer(
+      Custom("ready() :- sys_relation_nonempty(S), "
+             "sys_relation_role(S, \"source\")."));
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(WranglerAnalysisTest, EnforcementOffAcceptsAnything) {
+  WranglerConfig config;
+  config.analysis = AnalysisEnforcement::kOff;
+  WranglingSession session(std::move(config));
+  EXPECT_TRUE(session.AddTransducer(Custom("ready(X) :- other(Y).")).ok());
+}
+
+TEST(WranglerAnalysisTest, StrictModePromotesWarnings) {
+  // Singleton S is only a warning: default enforcement registers, strict
+  // enforcement rejects.
+  const std::string dep = "ready() :- sys_relation_role(S, \"source\").";
+  WranglingSession lenient;
+  EXPECT_TRUE(lenient.AddTransducer(Custom(dep)).ok());
+
+  WranglerConfig config;
+  config.analysis = AnalysisEnforcement::kStrict;
+  WranglingSession strict(std::move(config));
+  Status s = strict.AddTransducer(Custom(dep));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("strict analysis"), std::string::npos);
+  EXPECT_NE(s.message().find("lint/singleton-variable"), std::string::npos);
+}
+
+TEST(WranglerAnalysisTest, VadalogTransducerProgramIsAnalyzedToo) {
+  WranglingSession session;
+  Status s = session.AddTransducer(std::make_unique<VadalogTransducer>(
+      "vt", "testing", "ready() :- sys_relation_nonempty(\"src\").",
+      /*program_text=*/"out(X, Z) :- src(X).",
+      std::vector<std::string>{"out"}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("vt program"), std::string::npos);
+  EXPECT_NE(s.message().find("safety/unbound-head-variable"),
+            std::string::npos);
+}
+
+TEST(WranglerAnalysisTest, StandardSuitePassesStrictAnalysis) {
+  WranglerConfig config;
+  config.analysis = AnalysisEnforcement::kStrict;
+  WranglingSession session(std::move(config));
+  Status s = session.SetTargetSchema(TargetSchema());
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(WranglerAnalysisTest, NullTransducerRejected) {
+  WranglingSession session;
+  EXPECT_EQ(session.AddTransducer(nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,129 @@
+// vada_lint: static analysis for Vadalog-lite programs.
+//
+//   vada_lint [options] file.dlog [file2.dlog ...]
+//
+// Runs the full ProgramAnalyzer pipeline (safety, stratification,
+// wardedness, catalog, lint) over each file and prints gcc-style
+// file:line:col diagnostics. Exits 1 when any file has errors (or, with
+// --Werror, warnings).
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datalog/analysis/analyzer.h"
+
+namespace {
+
+using vada::datalog::analysis::AnalysisReport;
+using vada::datalog::analysis::AnalyzerOptions;
+using vada::datalog::analysis::Diagnostic;
+using vada::datalog::analysis::PredicateCatalog;
+using vada::datalog::analysis::ProgramAnalyzer;
+using vada::datalog::analysis::Severity;
+using vada::datalog::analysis::SeverityName;
+using vada::datalog::analysis::UnknownPredicatePolicy;
+using vada::datalog::analysis::WardedClassName;
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] file.dlog [file2.dlog ...]\n"
+      << "\n"
+      << "Static analysis for Vadalog-lite programs: safety, stratification,\n"
+      << "wardedness, catalog consistency and lint.\n"
+      << "\n"
+      << "options:\n"
+      << "  --goal=PRED     require PRED to be derivable; rules that cannot\n"
+      << "                  contribute to it are flagged unreachable\n"
+      << "  --Werror        treat warnings as errors (nonzero exit)\n"
+      << "  --closed-world  body predicates that are neither derived nor\n"
+      << "                  known system relations become errors\n"
+      << "  --quiet         print errors and warnings only, no info notes\n"
+      << "  -h, --help      this message\n";
+  return 2;
+}
+
+void Print(const std::string& file, const Diagnostic& d) {
+  std::cout << file << ":";
+  if (d.pos.known()) {
+    std::cout << d.pos.line << ":" << d.pos.col << ":";
+  } else if (d.rule_index >= 0) {
+    std::cout << " rule " << d.rule_index << ":";
+  }
+  std::cout << " " << SeverityName(d.severity) << " [" << d.check_id
+            << "]: " << d.message;
+  if (!d.fix_hint.empty()) std::cout << "\n    fix: " << d.fix_hint;
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  AnalyzerOptions options;
+  options.unknown_predicates = UnknownPredicatePolicy::kIgnore;
+  bool warnings_as_errors = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      Usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--goal=", 0) == 0) {
+      options.goal_predicate = arg.substr(std::strlen("--goal="));
+    } else if (arg == "--Werror") {
+      warnings_as_errors = true;
+    } else if (arg == "--closed-world") {
+      options.unknown_predicates = UnknownPredicatePolicy::kError;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage(argv[0]);
+
+  // Without a knowledge base the only predicates with known shapes are
+  // the sys_* control relations the orchestrator materialises.
+  const PredicateCatalog catalog = PredicateCatalog::SystemRelations();
+  const ProgramAnalyzer analyzer(options);
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << file << ": cannot open file\n";
+      ++total_errors;
+      continue;
+    }
+    std::ostringstream source;
+    source << in.rdbuf();
+    const AnalysisReport report = analyzer.AnalyzeSource(source.str(), &catalog);
+    for (const Diagnostic& d : report.diagnostics) {
+      if (quiet && d.severity == Severity::kInfo) continue;
+      Print(file, d);
+    }
+    total_errors += report.error_count();
+    total_warnings += report.warning_count();
+    if (!quiet && report.ok()) {
+      std::cout << file << ": ok ("
+                << WardedClassName(report.warded_class) << ")\n";
+    }
+  }
+
+  if (total_errors > 0 || total_warnings > 0) {
+    std::cerr << total_errors << " error(s), " << total_warnings
+              << " warning(s)\n";
+  }
+  if (total_errors > 0) return 1;
+  if (warnings_as_errors && total_warnings > 0) return 1;
+  return 0;
+}
