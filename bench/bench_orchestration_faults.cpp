@@ -1,0 +1,152 @@
+// Experiment E9 — cost of fault tolerance (DESIGN.md §5d): what do the
+// write-guard, retry machinery and failure bookkeeping cost on the
+// fault-free path, and how fast does a wrangle converge when faults are
+// actually injected?
+//
+// Three configurations over the same scenario:
+//   1. seed path      — FailurePolicy disabled: no guard, fail-fast
+//                       (the pre-fault-tolerance orchestrator);
+//   2. guarded        — fault tolerance on, zero faults: the pure
+//                       overhead of guarding every Execute();
+//   3. under faults   — seeded FaultInjector schedules: convergence time
+//                       and retry/rollback volume to the same result.
+#include "bench/bench_util.h"
+#include "transducer/fault_injection.h"
+#include "wrangler/session.h"
+
+int main() {
+  using namespace vada;
+  using namespace vada::bench;
+
+  std::printf("E9: fault-tolerance overhead and convergence under faults\n\n");
+
+  Scenario sc = MakeScenario(11, 200, 30);
+  std::vector<Relation> sources = {sc.rightmove, sc.onthemarket,
+                                   sc.deprivation};
+
+  auto bootstrap = [&](WranglingSession* session) {
+    Status s = session->SetTargetSchema(PaperTargetSchema());
+    for (const Relation& src : sources) {
+      if (s.ok()) s = session->AddSource(src);
+    }
+    if (s.ok()) {
+      s = session->AddDataContext(sc.address, RelationRole::kReference,
+                                  {{"street", "street"},
+                                   {"postcode", "postcode"}});
+    }
+    return s;
+  };
+
+  // --- 1. Seed path: fault tolerance disabled entirely. ---
+  WranglerConfig seed_config;
+  seed_config.obs.enabled = false;
+  seed_config.fault_tolerance.enabled = false;
+  WranglingSession seed_session(seed_config);
+  Status s = bootstrap(&seed_session);
+  OrchestrationStats seed_stats;
+  double seed_ms = TimeMs([&] {
+    if (s.ok()) s = seed_session.Run(&seed_stats);
+  });
+  if (!s.ok()) {
+    std::fprintf(stderr, "seed-path run failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  size_t baseline_rows = seed_session.result()->size();
+
+  // --- 2. Guarded path, fault-free: pure write-guard/retry overhead. ---
+  WranglerConfig guarded_config;
+  guarded_config.obs.enabled = false;
+  WranglingSession guarded_session(guarded_config);
+  s = bootstrap(&guarded_session);
+  OrchestrationStats guarded_stats;
+  double guarded_ms = TimeMs([&] {
+    if (s.ok()) s = guarded_session.Run(&guarded_stats);
+  });
+  if (!s.ok()) {
+    std::fprintf(stderr, "guarded run failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- 3. Under injected faults: convergence to the same result. ---
+  constexpr uint64_t kSchedules = 10;
+  double faulted_total_ms = 0.0;
+  size_t faulted_retries = 0;
+  size_t faulted_rollbacks = 0;
+  size_t converged = 0;
+  for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    FaultInjector::Options fopt;
+    fopt.seed = seed;
+    fopt.fault_rate = 0.5;
+    fopt.max_failures = 2;
+    FaultInjector injector(fopt);
+    WranglerConfig config;
+    config.obs.enabled = false;
+    config.fault_tolerance.max_attempts = 4;
+    config.fault_tolerance.sleep_ms = [](double) {};  // time work, not sleep
+    config.transducer_decorator = injector.Decorator();
+    WranglingSession session(config);
+    s = bootstrap(&session);
+    OrchestrationStats stats;
+    faulted_total_ms += TimeMs([&] {
+      if (s.ok()) s = session.Run(&stats);
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "faulted run (seed %llu) failed: %s\n",
+                   static_cast<unsigned long long>(seed),
+                   s.ToString().c_str());
+      return 1;
+    }
+    faulted_retries += stats.retries;
+    faulted_rollbacks += stats.rollbacks;
+    if (session.result()->size() == baseline_rows) ++converged;
+  }
+  double faulted_ms = faulted_total_ms / kSchedules;
+
+  double overhead_pct =
+      seed_ms > 0 ? (guarded_ms / seed_ms - 1.0) * 100.0 : 0.0;
+  double fault_slowdown_pct =
+      guarded_ms > 0 ? (faulted_ms / guarded_ms - 1.0) * 100.0 : 0.0;
+
+  Table table({"configuration", "steps", "retries", "rollbacks", "wall ms",
+               "vs previous"});
+  table.AddRow({"seed path (no guard, fail-fast)",
+                std::to_string(seed_stats.steps), "0", "0", Fmt(seed_ms, 1),
+                "-"});
+  table.AddRow({"guarded, fault-free", std::to_string(guarded_stats.steps),
+                std::to_string(guarded_stats.retries),
+                std::to_string(guarded_stats.rollbacks), Fmt(guarded_ms, 1),
+                Fmt(overhead_pct, 1) + "% overhead"});
+  table.AddRow({"guarded, injected faults (avg of " +
+                    std::to_string(kSchedules) + ")",
+                "-", std::to_string(faulted_retries),
+                std::to_string(faulted_rollbacks), Fmt(faulted_ms, 1),
+                Fmt(fault_slowdown_pct, 1) + "% slower"});
+  table.Print();
+
+  std::printf("\nconvergence: %zu/%llu fault schedules reached the "
+              "fault-free result (%zu rows)\n",
+              converged, static_cast<unsigned long long>(kSchedules),
+              baseline_rows);
+
+  BenchReport report("orchestration_faults");
+  report.Add("seed_path_ms", seed_ms);
+  report.Add("guarded_ms", guarded_ms);
+  report.Add("guard_overhead_pct", overhead_pct);
+  report.Add("faulted_avg_ms", faulted_ms);
+  report.Add("fault_slowdown_pct", fault_slowdown_pct);
+  report.Add("faulted_retries", static_cast<double>(faulted_retries));
+  report.Add("faulted_rollbacks", static_cast<double>(faulted_rollbacks));
+  report.Add("converged_schedules", static_cast<double>(converged));
+  report.Add("fault_schedules", static_cast<double>(kSchedules));
+  report.Add("baseline_rows", static_cast<double>(baseline_rows));
+  report.WriteJson();
+
+  std::printf(
+      "\nnotes:\n"
+      "  * the guard is copy-on-write per touched relation, so fault-free\n"
+      "    overhead is the snapshot cost of relations each step mutates;\n"
+      "  * injected runs converge to the identical result because faults\n"
+      "    are transient, rollback is exact, and the pipeline is\n"
+      "    deterministic (see tests/fault_injection_soak_test.cc).\n");
+  return 0;
+}

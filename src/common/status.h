@@ -19,6 +19,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kParseError,
+  kDeadlineExceeded,    ///< a cooperative deadline passed before completion
+  kResourceExhausted,   ///< an execution budget (steps, wall clock) ran out
 };
 
 /// Returns the canonical lowercase name of `code`, e.g. "invalid_argument".
@@ -60,6 +62,12 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

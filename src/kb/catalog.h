@@ -39,6 +39,14 @@ class Catalog {
   /// (reference, master or example role).
   bool IsDataContext(const std::string& relation_name) const;
 
+  /// Point-in-time copy of / wholesale replacement for the role map.
+  /// Used by WriteGuard to roll the catalog back together with the
+  /// relations it describes.
+  std::map<std::string, RelationRole> Snapshot() const { return roles_; }
+  void Restore(std::map<std::string, RelationRole> roles) {
+    roles_ = std::move(roles);
+  }
+
  private:
   std::map<std::string, RelationRole> roles_;
 };

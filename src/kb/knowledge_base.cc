@@ -1,10 +1,16 @@
 #include "kb/knowledge_base.h"
 
+#include "kb/write_guard.h"
+
 namespace vada {
 
 void KnowledgeBase::Bump(const std::string& name) {
   ++versions_[name];
   ++global_version_;
+}
+
+void KnowledgeBase::WillMutate(const std::string& name) {
+  if (guard_ != nullptr) guard_->OnMutation(name);
 }
 
 Status KnowledgeBase::CreateRelation(Schema schema) {
@@ -13,6 +19,7 @@ Status KnowledgeBase::CreateRelation(Schema schema) {
   if (relations_.count(name) > 0) {
     return Status::AlreadyExists("relation " + name + " already exists");
   }
+  WillMutate(name);
   relations_.emplace(name, Relation(std::move(schema)));
   Bump(name);
   return Status::OK();
@@ -54,6 +61,7 @@ Status KnowledgeBase::Insert(const std::string& relation_name, Tuple tuple) {
     return Status::NotFound("relation " + relation_name +
                             " not in knowledge base");
   }
+  WillMutate(relation_name);
   bool added = false;
   VADA_RETURN_IF_ERROR(it->second.Insert(std::move(tuple), &added));
   if (added) {
@@ -70,6 +78,7 @@ Status KnowledgeBase::Assert(const std::string& relation_name,
 
 Status KnowledgeBase::InsertAll(const Relation& relation) {
   VADA_RETURN_IF_ERROR(EnsureRelation(relation.schema()));
+  WillMutate(relation.name());
   auto it = relations_.find(relation.name());
   bool any = false;
   for (const Tuple& row : relation.rows()) {
@@ -89,6 +98,7 @@ Status KnowledgeBase::Retract(const std::string& relation_name,
     return Status::NotFound("relation " + relation_name +
                             " not in knowledge base");
   }
+  WillMutate(relation_name);
   if (it->second.Erase(tuple)) {
     ++facts_removed_;
     Bump(relation_name);
@@ -103,6 +113,7 @@ Status KnowledgeBase::ClearRelation(const std::string& relation_name) {
                             " not in knowledge base");
   }
   if (!it->second.empty()) {
+    WillMutate(relation_name);
     facts_removed_ += it->second.size();
     it->second.Clear();
     Bump(relation_name);
@@ -115,6 +126,7 @@ Status KnowledgeBase::DropRelation(const std::string& name) {
   if (it == relations_.end()) {
     return Status::NotFound("relation " + name + " not in knowledge base");
   }
+  WillMutate(name);
   facts_removed_ += it->second.size();
   relations_.erase(it);
   versions_.erase(name);
@@ -132,6 +144,7 @@ Status KnowledgeBase::ReplaceRelation(const Relation& relation) {
     return Status::FailedPrecondition(
         "relation " + relation.name() + " exists with a different schema");
   }
+  WillMutate(relation.name());
   facts_removed_ += it->second.size();
   facts_added_ += relation.size();
   it->second = relation;

@@ -13,6 +13,8 @@
 
 namespace vada {
 
+class WriteGuard;
+
 /// The VADA Knowledge Base (paper §2): the repository for all data of
 /// relevance to the wrangling process — extensional source data, the
 /// target schema, data context, user context, feedback, and the metadata
@@ -30,6 +32,8 @@ class KnowledgeBase {
   // Not copyable (relations can be large; copies are almost always bugs).
   KnowledgeBase(const KnowledgeBase&) = delete;
   KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+  // Movable, but never while a WriteGuard is active (the guard keeps a
+  // back-pointer; see write_guard.h).
   KnowledgeBase(KnowledgeBase&&) = default;
   KnowledgeBase& operator=(KnowledgeBase&&) = default;
 
@@ -99,8 +103,19 @@ class KnowledgeBase {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  /// Whether a WriteGuard currently watches this KB (mutations are being
+  /// snapshotted for possible rollback).
+  bool HasActiveGuard() const { return guard_ != nullptr; }
+
  private:
+  friend class WriteGuard;
+
   void Bump(const std::string& name);
+
+  /// Mutation hook: every mutating method calls this with the relation
+  /// about to change, before changing it, so an active WriteGuard can
+  /// save the pre-image (copy-on-write rollback; see write_guard.h).
+  void WillMutate(const std::string& name);
 
   std::map<std::string, Relation> relations_;
   std::map<std::string, uint64_t> versions_;
@@ -108,6 +123,7 @@ class KnowledgeBase {
   uint64_t facts_added_ = 0;
   uint64_t facts_removed_ = 0;
   Catalog catalog_;
+  WriteGuard* guard_ = nullptr;  // active transaction guard; not owned
 };
 
 }  // namespace vada

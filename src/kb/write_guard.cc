@@ -1,0 +1,60 @@
+#include "kb/write_guard.h"
+
+#include <cassert>
+
+namespace vada {
+
+WriteGuard::WriteGuard(KnowledgeBase* kb) : kb_(kb) {
+  assert(kb_ != nullptr);
+  // Guards do not nest: the orchestrator holds at most one per Execute().
+  assert(kb_->guard_ == nullptr && "WriteGuard does not nest");
+  global_version_ = kb_->global_version_;
+  facts_added_ = kb_->facts_added_;
+  facts_removed_ = kb_->facts_removed_;
+  versions_ = kb_->versions_;
+  roles_ = kb_->catalog_.Snapshot();
+  kb_->guard_ = this;
+}
+
+WriteGuard::~WriteGuard() {
+  if (!done_) Rollback();
+}
+
+void WriteGuard::OnMutation(const std::string& relation) {
+  auto it = touched_.find(relation);
+  if (it != touched_.end()) return;  // pre-image already saved
+  const Relation* rel = kb_->FindRelation(relation);
+  if (rel != nullptr) {
+    touched_.emplace(relation, *rel);
+  } else {
+    touched_.emplace(relation, std::nullopt);
+  }
+}
+
+void WriteGuard::Commit() {
+  if (done_) return;
+  done_ = true;
+  kb_->guard_ = nullptr;
+  touched_.clear();
+}
+
+void WriteGuard::Rollback() {
+  if (done_) return;
+  done_ = true;
+  kb_->guard_ = nullptr;
+  for (auto& [name, pre_image] : touched_) {
+    if (pre_image.has_value()) {
+      kb_->relations_.insert_or_assign(name, std::move(*pre_image));
+    } else {
+      kb_->relations_.erase(name);
+    }
+  }
+  kb_->versions_ = std::move(versions_);
+  kb_->global_version_ = global_version_;
+  kb_->facts_added_ = facts_added_;
+  kb_->facts_removed_ = facts_removed_;
+  kb_->catalog_.Restore(std::move(roles_));
+  touched_.clear();
+}
+
+}  // namespace vada

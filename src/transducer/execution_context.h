@@ -1,0 +1,87 @@
+#ifndef VADA_TRANSDUCER_EXECUTION_CONTEXT_H_
+#define VADA_TRANSDUCER_EXECUTION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vada {
+
+/// Cooperative execution context handed to Transducer::Execute() by the
+/// orchestrator (DESIGN.md §5d). Transducers are not preempted — a
+/// well-behaved long-running Execute() polls CheckContinue() at natural
+/// checkpoints (per mapping, per source, per iteration) and returns the
+/// error to abandon the step; the orchestrator then rolls the KB back
+/// and applies its retry/quarantine policy.
+///
+/// Also carries the retry attempt number and orchestration step so
+/// transducers (and fault-injection wrappers) can make attempt-aware
+/// decisions without global state.
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionContext() = default;
+
+  // The atomic cancel flag makes contexts neither copyable nor movable;
+  // the orchestrator constructs one per attempt in place.
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Sets the soft deadline to `timeout_ms` from now. Non-positive
+  /// timeouts mean "no deadline".
+  void SetTimeoutMs(double timeout_ms) {
+    if (timeout_ms <= 0) return;
+    deadline_ = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(timeout_ms));
+    has_deadline_ = true;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  bool deadline_exceeded() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Requests cooperative cancellation (e.g. the session is shutting
+  /// down or a budget ran out). Safe from other threads.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// OK while the execution may continue; kDeadlineExceeded once the
+  /// soft deadline passed, kResourceExhausted once cancelled. This is
+  /// the one call cooperative transducers poll.
+  Status CheckContinue() const {
+    if (cancelled()) {
+      return Status::ResourceExhausted("execution cancelled");
+    }
+    if (deadline_exceeded()) {
+      return Status::DeadlineExceeded("execute soft deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// 1-based retry attempt of this Execute() within the current step.
+  size_t attempt() const { return attempt_; }
+  void set_attempt(size_t attempt) { attempt_ = attempt; }
+
+  /// Orchestration step this execution belongs to.
+  size_t step() const { return step_; }
+  void set_step(size_t step) { step_ = step; }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::atomic<bool> cancelled_{false};
+  size_t attempt_ = 1;
+  size_t step_ = 0;
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_EXECUTION_CONTEXT_H_

@@ -1,0 +1,88 @@
+#ifndef VADA_TRANSDUCER_FAILURE_POLICY_H_
+#define VADA_TRANSDUCER_FAILURE_POLICY_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace vada {
+
+/// What the orchestrator does with a transducer whose Execute() still
+/// fails after every retry of a step.
+enum class FailureAction {
+  /// Bench the transducer (circuit breaker) and keep orchestrating with
+  /// the remaining eligible set — graceful degradation, the default.
+  kQuarantine = 0,
+  /// Abort Run() with the transducer's error — the pre-fault-tolerance
+  /// behaviour, kept for deployments that prefer fail-fast.
+  kAbort,
+};
+
+/// Fault-tolerance policy of the dynamic orchestrator (DESIGN.md §5d).
+///
+/// Retry: a failed Execute() is rolled back (WriteGuard) and retried up
+/// to `max_attempts` times within the same orchestration step, sleeping
+/// an exponentially growing backoff between attempts.
+///
+/// Quarantine (circuit breaker): after `quarantine_after` consecutive
+/// step-level failures the transducer's circuit opens — it is excluded
+/// from the eligible set and orchestration continues without it. After
+/// `quarantine_cooldown_scans` eligibility scans (or at a would-be
+/// fixpoint, while probe budget remains) the circuit goes half-open and
+/// the transducer gets one trial execution: success closes the circuit
+/// (it exits quarantine), failure re-opens it.
+///
+/// Budgets: `run_budget_ms` bounds Run() wall clock — when exhausted the
+/// session keeps its best-effort result and Run() returns OK with
+/// stats.budget_exhausted set. `execute_timeout_ms` is a cooperative
+/// per-execute soft deadline delivered via ExecutionContext.
+///
+/// Every failure is also asserted into the KB as
+/// `sys_transducer_failure(transducer, code, attempt, step)` so Vadalog
+/// dependency queries and scheduling policies can reason over failures.
+struct FailurePolicy {
+  /// Master switch. false = the seed code path: no write-guard, no
+  /// retries, first Execute() error aborts Run(). The fault-tolerance
+  /// overhead bench (bench_orchestration_faults) compares the two.
+  bool enabled = true;
+
+  /// Execute() attempts per orchestration step (>= 1).
+  size_t max_attempts = 3;
+
+  /// Exponential backoff between attempts of one step.
+  double backoff_initial_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_ms = 50.0;
+
+  /// Consecutive step-level failures before the circuit opens.
+  size_t quarantine_after = 3;
+  /// Eligibility scans an open circuit sits out before a half-open probe.
+  size_t quarantine_cooldown_scans = 3;
+  /// Half-open probe budget per transducer per Run(), shared between
+  /// cooldown promotion and fixpoint promotion (when nothing else is
+  /// eligible, open circuits with budget left get one more trial before
+  /// Run() settles). Probes are what let flaky transducers exit
+  /// quarantine; the bound is what keeps Run() terminating when a
+  /// transducer fails permanently. 0 = quarantine is final for the Run.
+  size_t quarantine_max_probes = 3;
+
+  /// Cooperative per-execute soft deadline (ExecutionContext); 0 = none.
+  double execute_timeout_ms = 0.0;
+
+  /// Wall-clock budget for one Run() call; 0 = unlimited.
+  double run_budget_ms = 0.0;
+
+  /// Policy once a step exhausts its attempts.
+  FailureAction on_failure_exhausted = FailureAction::kQuarantine;
+
+  /// Whether failures are asserted into the KB as sys_transducer_failure
+  /// / sys_transducer_quarantined facts.
+  bool assert_failure_facts = true;
+
+  /// Backoff sleeper; nullptr = std::this_thread::sleep_for. Tests and
+  /// benches inject a recorder to keep runs fast and deterministic.
+  std::function<void(double /*ms*/)> sleep_ms;
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_FAILURE_POLICY_H_

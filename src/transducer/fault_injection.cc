@@ -1,0 +1,136 @@
+#include "transducer/fault_injection.h"
+
+#include <utility>
+
+namespace vada {
+
+namespace {
+
+/// FNV-1a, inlined for cross-platform stability (std::hash is not
+/// portable, and the whole point of the harness is reproducible
+/// schedules).
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+class FaultyTransducer : public Transducer {
+ public:
+  FaultyTransducer(std::unique_ptr<Transducer> inner, FaultSpec spec)
+      : Transducer(inner->name(), inner->activity(),
+                   inner->input_dependency()),
+        inner_(std::move(inner)),
+        spec_(spec),
+        rng_(spec.seed) {}
+
+  const std::string* vadalog_program() const override {
+    return inner_->vadalog_program();
+  }
+
+  Status Execute(KnowledgeBase* kb) override { return Execute(kb, nullptr); }
+
+  Status Execute(KnowledgeBase* kb, ExecutionContext* ctx) override {
+    switch (spec_.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kFailFirstN:
+        if (failures_ < spec_.count) {
+          ++failures_;
+          return Status::Internal("injected failure " +
+                                  std::to_string(failures_) + "/" +
+                                  std::to_string(spec_.count) + " in " +
+                                  name());
+        }
+        break;
+      case FaultKind::kPartialWriteThenFail:
+        if (failures_ < spec_.count) {
+          ++failures_;
+          // Let the real body write, then claim failure: the committed
+          // partial state must be rolled back by the orchestrator.
+          Status inner_status = inner_->Execute(kb, ctx);
+          if (!inner_status.ok()) return inner_status;
+          return Status::Internal("injected failure after partial write in " +
+                                  name());
+        }
+        break;
+      case FaultKind::kFlaky:
+        if (failures_ < spec_.count && rng_.Bernoulli(spec_.probability)) {
+          ++failures_;
+          return Status::Internal("injected flaky failure in " + name());
+        }
+        break;
+      case FaultKind::kSlowDeadline:
+        if (failures_ < spec_.count) {
+          ++failures_;
+          return Status::DeadlineExceeded(
+              "injected slow execution exceeded its deadline in " + name());
+        }
+        break;
+    }
+    return inner_->Execute(kb, ctx);
+  }
+
+ private:
+  std::unique_ptr<Transducer> inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  size_t failures_ = 0;
+};
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kFailFirstN:
+      return "fail_first_n";
+    case FaultKind::kPartialWriteThenFail:
+      return "partial_write_then_fail";
+    case FaultKind::kFlaky:
+      return "flaky";
+    case FaultKind::kSlowDeadline:
+      return "slow_deadline";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Transducer> WrapWithFault(std::unique_ptr<Transducer> inner,
+                                          FaultSpec spec) {
+  if (inner == nullptr || spec.kind == FaultKind::kNone) return inner;
+  return std::make_unique<FaultyTransducer>(std::move(inner), spec);
+}
+
+FaultSpec FaultInjector::SpecFor(const std::string& name) const {
+  Rng rng(options_.seed ^ HashName(name));
+  FaultSpec spec;
+  spec.seed = rng.Next();
+  if (!rng.Bernoulli(options_.fault_rate)) return spec;  // kNone
+  constexpr FaultKind kKinds[] = {
+      FaultKind::kFailFirstN, FaultKind::kPartialWriteThenFail,
+      FaultKind::kFlaky, FaultKind::kSlowDeadline};
+  spec.kind = kKinds[rng.Index(4)];
+  spec.count = 1 + rng.Index(options_.max_failures == 0
+                                 ? 1
+                                 : options_.max_failures);
+  spec.probability = options_.flaky_probability;
+  return spec;
+}
+
+std::unique_ptr<Transducer> FaultInjector::Wrap(
+    std::unique_ptr<Transducer> inner) const {
+  if (inner == nullptr) return inner;
+  return WrapWithFault(std::move(inner), SpecFor(inner->name()));
+}
+
+TransducerRegistry::Decorator FaultInjector::Decorator() const {
+  // Capture by value: the decorator must outlive this injector.
+  FaultInjector copy(*this);
+  return [copy](std::unique_ptr<Transducer> t) { return copy.Wrap(std::move(t)); };
+}
+
+}  // namespace vada

@@ -1,0 +1,94 @@
+#ifndef VADA_TRANSDUCER_FAULT_INJECTION_H_
+#define VADA_TRANSDUCER_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "transducer/transducer.h"
+
+namespace vada {
+
+/// Deterministic fault-injection harness for soak-testing the
+/// orchestrator's failure handling (rollback, retry, quarantine). Faults
+/// are decided by a seeded Rng keyed per transducer *name* (seed XOR
+/// FNV-1a(name)), so a schedule is reproducible regardless of
+/// registration order, and two runs with the same seed inject the exact
+/// same fault sequence.
+///
+/// All wrappers preserve the inner transducer's identity (name, activity,
+/// input dependency, Vadalog program) so scheduling, static analysis and
+/// traces are unaffected; only Execute() misbehaves.
+
+/// How a wrapped transducer misbehaves.
+enum class FaultKind {
+  kNone = 0,
+  /// Fails the first `count` Execute() calls before touching the KB,
+  /// then behaves normally. Exercises plain retry.
+  kFailFirstN,
+  /// Runs the real Execute() (so partial writes land), *then* reports
+  /// failure for the first `count` calls. Exercises rollback: without a
+  /// write-guard these calls would leave committed garbage behind.
+  kPartialWriteThenFail,
+  /// Each call fails with probability `probability` (seeded), up to
+  /// `count` total failures so convergence stays guaranteed. Exercises
+  /// retry/backoff and quarantine exit.
+  kFlaky,
+  /// Reports kDeadlineExceeded for the first `count` calls, simulating a
+  /// slow execution tripping its cooperative soft deadline.
+  kSlowDeadline,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// Parameters of one injected fault.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  size_t count = 1;           ///< bounded failure budget (see FaultKind)
+  double probability = 0.5;   ///< kFlaky only
+  uint64_t seed = 0;          ///< kFlaky draw stream
+};
+
+/// Wraps `inner` so its Execute() misbehaves per `spec`. Exposed for
+/// targeted tests; soak tests normally go through FaultInjector.
+std::unique_ptr<Transducer> WrapWithFault(std::unique_ptr<Transducer> inner,
+                                          FaultSpec spec);
+
+/// Randomised-but-reproducible fault assignment across a whole registry.
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 0;
+    /// Probability that a given transducer gets a fault at all.
+    double fault_rate = 0.5;
+    /// Failure budget per faulted transducer (FaultSpec::count). Every
+    /// fault kind is bounded, so a wrangle under injection still
+    /// converges to the fault-free result.
+    size_t max_failures = 2;
+    /// Per-call failure probability for kFlaky faults.
+    double flaky_probability = 0.5;
+  };
+
+  explicit FaultInjector(Options options) : options_(options) {}
+
+  /// The fault this injector assigns to `name` — a pure function of
+  /// (options, name), so tests can log or predict the schedule.
+  FaultSpec SpecFor(const std::string& name) const;
+
+  /// Wraps one transducer according to SpecFor(its name).
+  std::unique_ptr<Transducer> Wrap(std::unique_ptr<Transducer> inner) const;
+
+  /// A registry decorator applying Wrap() to every registration — set it
+  /// via TransducerRegistry::SetDecorator (or
+  /// WranglerConfig::transducer_decorator) before registering.
+  TransducerRegistry::Decorator Decorator() const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace vada
+
+#endif  // VADA_TRANSDUCER_FAULT_INJECTION_H_

@@ -1,12 +1,81 @@
 #include "transducer/network.h"
 
+#include <algorithm>
+#include <cassert>
 #include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "datalog/kb_adapter.h"
+#include "kb/write_guard.h"
+#include "transducer/execution_context.h"
 
 namespace vada {
+
+namespace {
+
+constexpr const char* kFailureRelation = "sys_transducer_failure";
+constexpr const char* kQuarantineRelation = "sys_transducer_quarantined";
+
+void SleepBackoff(const FailurePolicy& policy, double ms) {
+  if (ms <= 0) return;
+  if (policy.sleep_ms != nullptr) {
+    policy.sleep_ms(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Asserts sys_transducer_failure(transducer, code, attempt, step). Best
+/// effort: a failure to record a failure must not mask the original one.
+void AssertFailureFact(KnowledgeBase* kb, const std::string& transducer,
+                       StatusCode code, size_t attempts, size_t step) {
+  Status s = kb->EnsureRelation(Schema::Untyped(
+      kFailureRelation, {"transducer", "code", "attempt", "step"}));
+  if (s.ok()) {
+    s = kb->Insert(kFailureRelation,
+                   Tuple({Value::String(transducer),
+                          Value::String(StatusCodeName(code)),
+                          Value::Int(static_cast<int64_t>(attempts)),
+                          Value::Int(static_cast<int64_t>(step))}));
+  }
+  if (!s.ok()) {
+    VADA_LOG(kWarning, "orchestrator")
+        << "could not assert failure fact for " << transducer << ": "
+        << s.ToString();
+  }
+}
+
+void AssertQuarantineFact(KnowledgeBase* kb, const std::string& transducer,
+                          size_t step) {
+  Status s = kb->EnsureRelation(
+      Schema::Untyped(kQuarantineRelation, {"transducer", "step"}));
+  if (s.ok()) {
+    s = kb->Insert(kQuarantineRelation,
+                   Tuple({Value::String(transducer),
+                          Value::Int(static_cast<int64_t>(step))}));
+  }
+  if (!s.ok()) {
+    VADA_LOG(kWarning, "orchestrator")
+        << "could not assert quarantine fact for " << transducer << ": "
+        << s.ToString();
+  }
+}
+
+void RetractQuarantineFacts(KnowledgeBase* kb, const std::string& transducer) {
+  const Relation* rel = kb->FindRelation(kQuarantineRelation);
+  if (rel == nullptr) return;
+  std::vector<Tuple> to_remove;
+  for (const Tuple& row : rel->rows()) {
+    if (row.at(0).string_value() == transducer) to_remove.push_back(row);
+  }
+  for (const Tuple& row : to_remove) {
+    (void)kb->Retract(kQuarantineRelation, row);
+  }
+}
+
+}  // namespace
 
 ActivityPriorityPolicy::ActivityPriorityPolicy(
     std::vector<std::string> activity_order) {
@@ -23,6 +92,10 @@ std::vector<std::string> ActivityPriorityPolicy::DefaultActivityOrder() {
 
 Transducer* ActivityPriorityPolicy::Choose(
     const std::vector<Transducer*>& eligible) {
+  // Pre-condition (SchedulingPolicy::Choose): non-empty eligible set. The
+  // orchestrator guarantees it; guard direct callers against UB anyway.
+  assert(!eligible.empty() && "Choose() requires a non-empty eligible set");
+  if (eligible.empty()) return nullptr;
   Transducer* best = eligible.front();
   int best_rank = 1 << 20;
   for (Transducer* t : eligible) {
@@ -34,6 +107,12 @@ Transducer* ActivityPriorityPolicy::Choose(
     }
   }
   return best;
+}
+
+Transducer* FifoPolicy::Choose(const std::vector<Transducer*>& eligible) {
+  assert(!eligible.empty() && "Choose() requires a non-empty eligible set");
+  if (eligible.empty()) return nullptr;
+  return eligible.front();
 }
 
 NetworkTransducer::NetworkTransducer(TransducerRegistry* registry,
@@ -79,16 +158,117 @@ Result<bool> NetworkTransducer::IsSatisfied(const Transducer& transducer,
   Result<std::vector<Tuple>> ready = datalog::QueryKnowledgeBase(
       transducer.input_dependency(), *kb, "ready");
   if (!ready.ok()) {
-    return Status::InvalidArgument(
-        "input dependency of " + transducer.name() +
-        " failed to evaluate: " + ready.status().message());
+    // Chain the message but keep the underlying code (a parse error stays
+    // kParseError, an evaluation bug stays kInternal) so callers can
+    // dispatch on it.
+    return Status(ready.status().code(),
+                  "input dependency of " + transducer.name() +
+                      " failed to evaluate: " + ready.status().message());
   }
   return !ready.value().empty();
+}
+
+std::vector<std::string> NetworkTransducer::QuarantinedTransducers() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fs] : failure_state_) {
+    if (fs.circuit == Circuit::kOpen) out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+const NetworkTransducer::FailureState* NetworkTransducer::failure_state(
+    const std::string& name) const {
+  auto it = failure_state_.find(name);
+  return it == failure_state_.end() ? nullptr : &it->second;
+}
+
+size_t NetworkTransducer::OpenCircuits() const {
+  size_t n = 0;
+  for (const auto& [name, fs] : failure_state_) {
+    if (fs.circuit == Circuit::kOpen) ++n;
+  }
+  return n;
+}
+
+void NetworkTransducer::PublishQuarantineGauge(
+    obs::MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics
+      ->GetGauge("vada_orchestrator_quarantined",
+                 "Transducers currently benched by the circuit breaker")
+      ->Set(static_cast<int64_t>(OpenCircuits()));
+}
+
+void NetworkTransducer::RecordFailure(Transducer* transducer,
+                                      const Status& error, size_t attempts,
+                                      size_t step, KnowledgeBase* kb,
+                                      OrchestrationStats* stats,
+                                      obs::MetricsRegistry* metrics) {
+  const FailurePolicy& fp = options_.failure_policy;
+  FailureState& fs = failure_state_[transducer->name()];
+  ++fs.total_failures;
+  ++fs.consecutive_failures;
+  fs.retry_scheduled = false;
+  fs.last_error = error.ToString();
+  if (stats != nullptr) ++stats->failures;
+  if (metrics != nullptr) {
+    metrics
+        ->GetCounter("vada_transducer_failures_total",
+                     "Failed orchestration steps (all attempts exhausted "
+                     "or dependency evaluation failed)",
+                     {{"transducer", transducer->name()},
+                      {"code", StatusCodeName(error.code())}})
+        ->Increment();
+  }
+  if (fp.assert_failure_facts) {
+    AssertFailureFact(kb, transducer->name(), error.code(), attempts, step);
+  }
+  VADA_LOG(kWarning, "orchestrator")
+      << "transducer " << transducer->name() << " failed (attempts: "
+      << attempts << ", step: " << step << "): " << error.ToString();
+
+  if (fs.circuit == Circuit::kHalfOpen) {
+    // Failed its probation trial: back to quarantine.
+    fs.circuit = Circuit::kOpen;
+    fs.cooldown_progress = 0;
+  } else if (fs.circuit == Circuit::kClosed &&
+             fs.consecutive_failures >= fp.quarantine_after) {
+    fs.circuit = Circuit::kOpen;
+    fs.cooldown_progress = 0;
+    if (fp.assert_failure_facts) {
+      AssertQuarantineFact(kb, transducer->name(), step);
+    }
+    VADA_LOG(kWarning, "orchestrator")
+        << "quarantining transducer " << transducer->name() << " after "
+        << fs.consecutive_failures << " consecutive failures";
+  }
+  PublishQuarantineGauge(metrics);
+}
+
+void NetworkTransducer::RecordSuccess(Transducer* transducer,
+                                      KnowledgeBase* kb,
+                                      obs::MetricsRegistry* metrics) {
+  auto it = failure_state_.find(transducer->name());
+  if (it == failure_state_.end()) return;
+  FailureState& fs = it->second;
+  fs.consecutive_failures = 0;
+  fs.cooldown_progress = 0;
+  fs.retry_scheduled = false;
+  if (fs.circuit != Circuit::kClosed) {
+    fs.circuit = Circuit::kClosed;
+    if (options_.failure_policy.assert_failure_facts) {
+      RetractQuarantineFacts(kb, transducer->name());
+    }
+    VADA_LOG(kInfo, "orchestrator")
+        << "transducer " << transducer->name() << " exited quarantine";
+    PublishQuarantineGauge(metrics);
+  }
 }
 
 Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
   OrchestrationStats local;
   OrchestrationStats* st = (stats != nullptr) ? stats : &local;
+  const FailurePolicy& fp = options_.failure_policy;
 
   obs::MetricsRegistry* m =
       options_.obs != nullptr ? options_.obs->metrics() : nullptr;
@@ -99,6 +279,7 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
   obs::Counter* dep_checks_counter = nullptr;
   obs::Histogram* eligibility_hist = nullptr;
   obs::Histogram* dep_check_hist = nullptr;
+  obs::Histogram* rollback_hist = nullptr;
   datalog::EvalOptions eval_options;
   if (m != nullptr) {
     steps_counter =
@@ -115,21 +296,81 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
         "vada_orchestrator_dependency_check_seconds",
         "One input-dependency Datalog query",
         obs::Histogram::DefaultLatencyBucketsSeconds());
+    rollback_hist =
+        m->GetHistogram("vada_kb_rollback_seconds",
+                        "WriteGuard rollback of one failed Execute()",
+                        obs::Histogram::DefaultLatencyBucketsSeconds());
     eval_options.metrics = m;
   }
 
+  // Fixpoint probes are a per-Run budget (a new Run is new information:
+  // the user added context or feedback, so benched transducers deserve
+  // fresh trials).
+  for (auto& [name, fs] : failure_state_) fs.probes_used = 0;
+
+  const uint64_t run_start_ns = obs::MonotonicNanos();
+  auto finalize = [&](Status status) {
+    st->quarantined = OpenCircuits();
+    PublishQuarantineGauge(m);
+    return status;
+  };
+
   for (size_t step = 0; step < options_.max_steps; ++step) {
-    // Eligibility: dependency satisfied AND the KB moved since last run.
+    // Wall-clock budget: stop gracefully and keep the best-effort result.
+    if (fp.enabled && fp.run_budget_ms > 0) {
+      double elapsed_ms =
+          static_cast<double>(obs::MonotonicNanos() - run_start_ns) * 1e-6;
+      if (elapsed_ms >= fp.run_budget_ms) {
+        st->budget_exhausted = true;
+        if (m != nullptr) {
+          m->GetCounter("vada_orchestrator_budget_exhausted_total",
+                        "Run() calls stopped by their wall-clock budget")
+              ->Increment();
+        }
+        VADA_LOG(kWarning, "orchestrator")
+            << "run budget (" << fp.run_budget_ms
+            << " ms) exhausted after " << st->steps
+            << " steps; returning best-effort result";
+        return finalize(Status::OK());
+      }
+    }
+
+    // Eligibility: dependency satisfied AND the KB moved since last run
+    // AND not quarantined (open circuits sit out their cooldown).
     std::vector<Transducer*> eligible;
     {
       obs::ScopedSpan eligibility_span(spans, eligibility_hist, "eligibility",
                                        "orchestrator");
       VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
       for (const std::unique_ptr<Transducer>& t : registry_->transducers()) {
-        auto it = last_run_version_.find(t->name());
-        if (it != last_run_version_.end() &&
-            it->second >= kb->global_version()) {
-          continue;  // nothing new since this transducer last ran
+        FailureState* fs = nullptr;
+        if (fp.enabled) {
+          auto fit = failure_state_.find(t->name());
+          fs = fit == failure_state_.end() ? nullptr : &fit->second;
+        }
+        bool probation = false;
+        if (fs != nullptr) {
+          if (fs->circuit == Circuit::kOpen) {
+            // Probes are a per-Run budget shared between cooldown and
+            // fixpoint promotion; once spent, the transducer stays
+            // benched, which is what guarantees Run() terminates for a
+            // permanently failing transducer.
+            if (fs->probes_used >= fp.quarantine_max_probes) continue;
+            if (++fs->cooldown_progress < fp.quarantine_cooldown_scans) {
+              continue;  // still benched
+            }
+            fs->circuit = Circuit::kHalfOpen;  // cooldown over: probation
+            ++fs->probes_used;
+          }
+          probation =
+              fs->circuit == Circuit::kHalfOpen || fs->retry_scheduled;
+        }
+        if (!probation) {
+          auto it = last_run_version_.find(t->name());
+          if (it != last_run_version_.end() &&
+              it->second >= kb->global_version()) {
+            continue;  // nothing new since this transducer last ran
+          }
         }
         ++st->dependency_checks;
         if (dep_checks_counter != nullptr) dep_checks_counter->Increment();
@@ -139,16 +380,57 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
                                              "ready", eval_options);
         }();
         if (!ready.ok()) {
-          return Status::InvalidArgument(
-              "input dependency of " + t->name() +
-              " failed to evaluate: " + ready.status().message());
+          Status dep_error(ready.status().code(),
+                           "input dependency of " + t->name() +
+                               " failed to evaluate: " +
+                               ready.status().message());
+          if (!fp.enabled ||
+              fp.on_failure_exhausted == FailureAction::kAbort) {
+            return finalize(dep_error);
+          }
+          // Dependency-evaluation failures get the same treatment as
+          // execute failures: recorded, counted towards quarantine, and
+          // the transducer is skipped instead of aborting the run.
+          RecordFailure(t.get(), dep_error, 1, step, kb, st, m);
+          last_run_version_[t->name()] = kb->global_version();
+          continue;
         }
         if (!ready.value().empty()) eligible.push_back(t.get());
       }
     }
-    if (eligible.empty()) return Status::OK();  // fixpoint
+    if (eligible.empty()) {
+      // Would-be fixpoint. Before settling, give failed transducers one
+      // more trial: benched ones with probe budget go half-open (this is
+      // how a healed flaky transducer exits quarantine when nothing else
+      // moves the KB), and closed ones with pending failures get a single
+      // version-gate bypass (each grant either succeeds — resetting the
+      // count — or moves them one failure closer to quarantine, so the
+      // loop still terminates).
+      if (fp.enabled) {
+        bool promoted = false;
+        for (auto& [name, fs] : failure_state_) {
+          if (fs.circuit == Circuit::kOpen &&
+              fs.probes_used < fp.quarantine_max_probes) {
+            fs.circuit = Circuit::kHalfOpen;
+            ++fs.probes_used;
+            promoted = true;
+          } else if (fs.circuit == Circuit::kClosed &&
+                     fs.consecutive_failures > 0 && !fs.retry_scheduled) {
+            fs.retry_scheduled = true;
+            promoted = true;
+          }
+        }
+        if (promoted) continue;
+      }
+      return finalize(Status::OK());  // fixpoint
+    }
 
     Transducer* chosen = policy_->Choose(eligible);
+    if (chosen == nullptr) {
+      return finalize(Status::Internal(
+          "scheduling policy " + policy_->name() +
+          " returned no transducer from a non-empty eligible set"));
+    }
     uint64_t version_before = kb->global_version();
     uint64_t facts_added_before = kb->facts_added();
     uint64_t facts_removed_before = kb->facts_removed();
@@ -159,14 +441,58 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
                               "Transducer Execute() wall time",
                               obs::Histogram::DefaultLatencyBucketsSeconds(),
                               {{"transducer", chosen->name()}});
+
+    // Execute with retry: every attempt runs under a write-guard, so a
+    // failed attempt leaves the KB exactly as it was (versions included).
+    const size_t max_attempts =
+        fp.enabled ? std::max<size_t>(1, fp.max_attempts) : 1;
     uint64_t t0 = obs::MonotonicNanos();
     Status exec_status;
-    {
+    size_t attempts = 0;
+    bool rolled_back = false;
+    double backoff_ms = fp.backoff_initial_ms;
+    for (attempts = 1; attempts <= max_attempts; ++attempts) {
+      ExecutionContext ctx;
+      ctx.set_attempt(attempts);
+      ctx.set_step(next_step_);
+      if (fp.enabled) ctx.SetTimeoutMs(fp.execute_timeout_ms);
       obs::ScopedSpan execute_span(spans, execute_hist, chosen->name(),
                                    chosen->activity());
-      exec_status = chosen->Execute(kb);
+      if (fp.enabled) {
+        WriteGuard guard(kb);
+        exec_status = chosen->Execute(kb, &ctx);
+        if (exec_status.ok()) {
+          guard.Commit();
+          break;
+        }
+        uint64_t rb0 = obs::MonotonicNanos();
+        guard.Rollback();
+        if (rollback_hist != nullptr) {
+          rollback_hist->Observe(
+              static_cast<double>(obs::MonotonicNanos() - rb0) * 1e-9);
+        }
+        rolled_back = true;
+        ++st->rollbacks;
+      } else {
+        exec_status = chosen->Execute(kb, &ctx);
+        if (exec_status.ok()) break;
+      }
+      if (attempts < max_attempts) {
+        ++st->retries;
+        if (m != nullptr) {
+          m->GetCounter("vada_transducer_retries_total",
+                        "Execute() retries after a rolled-back failure",
+                        {{"transducer", chosen->name()}})
+              ->Increment();
+        }
+        SleepBackoff(fp, backoff_ms);
+        backoff_ms = std::min(backoff_ms * fp.backoff_multiplier,
+                              fp.backoff_max_ms);
+      }
     }
+    attempts = std::min(attempts, max_attempts);
     uint64_t t1 = obs::MonotonicNanos();
+
     // Record the version the transducer *saw* — its own writes count as
     // new information (it re-runs once more and must reach a no-op, which
     // is how non-idempotent transducer bugs surface at max_steps instead
@@ -210,19 +536,40 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
       event.facts_removed = facts_removed;
       event.start_ns = t0;
       event.duration_ms = static_cast<double>(t1 - t0) * 1e-6;
+      event.attempts = attempts;
+      event.rolled_back = rolled_back;
       if (!exec_status.ok()) event.note = exec_status.ToString();
       trace_.Add(std::move(event));
+    } else {
+      ++next_step_;
     }
-    if (!exec_status.ok()) {
-      return Status(exec_status.code(),
-                    "transducer " + chosen->name() +
-                        " failed: " + exec_status.message());
+
+    if (exec_status.ok()) {
+      if (fp.enabled) RecordSuccess(chosen, kb, m);
+    } else {
+      if (!fp.enabled) {
+        return finalize(Status(exec_status.code(),
+                               "transducer " + chosen->name() +
+                                   " failed: " + exec_status.message()));
+      }
+      RecordFailure(chosen, exec_status, attempts, next_step_ - 1, kb, st, m);
+      if (fp.on_failure_exhausted == FailureAction::kAbort) {
+        return finalize(Status(
+            exec_status.code(),
+            "transducer " + chosen->name() + " failed after " +
+                std::to_string(attempts) +
+                " attempt(s): " + exec_status.message()));
+      }
+      // Wait for new information (or a quarantine probe) before trying
+      // this transducer again: otherwise its own failure facts would make
+      // it immediately eligible in a failure loop.
+      last_run_version_[chosen->name()] = kb->global_version();
     }
   }
-  return Status::Internal(
+  return finalize(Status::Internal(
       "orchestration exceeded max_steps (" +
       std::to_string(options_.max_steps) +
-      "); a registered transducer is likely not idempotent");
+      "); a registered transducer is likely not idempotent"));
 }
 
 }  // namespace vada

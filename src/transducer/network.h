@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "kb/knowledge_base.h"
 #include "obs/obs.h"
+#include "transducer/failure_policy.h"
 #include "transducer/trace.h"
 #include "transducer/transducer.h"
 
@@ -22,7 +23,11 @@ class SchedulingPolicy {
  public:
   virtual ~SchedulingPolicy() = default;
   virtual const std::string& name() const = 0;
-  /// Pre-condition: `eligible` is non-empty. Must return one element.
+  /// Pre-condition: `eligible` is non-empty (the orchestrator reaches
+  /// fixpoint before ever calling Choose on an empty set). Must return
+  /// one of its elements. Implementations should debug-assert the
+  /// precondition and return nullptr (never dereference) when violated
+  /// by a direct caller; the orchestrator treats nullptr as an error.
   virtual Transducer* Choose(const std::vector<Transducer*>& eligible) = 0;
 };
 
@@ -40,6 +45,7 @@ class ActivityPriorityPolicy : public SchedulingPolicy {
   static std::vector<std::string> DefaultActivityOrder();
 
   const std::string& name() const override { return name_; }
+  /// Pre-condition: `eligible` non-empty (see SchedulingPolicy::Choose).
   Transducer* Choose(const std::vector<Transducer*>& eligible) override;
 
  private:
@@ -51,9 +57,8 @@ class ActivityPriorityPolicy : public SchedulingPolicy {
 class FifoPolicy : public SchedulingPolicy {
  public:
   const std::string& name() const override { return name_; }
-  Transducer* Choose(const std::vector<Transducer*>& eligible) override {
-    return eligible.front();
-  }
+  /// Pre-condition: `eligible` non-empty (see SchedulingPolicy::Choose).
+  Transducer* Choose(const std::vector<Transducer*>& eligible) override;
 
  private:
   std::string name_ = "fifo";
@@ -68,6 +73,9 @@ struct OrchestratorOptions {
   /// Observability context (not owned; may outlive many Run calls). Null
   /// or disabled: every instrumentation site reduces to a pointer check.
   obs::ObsContext* obs = nullptr;
+  /// Fault tolerance: write-guard rollback, retry/backoff, quarantine,
+  /// budgets, failure facts (see failure_policy.h).
+  FailurePolicy failure_policy;
 };
 
 /// Aggregate statistics of one orchestration run.
@@ -75,17 +83,52 @@ struct OrchestrationStats {
   size_t steps = 0;
   size_t effective_steps = 0;   ///< steps that changed the KB
   size_t dependency_checks = 0; ///< input-dependency query evaluations
+  size_t failures = 0;          ///< steps whose every attempt failed
+  size_t retries = 0;           ///< extra Execute() attempts after a failure
+  size_t rollbacks = 0;         ///< write-guard rollbacks performed
+  size_t quarantined = 0;       ///< transducers benched when Run returned
+  bool budget_exhausted = false; ///< Run stopped on its wall-clock budget
 };
 
 /// The dynamic orchestrator (the paper's network transducer). Repeatedly:
 ///  1. materialises the sys_* control relations describing the KB
 ///     (sys_relation_role, sys_relation_nonempty, sys_relation_attribute);
 ///  2. finds eligible transducers: input dependency derives `ready` AND
-///     the KB changed since the transducer last ran;
-///  3. lets the scheduling policy pick one and executes it;
-/// until no transducer is eligible (fixpoint) or max_steps is hit.
+///     the KB changed since the transducer last ran AND the transducer is
+///     not quarantined;
+///  3. lets the scheduling policy pick one and executes it under a
+///     KB write-guard, retrying failed attempts per the failure policy;
+/// until no transducer is eligible (fixpoint), max_steps is hit, or the
+/// wall-clock budget runs out (best-effort stop).
+///
+/// Failure semantics (DESIGN.md §5d): a failing Execute() never leaves
+/// partial writes behind (rollback), is retried with exponential backoff,
+/// and is eventually quarantined (circuit breaker) so the session
+/// degrades gracefully instead of aborting. Failures become KB facts:
+/// sys_transducer_failure(transducer, code, attempt, step) and
+/// sys_transducer_quarantined(transducer, step).
 class NetworkTransducer {
  public:
+  /// Circuit-breaker state of one transducer (exposed for tests/UIs).
+  enum class Circuit {
+    kClosed = 0,  ///< healthy, schedulable
+    kOpen,        ///< quarantined: excluded from the eligible set
+    kHalfOpen,    ///< probation: next execution is a trial
+  };
+
+  /// Per-transducer failure bookkeeping.
+  struct FailureState {
+    Circuit circuit = Circuit::kClosed;
+    size_t consecutive_failures = 0;
+    size_t total_failures = 0;
+    size_t cooldown_progress = 0;  ///< scans sat out while open
+    size_t probes_used = 0;        ///< half-open probes spent this Run
+    /// Fixpoint retry granted to a closed circuit with pending failures
+    /// (skips the version gate once); cleared on the next execution.
+    bool retry_scheduled = false;
+    std::string last_error;
+  };
+
   NetworkTransducer(TransducerRegistry* registry,
                     std::unique_ptr<SchedulingPolicy> policy,
                     OrchestratorOptions options = OrchestratorOptions());
@@ -105,12 +148,33 @@ class NetworkTransducer {
   /// for tests.
   static Status SyncControlFacts(KnowledgeBase* kb);
 
+  /// Names of transducers whose circuit is currently open, sorted.
+  std::vector<std::string> QuarantinedTransducers() const;
+
+  /// Failure bookkeeping for `name`; nullptr when it never failed.
+  const FailureState* failure_state(const std::string& name) const;
+
  private:
+  /// Records one failure (execute or dependency-eval): metrics, failure
+  /// facts, consecutive-failure count, circuit transitions.
+  void RecordFailure(Transducer* transducer, const Status& error,
+                     size_t attempts, size_t step, KnowledgeBase* kb,
+                     OrchestrationStats* stats, obs::MetricsRegistry* metrics);
+
+  /// Transitions after a successful step: closes a half-open circuit
+  /// (exits quarantine) and resets the consecutive-failure count.
+  void RecordSuccess(Transducer* transducer, KnowledgeBase* kb,
+                     obs::MetricsRegistry* metrics);
+
+  size_t OpenCircuits() const;
+  void PublishQuarantineGauge(obs::MetricsRegistry* metrics) const;
+
   TransducerRegistry* registry_;  // not owned
   std::unique_ptr<SchedulingPolicy> policy_;
   OrchestratorOptions options_;
   ExecutionTrace trace_;
   std::map<std::string, uint64_t> last_run_version_;
+  std::map<std::string, FailureState> failure_state_;
   size_t next_step_ = 0;
 };
 

@@ -16,6 +16,10 @@ std::string TraceEvent::ToString() const {
                 static_cast<unsigned long long>(facts_removed), duration_ms);
   std::string out = buf;
   if (!policy.empty()) out += "  policy: " + policy;
+  if (attempts > 1) {
+    out += "  attempts: " + std::to_string(attempts);
+  }
+  if (rolled_back) out += "  rolled-back";
   if (!note.empty()) out += "  (" + note + ")";
   out += "  eligible: {" + Join(eligible, ", ") + "}";
   return out;

@@ -28,6 +28,10 @@ struct TraceEvent {
   /// lets exporters place the step on a shared timeline with spans).
   uint64_t start_ns = 0;
   double duration_ms = 0.0;
+  /// Execute() attempts consumed by this step (> 1 means retries).
+  size_t attempts = 1;
+  /// Whether any attempt's partial writes were rolled back (WriteGuard).
+  bool rolled_back = false;
   std::string note;
 
   std::string ToString() const;

@@ -16,6 +16,11 @@ VadalogTransducer::VadalogTransducer(std::string name, std::string activity,
       output_predicates_(std::move(output_predicates)) {}
 
 Status VadalogTransducer::Execute(KnowledgeBase* kb) {
+  return Execute(kb, nullptr);
+}
+
+Status VadalogTransducer::Execute(KnowledgeBase* kb, ExecutionContext* ctx) {
+  if (ctx != nullptr) VADA_RETURN_IF_ERROR(ctx->CheckContinue());
   Result<datalog::Program> program = datalog::Parser::Parse(program_text_);
   if (!program.ok()) {
     return Status::InvalidArgument("transducer " + name() +
@@ -27,6 +32,7 @@ Status VadalogTransducer::Execute(KnowledgeBase* kb) {
   datalog::Evaluator eval(program.value());
   VADA_RETURN_IF_ERROR(eval.Prepare());
   VADA_RETURN_IF_ERROR(eval.Run(&db));
+  if (ctx != nullptr) VADA_RETURN_IF_ERROR(ctx->CheckContinue());
 
   for (const std::string& predicate : output_predicates_) {
     const std::vector<Tuple>& facts = db.facts(predicate);
@@ -49,6 +55,12 @@ Status VadalogTransducer::Execute(KnowledgeBase* kb) {
 Status TransducerRegistry::Add(std::unique_ptr<Transducer> transducer) {
   if (transducer == nullptr) {
     return Status::InvalidArgument("cannot register null transducer");
+  }
+  if (decorator_ != nullptr) {
+    transducer = decorator_(std::move(transducer));
+    if (transducer == nullptr) {
+      return Status::Internal("transducer decorator returned null");
+    }
   }
   if (Find(transducer->name()) != nullptr) {
     return Status::AlreadyExists("transducer " + transducer->name() +

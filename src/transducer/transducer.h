@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "kb/knowledge_base.h"
+#include "transducer/execution_context.h"
 
 namespace vada {
 
@@ -22,7 +23,12 @@ namespace vada {
 ///  * read/write the knowledge base only through its API;
 ///  * be idempotent — re-running on unchanged inputs must not change the
 ///    KB (use ReplaceRelationIfChanged); this is what makes the dynamic
-///    orchestration terminate.
+///    orchestration terminate;
+///  * on failure, return a non-OK Status and rely on the orchestrator's
+///    write-guard to roll partial writes back — never half-repair the KB;
+///  * long-running bodies should poll ExecutionContext::CheckContinue()
+///    at natural checkpoints and return its error to honour the
+///    cooperative soft deadline (see execution_context.h).
 class Transducer {
  public:
   Transducer(std::string name, std::string activity,
@@ -48,6 +54,15 @@ class Transducer {
 
   virtual Status Execute(KnowledgeBase* kb) = 0;
 
+  /// Context-aware entry point the orchestrator calls. The default
+  /// ignores the context, so existing transducers keep working; override
+  /// to cooperate with deadlines/cancellation or to observe the attempt
+  /// number (fault-injection wrappers do).
+  virtual Status Execute(KnowledgeBase* kb, ExecutionContext* ctx) {
+    (void)ctx;
+    return Execute(kb);
+  }
+
  private:
   std::string name_;
   std::string activity_;
@@ -59,17 +74,31 @@ class Transducer {
 class FunctionTransducer : public Transducer {
  public:
   using Body = std::function<Status(KnowledgeBase*)>;
+  /// Context-aware body; `ctx` may be null when invoked outside an
+  /// orchestrated step (e.g. directly in tests).
+  using ContextBody = std::function<Status(KnowledgeBase*, ExecutionContext*)>;
 
   FunctionTransducer(std::string name, std::string activity,
                      std::string input_dependency, Body body)
       : Transducer(std::move(name), std::move(activity),
                    std::move(input_dependency)),
+        body_([b = std::move(body)](KnowledgeBase* kb, ExecutionContext*) {
+          return b(kb);
+        }) {}
+
+  FunctionTransducer(std::string name, std::string activity,
+                     std::string input_dependency, ContextBody body)
+      : Transducer(std::move(name), std::move(activity),
+                   std::move(input_dependency)),
         body_(std::move(body)) {}
 
-  Status Execute(KnowledgeBase* kb) override { return body_(kb); }
+  Status Execute(KnowledgeBase* kb) override { return body_(kb, nullptr); }
+  Status Execute(KnowledgeBase* kb, ExecutionContext* ctx) override {
+    return body_(kb, ctx);
+  }
 
  private:
-  Body body_;
+  ContextBody body_;
 };
 
 /// A transducer implemented *in Vadalog* (§2.3: "transducers can be
@@ -84,6 +113,10 @@ class VadalogTransducer : public Transducer {
                     std::vector<std::string> output_predicates);
 
   Status Execute(KnowledgeBase* kb) override;
+  /// Honours the cooperative soft deadline around the (uninterruptible)
+  /// reasoning fixpoint: checked before evaluation and before asserting
+  /// derived facts back into the KB.
+  Status Execute(KnowledgeBase* kb, ExecutionContext* ctx) override;
 
   const std::string& program_text() const { return program_text_; }
   const std::string* vadalog_program() const override {
@@ -100,7 +133,19 @@ class VadalogTransducer : public Transducer {
 /// anything implementing Transducer can be added at any time.
 class TransducerRegistry {
  public:
+  using Decorator =
+      std::function<std::unique_ptr<Transducer>(std::unique_ptr<Transducer>)>;
+
   TransducerRegistry() = default;
+
+  /// Every subsequently Add()ed transducer is passed through `decorator`
+  /// first (nullptr clears). This is how cross-cutting wrappers — fault
+  /// injection, tracing shims — cover the standard suite and custom
+  /// transducers uniformly. Decorators must preserve name/activity/
+  /// input_dependency (wrap, don't re-identify).
+  void SetDecorator(Decorator decorator) {
+    decorator_ = std::move(decorator);
+  }
 
   /// Fails with kAlreadyExists on duplicate names.
   Status Add(std::unique_ptr<Transducer> transducer);
@@ -114,6 +159,7 @@ class TransducerRegistry {
 
  private:
   std::vector<std::unique_ptr<Transducer>> transducers_;
+  Decorator decorator_;
 };
 
 }  // namespace vada

@@ -17,6 +17,8 @@
 #include "match/schema_matcher.h"
 #include "obs/obs.h"
 #include "quality/cfd.h"
+#include "transducer/failure_policy.h"
+#include "transducer/transducer.h"
 
 namespace vada {
 
@@ -63,6 +65,17 @@ struct WranglerConfig {
   /// analysis errors (unsafe rules, arity mismatches, missing `ready`
   /// goal) reject the transducer and warnings are logged.
   AnalysisEnforcement analysis = AnalysisEnforcement::kErrorsOnly;
+  /// Fault tolerance of the orchestration loop: write-guard rollback,
+  /// retry with exponential backoff, quarantine (circuit breaker),
+  /// execution budgets and failure facts. Defaults degrade gracefully;
+  /// set `fault_tolerance.enabled = false` for the bare fail-fast loop
+  /// or `on_failure_exhausted = FailureAction::kAbort` to fail fast
+  /// *with* rollback and retries. See failure_policy.h and DESIGN.md §5d.
+  FailurePolicy fault_tolerance;
+  /// Applied to every transducer registered through the session
+  /// (standard suite and custom). Used by the fault-injection soak
+  /// harness (fault_injection.h); nullptr means no wrapping.
+  TransducerRegistry::Decorator transducer_decorator;
   /// Name of the final result relation in the knowledge base.
   std::string result_relation = "wrangled_result";
 };

@@ -40,8 +40,10 @@ WranglingSession::WranglingSession(WranglerConfig config) {
   state_ = std::make_unique<WranglingState>();
   state_->config = std::move(config);
   obs_ = std::make_unique<obs::ObsContext>(state_->config.obs);
+  registry_.SetDecorator(state_->config.transducer_decorator);
   OrchestratorOptions orch_options;
   orch_options.obs = obs_.get();
+  orch_options.failure_policy = state_->config.fault_tolerance;
   orchestrator_ = std::make_unique<NetworkTransducer>(
       &registry_,
       std::make_unique<ActivityPriorityPolicy>(

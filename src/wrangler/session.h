@@ -111,6 +111,9 @@ class WranglingSession {
   const obs::ObsContext& obs() const { return *obs_; }
 
   const ExecutionTrace& trace() const { return orchestrator_->trace(); }
+  /// Orchestrator readout (quarantine/failure state, trace). The session
+  /// owns it for its whole lifetime.
+  const NetworkTransducer& orchestrator() const { return *orchestrator_; }
   KnowledgeBase& kb() { return kb_; }
   const KnowledgeBase& kb() const { return kb_; }
   const WranglingState& state() const { return *state_; }

@@ -1,0 +1,176 @@
+#include "kb/write_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kb/knowledge_base.h"
+
+namespace vada {
+namespace {
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.CreateRelation(Schema::Untyped("a", {"x", "y"})).ok());
+  EXPECT_TRUE(kb.Insert("a", {Value::Int(1), Value::String("one")}).ok());
+  EXPECT_TRUE(kb.Insert("a", {Value::Int(2), Value::String("two")}).ok());
+  EXPECT_TRUE(kb.CreateRelation(Schema::Untyped("b", {"z"})).ok());
+  EXPECT_TRUE(kb.Insert("b", {Value::String("keep")}).ok());
+  kb.catalog().SetRole("a", RelationRole::kSource);
+  return kb;
+}
+
+/// Byte-level fingerprint of everything rollback promises to restore:
+/// relation names, row contents *and order*, per-relation versions, the
+/// global version, the lifetime facts counters, and catalog roles.
+struct KbFingerprint {
+  std::vector<std::string> relations;
+  std::map<std::string, std::vector<Tuple>> rows;
+  std::map<std::string, uint64_t> versions;
+  uint64_t global_version = 0;
+  uint64_t facts_added = 0;
+  uint64_t facts_removed = 0;
+  std::map<std::string, std::string> roles;
+};
+
+KbFingerprint Fingerprint(const KnowledgeBase& kb) {
+  KbFingerprint fp;
+  fp.relations = kb.RelationNames();
+  for (const std::string& name : fp.relations) {
+    const Relation* rel = kb.FindRelation(name);
+    fp.rows[name] = rel->rows();
+    fp.versions[name] = kb.relation_version(name);
+    std::optional<RelationRole> role = kb.catalog().GetRole(name);
+    if (role.has_value()) fp.roles[name] = RelationRoleName(*role);
+  }
+  fp.global_version = kb.global_version();
+  fp.facts_added = kb.facts_added();
+  fp.facts_removed = kb.facts_removed();
+  return fp;
+}
+
+void ExpectIdentical(const KbFingerprint& before, const KbFingerprint& after) {
+  EXPECT_EQ(before.relations, after.relations);
+  EXPECT_EQ(before.rows, after.rows);
+  EXPECT_EQ(before.versions, after.versions);
+  EXPECT_EQ(before.global_version, after.global_version);
+  EXPECT_EQ(before.facts_added, after.facts_added);
+  EXPECT_EQ(before.facts_removed, after.facts_removed);
+  EXPECT_EQ(before.roles, after.roles);
+}
+
+TEST(WriteGuardTest, RollbackRestoresKbExactly) {
+  KnowledgeBase kb = MakeKb();
+  KbFingerprint before = Fingerprint(kb);
+  {
+    WriteGuard guard(&kb);
+    // Touch the KB every way a transducer can.
+    ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("three")}).ok());
+    ASSERT_TRUE(kb.Retract("a", {Value::Int(1), Value::String("one")}).ok());
+    ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("fresh", {"w"})).ok());
+    ASSERT_TRUE(kb.Insert("fresh", {Value::Int(9)}).ok());
+    ASSERT_TRUE(kb.ClearRelation("b").ok());
+    kb.catalog().SetRole("fresh", RelationRole::kMetadata);
+    ASSERT_NE(kb.global_version(), before.global_version);
+    guard.Rollback();
+  }
+  ExpectIdentical(before, Fingerprint(kb));
+  EXPECT_FALSE(kb.HasRelation("fresh"));
+}
+
+TEST(WriteGuardTest, DestructorRollsBackByDefault) {
+  KnowledgeBase kb = MakeKb();
+  KbFingerprint before = Fingerprint(kb);
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("three")}).ok());
+    // No Commit(): leaving scope must undo the insert.
+  }
+  ExpectIdentical(before, Fingerprint(kb));
+}
+
+TEST(WriteGuardTest, CommitKeepsWrites) {
+  KnowledgeBase kb = MakeKb();
+  uint64_t version_before = kb.global_version();
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("three")}).ok());
+    EXPECT_EQ(guard.touched_relations(), 1u);
+    guard.Commit();
+    EXPECT_FALSE(guard.active());
+  }
+  EXPECT_EQ(kb.FindRelation("a")->size(), 3u);
+  EXPECT_GT(kb.global_version(), version_before);
+}
+
+TEST(WriteGuardTest, RollbackRestoresRowOrder) {
+  KnowledgeBase kb = MakeKb();
+  std::vector<Tuple> order_before = kb.FindRelation("a")->rows();
+  {
+    WriteGuard guard(&kb);
+    Relation replacement(Schema::Untyped("a", {"x", "y"}));
+    ASSERT_TRUE(
+        replacement.InsertUnchecked({Value::Int(2), Value::String("two")})
+            .ok());
+    ASSERT_TRUE(
+        replacement.InsertUnchecked({Value::Int(1), Value::String("one")})
+            .ok());
+    ASSERT_TRUE(kb.ReplaceRelation(replacement).ok());
+  }
+  EXPECT_EQ(kb.FindRelation("a")->rows(), order_before);
+}
+
+TEST(WriteGuardTest, DroppedRelationIsResurrected) {
+  KnowledgeBase kb = MakeKb();
+  KbFingerprint before = Fingerprint(kb);
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.DropRelation("a").ok());
+    ASSERT_FALSE(kb.HasRelation("a"));
+  }
+  ExpectIdentical(before, Fingerprint(kb));
+}
+
+TEST(WriteGuardTest, UntouchedRelationsAreNotSnapshotted) {
+  KnowledgeBase kb = MakeKb();
+  WriteGuard guard(&kb);
+  EXPECT_EQ(guard.touched_relations(), 0u);
+  ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("x")}).ok());
+  ASSERT_TRUE(kb.Insert("a", {Value::Int(4), Value::String("y")}).ok());
+  EXPECT_EQ(guard.touched_relations(), 1u);  // copy-on-write: once per rel
+  guard.Commit();
+}
+
+TEST(WriteGuardTest, RollbackIsIdempotentAndNoOpAfterCommit) {
+  KnowledgeBase kb = MakeKb();
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("x")}).ok());
+    guard.Commit();
+    guard.Rollback();  // must be a no-op now
+    guard.Rollback();
+  }
+  EXPECT_EQ(kb.FindRelation("a")->size(), 3u);
+  EXPECT_FALSE(kb.HasActiveGuard());
+}
+
+TEST(WriteGuardTest, SequentialGuardsOnOneKb) {
+  KnowledgeBase kb = MakeKb();
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("x")}).ok());
+  }  // rolled back
+  EXPECT_FALSE(kb.HasActiveGuard());
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Insert("a", {Value::Int(3), Value::String("x")}).ok());
+    guard.Commit();
+  }
+  EXPECT_EQ(kb.FindRelation("a")->size(), 3u);
+}
+
+}  // namespace
+}  // namespace vada

@@ -70,6 +70,53 @@ TEST(ControlFactsTest, SyncIsIdempotent) {
   EXPECT_EQ(kb.global_version(), version);
 }
 
+TEST(ControlFactsTest, SysRelationsAreNotDescribed) {
+  KnowledgeBase kb = SeedKb();
+  // Control relations must never describe themselves (or any other sys_*
+  // relation, e.g. sys_transducer_failure): that would make every sync
+  // change the KB and the orchestration would never reach fixpoint.
+  ASSERT_TRUE(
+      kb.CreateRelation(Schema::Untyped("sys_custom", {"k"})).ok());
+  ASSERT_TRUE(kb.Insert("sys_custom", {Value::String("v")}).ok());
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+  uint64_t version = kb.global_version();
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+  EXPECT_EQ(kb.global_version(), version);
+  const Relation* nonempty = kb.FindRelation("sys_relation_nonempty");
+  ASSERT_NE(nonempty, nullptr);
+  for (const Tuple& row : nonempty->rows()) {
+    EXPECT_EQ(row.at(0).string_value().rfind("sys_", 0), std::string::npos)
+        << "sys_ relation leaked into control facts: "
+        << row.at(0).string_value();
+  }
+  const Relation* attrs = kb.FindRelation("sys_relation_attribute");
+  ASSERT_NE(attrs, nullptr);
+  for (const Tuple& row : attrs->rows()) {
+    EXPECT_EQ(row.at(0).string_value().rfind("sys_", 0), std::string::npos);
+  }
+}
+
+TEST(ControlFactsTest, SyncTracksKbChangesWithOneBump) {
+  KnowledgeBase kb = SeedKb();
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+  const Relation* nonempty = kb.FindRelation("sys_relation_nonempty");
+  ASSERT_NE(nonempty, nullptr);
+  EXPECT_FALSE(nonempty->Contains(Tuple({Value::String("fresh")})));
+
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("fresh", {"y"})).ok());
+  ASSERT_TRUE(kb.Insert("fresh", {Value::Int(1)}).ok());
+  uint64_t version = kb.global_version();
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+  // Replace-if-changed: changed control relations are updated…
+  nonempty = kb.FindRelation("sys_relation_nonempty");
+  EXPECT_TRUE(nonempty->Contains(Tuple({Value::String("fresh")})));
+  EXPECT_GT(kb.global_version(), version);
+  // …and a second sync with nothing new is a no-op again.
+  version = kb.global_version();
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+  EXPECT_EQ(kb.global_version(), version);
+}
+
 TEST(NetworkTest, ChainsTransducersToFixpoint) {
   KnowledgeBase kb = SeedKb();
   TransducerRegistry registry;
@@ -176,9 +223,16 @@ TEST(NetworkTest, TransducerErrorSurfacesWithName) {
                         return Status::Internal("boom");
                       }))
                   .ok());
-  NetworkTransducer orchestrator(&registry, std::make_unique<FifoPolicy>());
+  // Default fault tolerance degrades gracefully; opt into fail-fast to
+  // check that errors still surface with the transducer's name.
+  OrchestratorOptions options;
+  options.failure_policy.max_attempts = 1;
+  options.failure_policy.on_failure_exhausted = FailureAction::kAbort;
+  NetworkTransducer orchestrator(&registry, std::make_unique<FifoPolicy>(),
+                                 options);
   Status s = orchestrator.Run(&kb);
   EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);  // code preserved, not wrapped
   EXPECT_NE(s.message().find("broken"), std::string::npos);
 }
 
@@ -190,8 +244,15 @@ TEST(NetworkTest, BadDependencySyntaxSurfaces) {
                       "bad_dep", "act", "ready( :- nope",
                       [](KnowledgeBase*) { return Status::OK(); }))
                   .ok());
-  NetworkTransducer orchestrator(&registry, std::make_unique<FifoPolicy>());
-  EXPECT_FALSE(orchestrator.Run(&kb).ok());
+  OrchestratorOptions options;
+  options.failure_policy.on_failure_exhausted = FailureAction::kAbort;
+  NetworkTransducer orchestrator(&registry, std::make_unique<FifoPolicy>(),
+                                 options);
+  Status s = orchestrator.Run(&kb);
+  EXPECT_FALSE(s.ok());
+  // The parse error's code must survive (no InvalidArgument laundering).
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("bad_dep"), std::string::npos);
 }
 
 TEST(VadalogTransducerTest, DerivesAndAssertsFacts) {
