@@ -8,23 +8,29 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace vada {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 
-std::mutex& SinkMutex() {
-  static std::mutex* m = new std::mutex();
-  return *m;
-}
+/// The process-wide sink list and the mutex that guards it, bundled so
+/// the guarded-by relationship is machine-checkable. Leaked on purpose
+/// (never destroyed) so logging from static destructors stays safe.
+struct SinkState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<LogSink>> sinks VADA_GUARDED_BY(mutex);
+};
 
-// Guarded by SinkMutex().
-std::vector<std::shared_ptr<LogSink>>& Sinks() {
-  static std::vector<std::shared_ptr<LogSink>>* sinks =
-      new std::vector<std::shared_ptr<LogSink>>{
-          std::make_shared<StderrLogSink>()};
-  return *sinks;
+SinkState& GlobalSinks() {
+  static SinkState* state = [] {
+    auto* s = new SinkState();
+    s->sinks.push_back(std::make_shared<StderrLogSink>());
+    return s;
+  }();
+  return *state;
 }
 
 }  // namespace
@@ -60,19 +66,22 @@ LogLevel Logger::level() {
 
 void Logger::AddSink(std::shared_ptr<LogSink> sink) {
   if (sink == nullptr) return;
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  Sinks().push_back(std::move(sink));
+  SinkState& state = GlobalSinks();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.sinks.push_back(std::move(sink));
 }
 
 void Logger::ClearSinks() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  Sinks().clear();
+  SinkState& state = GlobalSinks();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.sinks.clear();
 }
 
 void Logger::ResetSinks() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  Sinks().clear();
-  Sinks().push_back(std::make_shared<StderrLogSink>());
+  SinkState& state = GlobalSinks();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.sinks.clear();
+  state.sinks.push_back(std::make_shared<StderrLogSink>());
 }
 
 void Logger::Log(LogLevel level, const std::string& component,
@@ -89,8 +98,9 @@ void Logger::Log(LogLevel level, const std::string& component,
           std::chrono::system_clock::now().time_since_epoch())
           .count();
   record.thread_id = std::hash<std::thread::id>{}(std::this_thread::get_id());
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  for (const std::shared_ptr<LogSink>& sink : Sinks()) {
+  SinkState& state = GlobalSinks();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const std::shared_ptr<LogSink>& sink : state.sinks) {
     sink->Write(record);
   }
 }

@@ -1,0 +1,18 @@
+#ifndef VADA_COMMON_THREAD_ANNOTATIONS_H_
+#define VADA_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations, compiled away elsewhere. These are
+// documentation that the compiler can check (-Wthread-safety under
+// clang): a member declared VADA_GUARDED_BY(mutex_) may only be touched
+// while mutex_ is held.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define VADA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define VADA_THREAD_ANNOTATION(x)
+#endif
+
+#define VADA_GUARDED_BY(x) VADA_THREAD_ANNOTATION(guarded_by(x))
+#define VADA_PT_GUARDED_BY(x) VADA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#endif  // VADA_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "datalog/database.h"
 
+#include <utility>
+
 namespace vada::datalog {
 
 namespace {
@@ -9,7 +11,24 @@ const std::vector<Tuple>& EmptyFacts() {
 }
 }  // namespace
 
+const Database::PredicateStore* Database::Find(
+    const std::string& predicate) const {
+  auto it = stores_.find(predicate);
+  if (it != stores_.end()) return &it->second;
+  auto sit = shared_.find(predicate);
+  if (sit != shared_.end()) return sit->second.store;
+  return nullptr;
+}
+
 bool Database::Insert(const std::string& predicate, Tuple t) {
+  if (!shared_.empty()) {
+    auto sit = shared_.find(predicate);
+    if (sit != shared_.end() && stores_.count(predicate) == 0) {
+      // Copy-on-write: detach the borrowed predicate before mutating.
+      stores_[predicate] = *sit->second.store;
+      shared_.erase(sit);
+    }
+  }
   PredicateStore& store = stores_[predicate];
   if (!store.arity_set) {
     store.arity = t.size();
@@ -34,47 +53,76 @@ void Database::LoadRelation(const Relation& relation) {
   }
 }
 
+void Database::AttachShared(std::shared_ptr<const Database> base) {
+  if (base == nullptr) return;
+  for (const auto& [name, store] : base->stores_) {
+    if (stores_.count(name) > 0 || shared_.count(name) > 0) continue;
+    shared_[name] = SharedView{base, &store};
+  }
+  // If the snapshot itself borrows predicates, forward the inner owner
+  // so lifetime tracking stays precise.
+  for (const auto& [name, view] : base->shared_) {
+    if (stores_.count(name) > 0 || shared_.count(name) > 0) continue;
+    shared_[name] = view;
+  }
+}
+
 bool Database::Contains(const std::string& predicate, const Tuple& t) const {
-  auto it = stores_.find(predicate);
-  return it != stores_.end() && it->second.set.count(t) > 0;
+  const PredicateStore* store = Find(predicate);
+  return store != nullptr && store->set.count(t) > 0;
 }
 
 const std::vector<Tuple>& Database::facts(const std::string& predicate) const {
-  auto it = stores_.find(predicate);
-  if (it == stores_.end()) return EmptyFacts();
-  return it->second.facts;
+  const PredicateStore* store = Find(predicate);
+  if (store == nullptr) return EmptyFacts();
+  return store->facts;
 }
 
 const std::vector<size_t>* Database::Lookup(const std::string& predicate,
                                             size_t position,
                                             const Value& value) const {
-  auto it = stores_.find(predicate);
-  if (it == stores_.end()) return nullptr;
-  const PredicateStore& store = it->second;
-  if (position >= store.indexes.size()) return nullptr;
-  auto vit = store.indexes[position].find(value);
-  if (vit == store.indexes[position].end()) return nullptr;
+  const PredicateStore* store = Find(predicate);
+  if (store == nullptr) return nullptr;
+  if (position >= store->indexes.size()) return nullptr;
+  auto vit = store->indexes[position].find(value);
+  if (vit == store->indexes[position].end()) return nullptr;
   return &vit->second;
 }
 
 size_t Database::FactCount(const std::string& predicate) const {
-  auto it = stores_.find(predicate);
-  return it == stores_.end() ? 0 : it->second.facts.size();
+  const PredicateStore* store = Find(predicate);
+  return store == nullptr ? 0 : store->facts.size();
 }
 
 size_t Database::TotalFacts() const {
   size_t total = 0;
   for (const auto& [name, store] : stores_) total += store.facts.size();
+  for (const auto& [name, view] : shared_) total += view.store->facts.size();
   return total;
 }
 
 std::vector<std::string> Database::Predicates() const {
   std::vector<std::string> out;
-  out.reserve(stores_.size());
-  for (const auto& [name, store] : stores_) out.push_back(name);
+  out.reserve(stores_.size() + shared_.size());
+  // Merge of two sorted key ranges keeps the documented sorted order.
+  auto own = stores_.begin();
+  auto borrowed = shared_.begin();
+  while (own != stores_.end() || borrowed != shared_.end()) {
+    if (borrowed == shared_.end() ||
+        (own != stores_.end() && own->first < borrowed->first)) {
+      out.push_back(own->first);
+      ++own;
+    } else {
+      out.push_back(borrowed->first);
+      ++borrowed;
+    }
+  }
   return out;
 }
 
-void Database::Clear() { stores_.clear(); }
+void Database::Clear() {
+  stores_.clear();
+  shared_.clear();
+}
 
 }  // namespace vada::datalog

@@ -2,6 +2,7 @@
 #define VADA_DATALOG_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -15,6 +16,12 @@ namespace vada::datalog {
 /// Fact storage for the Datalog engine: predicate name -> set of tuples,
 /// with hash indexes on every column position so joins can seek instead
 /// of scan. Tuples of one predicate must share an arity (checked).
+///
+/// A database can additionally *borrow* predicates from immutable shared
+/// snapshots (AttachShared): reads see the shared store without copying
+/// a single tuple, and the first write to a borrowed predicate detaches
+/// it by deep copy. This is what lets the snapshot cache hand one
+/// per-relation snapshot to many concurrent evaluations.
 class Database {
  public:
   Database() = default;
@@ -22,10 +29,18 @@ class Database {
   /// Inserts `t`; returns whether it was new. Establishes the predicate's
   /// arity on first insert; later arity mismatches are ignored and return
   /// false (callers go through validated rules so this is defensive).
+  /// Writing to a predicate borrowed via AttachShared first detaches it
+  /// (copy-on-write), so the shared snapshot is never mutated.
   bool Insert(const std::string& predicate, Tuple t);
 
   /// Loads every row of `relation` under its relation name.
   void LoadRelation(const Relation& relation);
+
+  /// Borrows every predicate of `base` as a read-only view backed by the
+  /// shared snapshot (kept alive by the stored shared_ptr). Predicates
+  /// this database already owns or borrows are left untouched — first
+  /// binding wins, matching LoadReferencedRelations' dedup semantics.
+  void AttachShared(std::shared_ptr<const Database> base);
 
   bool Contains(const std::string& predicate, const Tuple& t) const;
 
@@ -41,7 +56,7 @@ class Database {
   size_t FactCount(const std::string& predicate) const;
   size_t TotalFacts() const;
 
-  /// Known predicate names, sorted.
+  /// Known predicate names (owned and borrowed), sorted.
   std::vector<std::string> Predicates() const;
 
   void Clear();
@@ -57,7 +72,16 @@ class Database {
         indexes;
   };
 
+  struct SharedView {
+    std::shared_ptr<const Database> owner;  // keepalive
+    const PredicateStore* store = nullptr;
+  };
+
+  /// Owned store if present, else borrowed store, else nullptr.
+  const PredicateStore* Find(const std::string& predicate) const;
+
   std::map<std::string, PredicateStore> stores_;
+  std::map<std::string, SharedView> shared_;
 };
 
 }  // namespace vada::datalog

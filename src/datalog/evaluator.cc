@@ -348,6 +348,15 @@ class RuleExecutor {
     Descend(0, on_solution);
   }
 
+  /// Restricts the outermost body literal (which must be a positive atom)
+  /// to the candidate subrange [begin, end). Concatenating the solutions
+  /// of consecutive ranges reproduces the full run's solutions in the
+  /// same order — the invariant parallel range-chunking relies on.
+  void RestrictOuterRange(size_t begin, size_t end) {
+    outer_begin_ = begin;
+    outer_end_ = end;
+  }
+
   BindingEnv& env() { return env_; }
 
   /// Candidate facts scanned by body-atom evaluation (the join-probe
@@ -469,8 +478,15 @@ class RuleExecutor {
       if (candidates == nullptr) return;  // no fact matches the bound column
     }
     size_t count = (candidates != nullptr) ? candidates->size() : all.size();
-    probes_ += count;
-    for (size_t ci = 0; ci < count; ++ci) {
+    size_t begin = 0;
+    size_t end = count;
+    if (index == 0) {
+      begin = std::min(outer_begin_, count);
+      end = std::min(outer_end_, count);
+      if (begin > end) begin = end;
+    }
+    probes_ += end - begin;
+    for (size_t ci = begin; ci < end; ++ci) {
       const Tuple& fact =
           (candidates != nullptr) ? all[(*candidates)[ci]] : all[ci];
       if (fact.size() != lit.atom.terms.size()) continue;
@@ -495,11 +511,14 @@ class RuleExecutor {
   const Database& db_;
   const Database* delta_;
   size_t delta_position_;
+  size_t outer_begin_ = 0;
+  size_t outer_end_ = static_cast<size_t>(-1);
   BindingEnv env_;
   size_t probes_ = 0;
 };
 
 constexpr size_t kNoDelta = static_cast<size_t>(-1);
+constexpr size_t kFullRange = static_cast<size_t>(-1);
 
 /// Builds the head tuple of a non-aggregate rule from a solution.
 Tuple BuildHead(const CompiledRule& rule, const BindingEnv& env) {
@@ -514,13 +533,17 @@ Tuple BuildHead(const CompiledRule& rule, const BindingEnv& env) {
 /// Evaluates a non-aggregate rule and collects candidate head tuples.
 /// When `premises_out` is non-null it receives, parallel to `out`, the
 /// ground positive body atoms of each solution (for provenance).
+/// `[outer_begin, outer_end)` restricts the outermost literal's candidate
+/// range (parallel chunking); pass 0/kFullRange for a full evaluation.
 void EvaluateRule(
     const CompiledRule& rule, const Database& db, const Database* delta,
-    size_t delta_position, std::vector<Tuple>* out,
+    size_t delta_position, size_t outer_begin, size_t outer_end,
+    std::vector<Tuple>* out,
     std::vector<std::vector<std::pair<std::string, Tuple>>>* premises_out =
         nullptr,
     size_t* probes = nullptr) {
   RuleExecutor exec(rule, db, delta, delta_position);
+  exec.RestrictOuterRange(outer_begin, outer_end);
   exec.ForEachSolution([&](const BindingEnv& env) {
     out->push_back(BuildHead(rule, env));
     if (premises_out != nullptr) {
@@ -528,6 +551,27 @@ void EvaluateRule(
     }
   });
   if (probes != nullptr) *probes += exec.probes();
+}
+
+/// Number of candidates the outermost body literal ranges over — the
+/// iteration space parallel chunking splits. 0 when the rule cannot be
+/// chunked (empty body, or a builtin/negation was ordered first).
+size_t OuterCandidateCount(const CompiledRule& rule, const Database& db,
+                           const Database* delta, size_t delta_position) {
+  if (rule.body.empty() || rule.body[0].kind != Literal::Kind::kAtom) return 0;
+  const CompiledAtom& atom = rule.body[0].atom;
+  const Database& source =
+      (delta_position == 0 && delta != nullptr) ? *delta : db;
+  // Mirror RuleExecutor::EvalAtom's seek choice: with no bindings yet,
+  // the seek column is the first constant term, if any.
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (!atom.terms[i].is_var) {
+      const std::vector<size_t>* candidates =
+          source.Lookup(atom.predicate, i, atom.terms[i].constant);
+      return candidates == nullptr ? 0 : candidates->size();
+    }
+  }
+  return source.facts(atom.predicate).size();
 }
 
 /// Evaluates an aggregate rule: groups body solutions by the non-aggregate
@@ -691,7 +735,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
           ++st->rule_applications;
           std::vector<Tuple> produced;
           std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
-          EvaluateRule(rule, *db, nullptr, kNoDelta, &produced,
+          EvaluateRule(rule, *db, nullptr, kNoDelta, 0, kFullRange, &produced,
                        provenance != nullptr ? &premises : nullptr,
                        &st->join_probes);
           for (size_t i = 0; i < produced.size(); ++i) {
@@ -715,59 +759,121 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       continue;
     }
 
-    // Semi-naive: round 0 evaluates every rule in full; later rounds
-    // evaluate only recursive rules, once per recursive occurrence with
-    // that occurrence restricted to the previous round's delta.
-    Database delta;
-    ++st->iterations;
-    for (const CompiledRule& rule : normal_rules) {
-      ++st->rule_applications;
+    // Semi-naive with batch rounds: round 0 evaluates every rule in
+    // full; later rounds evaluate only recursive rules, once per
+    // recursive occurrence with that occurrence restricted to the
+    // previous round's delta. Every task of a round reads the same
+    // immutable round-start state and results are merged in fixed task
+    // order, so the rules of a round are embarrassingly parallel and a
+    // pool run is bit-identical to an inline run — same facts, same
+    // per-predicate order, same EvalStats (DESIGN.md §5e). Large tasks
+    // are further split into outer-candidate ranges; concatenating
+    // range results reproduces the unchunked enumeration order exactly.
+    struct RuleTask {
+      const CompiledRule* rule = nullptr;
+      size_t delta_position = kNoDelta;
+      size_t outer_begin = 0;
+      size_t outer_end = kFullRange;
       std::vector<Tuple> produced;
       std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
-      EvaluateRule(rule, *db, nullptr, kNoDelta, &produced,
-                   provenance != nullptr ? &premises : nullptr,
-                   &st->join_probes);
-      for (size_t i = 0; i < produced.size(); ++i) {
-        Tuple& t = produced[i];
-        if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
-          provenance->Record(rule.head.predicate, t,
-                             Derivation{rule.text, premises[i]});
-        }
-        if (db->Insert(rule.head.predicate, t)) {
-          ++st->facts_derived;
-          delta.Insert(rule.head.predicate, std::move(t));
+      size_t probes = 0;
+    };
+    ThreadPool* pool =
+        (options_.pool != nullptr && options_.pool->workers() > 0)
+            ? options_.pool
+            : nullptr;
+
+    auto plan_rule = [&](const CompiledRule& rule, size_t delta_position,
+                         const Database* delta,
+                         std::vector<RuleTask>* tasks) {
+      ++st->rule_applications;
+      RuleTask task;
+      task.rule = &rule;
+      task.delta_position = delta_position;
+      size_t chunks = 1;
+      size_t count = 0;
+      if (pool != nullptr) {
+        count = OuterCandidateCount(rule, *db, delta, delta_position);
+        if (count >= options_.parallel_chunk_threshold) {
+          chunks = std::min(pool->workers() + 1, count);
         }
       }
+      if (chunks <= 1) {
+        tasks->push_back(std::move(task));
+        return;
+      }
+      size_t base = count / chunks;
+      size_t rem = count % chunks;
+      size_t begin = 0;
+      for (size_t c = 0; c < chunks; ++c) {
+        size_t len = base + (c < rem ? 1 : 0);
+        RuleTask chunk = task;
+        chunk.outer_begin = begin;
+        chunk.outer_end = begin + len;
+        begin += len;
+        tasks->push_back(std::move(chunk));
+      }
+    };
+
+    auto run_tasks = [&](std::vector<RuleTask>* tasks, const Database* delta) {
+      auto eval_one = [&](size_t i) {
+        RuleTask& task = (*tasks)[i];
+        EvaluateRule(*task.rule, *db, delta, task.delta_position,
+                     task.outer_begin, task.outer_end, &task.produced,
+                     provenance != nullptr ? &task.premises : nullptr,
+                     &task.probes);
+      };
+      if (pool != nullptr && tasks->size() > 1) {
+        pool->ParallelFor(tasks->size(), eval_one);
+      } else {
+        for (size_t i = 0; i < tasks->size(); ++i) eval_one(i);
+      }
+    };
+
+    auto merge_tasks = [&](std::vector<RuleTask>* tasks,
+                           Database* delta_out) {
+      for (RuleTask& task : *tasks) {
+        st->join_probes += task.probes;
+        const CompiledRule& rule = *task.rule;
+        for (size_t i = 0; i < task.produced.size(); ++i) {
+          Tuple& t = task.produced[i];
+          if (provenance != nullptr &&
+              !db->Contains(rule.head.predicate, t)) {
+            provenance->Record(rule.head.predicate, t,
+                               Derivation{rule.text, task.premises[i]});
+          }
+          if (db->Insert(rule.head.predicate, t)) {
+            ++st->facts_derived;
+            delta_out->Insert(rule.head.predicate, std::move(t));
+          }
+        }
+      }
+    };
+
+    Database delta;
+    ++st->iterations;
+    {
+      std::vector<RuleTask> tasks;
+      for (const CompiledRule& rule : normal_rules) {
+        plan_rule(rule, kNoDelta, nullptr, &tasks);
+      }
+      run_tasks(&tasks, nullptr);
+      merge_tasks(&tasks, &delta);
     }
 
     for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
       if (delta.TotalFacts() == 0) break;
       ++st->iterations;
       Database next_delta;
+      std::vector<RuleTask> tasks;
       for (const CompiledRule& rule : normal_rules) {
-        if (rule.recursive_positions.empty()) continue;
         for (size_t pos : rule.recursive_positions) {
           if (delta.FactCount(rule.body[pos].atom.predicate) == 0) continue;
-          ++st->rule_applications;
-          std::vector<Tuple> produced;
-          std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
-          EvaluateRule(rule, *db, &delta, pos, &produced,
-                       provenance != nullptr ? &premises : nullptr,
-                       &st->join_probes);
-          for (size_t i = 0; i < produced.size(); ++i) {
-            Tuple& t = produced[i];
-            if (provenance != nullptr &&
-                !db->Contains(rule.head.predicate, t)) {
-              provenance->Record(rule.head.predicate, t,
-                                 Derivation{rule.text, premises[i]});
-            }
-            if (db->Insert(rule.head.predicate, t)) {
-              ++st->facts_derived;
-              next_delta.Insert(rule.head.predicate, std::move(t));
-            }
-          }
+          plan_rule(rule, pos, &delta, &tasks);
         }
       }
+      run_tasks(&tasks, &delta);
+      merge_tasks(&tasks, &next_delta);
       delta = std::move(next_delta);
       if (iter + 1 == options_.max_iterations && delta.TotalFacts() != 0) {
         return Status::Internal("semi-naive evaluation exceeded max_iterations");

@@ -15,7 +15,7 @@ void LoadKnowledgeBase(const KnowledgeBase& kb, Database* db) {
 }
 
 void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
-                             Database* db) {
+                             Database* db, SnapshotCache* cache) {
   std::set<std::string> derived;
   for (const Rule& rule : program.rules) {
     derived.insert(rule.head.predicate);
@@ -29,6 +29,10 @@ void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
       }
       const std::string& pred = lit.atom.predicate;
       if (derived.count(pred) > 0 || !loaded.insert(pred).second) continue;
+      if (cache != nullptr) {
+        db->AttachShared(cache->Get(kb, pred));
+        continue;
+      }
       const Relation* rel = kb.FindRelation(pred);
       if (rel != nullptr) db->LoadRelation(*rel);
     }
@@ -37,18 +41,21 @@ void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
 
 Result<std::vector<Tuple>> QueryKnowledgeBase(
     const Program& program, const KnowledgeBase& kb,
-    const std::string& goal_predicate, const EvalOptions& options) {
+    const std::string& goal_predicate, const EvalOptions& options,
+    SnapshotCache* cache) {
   Database db;
-  LoadReferencedRelations(program, kb, &db);
+  LoadReferencedRelations(program, kb, &db, cache);
   return Query(program, &db, goal_predicate, options);
 }
 
 Result<std::vector<Tuple>> QueryKnowledgeBase(
     const std::string& source, const KnowledgeBase& kb,
-    const std::string& goal_predicate, const EvalOptions& options) {
+    const std::string& goal_predicate, const EvalOptions& options,
+    SnapshotCache* cache) {
   Result<Program> program = Parser::Parse(source);
   if (!program.ok()) return program.status();
-  return QueryKnowledgeBase(program.value(), kb, goal_predicate, options);
+  return QueryKnowledgeBase(program.value(), kb, goal_predicate, options,
+                            cache);
 }
 
 }  // namespace vada::datalog

@@ -8,6 +8,7 @@
 #include "datalog/ast.h"
 #include "datalog/database.h"
 #include "datalog/evaluator.h"
+#include "datalog/snapshot_cache.h"
 #include "kb/knowledge_base.h"
 
 namespace vada::datalog {
@@ -20,20 +21,26 @@ void LoadKnowledgeBase(const KnowledgeBase& kb, Database* db);
 
 /// Loads only the relations `program` actually reads: body-atom
 /// predicates that are not themselves derived by the program. Dependency
-/// checks and Vadalog transducers run hundreds of times per wrangle, and
-/// snapshotting the full knowledge base (source instances included) per
-/// evaluation dominates orchestration cost at scale — this keeps each
-/// check proportional to the metadata it touches.
+/// checks and Vadalog transducers run hundreds of times per wrangle, so
+/// each evaluation stays proportional to the data it touches instead of
+/// the whole knowledge base. With a non-null `cache`, relations are
+/// borrowed as shared version-keyed snapshots (see SnapshotCache) —
+/// zero copying when the relation has not changed since the last scan —
+/// instead of row-by-row copies into `db`.
 void LoadReferencedRelations(const Program& program, const KnowledgeBase& kb,
-                             Database* db);
+                             Database* db, SnapshotCache* cache = nullptr);
 
 /// Evaluates `program` over a snapshot of `kb` and returns the derived
 /// facts for `goal_predicate`, sorted. This is the primitive behind
 /// transducer input-dependency checks and Vadalog-specified mappings.
+/// `cache`, when non-null, supplies shared relation snapshots (safe to
+/// share across concurrent queries; the KB must not be mutated while
+/// queries run).
 Result<std::vector<Tuple>> QueryKnowledgeBase(
     const Program& program, const KnowledgeBase& kb,
     const std::string& goal_predicate,
-    const EvalOptions& options = EvalOptions());
+    const EvalOptions& options = EvalOptions(),
+    SnapshotCache* cache = nullptr);
 
 /// Parses `source`, then QueryKnowledgeBase. Convenience used by the
 /// orchestrator, where dependency queries live as text in transducer
@@ -42,7 +49,8 @@ Result<std::vector<Tuple>> QueryKnowledgeBase(
 Result<std::vector<Tuple>> QueryKnowledgeBase(
     const std::string& source, const KnowledgeBase& kb,
     const std::string& goal_predicate,
-    const EvalOptions& options = EvalOptions());
+    const EvalOptions& options = EvalOptions(),
+    SnapshotCache* cache = nullptr);
 
 }  // namespace vada::datalog
 

@@ -1,0 +1,68 @@
+#include "datalog/snapshot_cache.h"
+
+#include <utility>
+
+namespace vada::datalog {
+
+std::shared_ptr<const Database> SnapshotCache::Get(const KnowledgeBase& kb,
+                                                   const std::string& name) {
+  const uint64_t version = kb.relation_version(name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it != entries_.end() && it->second.version == version) {
+      ++stats_.hits;
+      if (hits_counter_ != nullptr) hits_counter_->Increment();
+      return it->second.snapshot;
+    }
+  }
+
+  // Miss: build outside the lock so a large copy does not serialize
+  // concurrent lookups of other relations. Two workers racing on the
+  // same relation build identical snapshots (the KB is not mutated
+  // while scans run); last insert wins.
+  const Relation* rel = kb.FindRelation(name);
+  if (rel == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
+    return nullptr;
+  }
+  auto snapshot = std::make_shared<Database>();
+  snapshot->LoadRelation(*rel);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  if (misses_counter_ != nullptr) misses_counter_->Increment();
+  entries_[name] = Entry{version, snapshot};
+  return snapshot;
+}
+
+void SnapshotCache::Invalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.erase(name) > 0) ++stats_.invalidations;
+}
+
+void SnapshotCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+size_t SnapshotCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SnapshotCache::SetCounters(obs::Counter* hits, obs::Counter* misses) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hits_counter_ = hits;
+  misses_counter_ = misses;
+}
+
+}  // namespace vada::datalog

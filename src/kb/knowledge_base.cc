@@ -5,8 +5,14 @@
 namespace vada {
 
 void KnowledgeBase::Bump(const std::string& name) {
-  ++versions_[name];
-  ++global_version_;
+  // Per-relation versions are allocated from the global counter instead
+  // of counting independently, so they are unique across a relation's
+  // whole history: a relation that is dropped (which erases its version
+  // entry) and later recreated can never land on a version number it
+  // already used. Version-keyed consumers — the dependency-scan
+  // snapshot cache — rely on this to treat (name, version) as an
+  // immutable content key.
+  versions_[name] = ++global_version_;
 }
 
 void KnowledgeBase::WillMutate(const std::string& name) {

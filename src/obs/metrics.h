@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace vada::obs {
 
 /// Metric naming convention: `vada_<layer>_<name>`, e.g.
@@ -135,8 +137,10 @@ class MetricsRegistry {
   Entry* FindOrNull(const std::string& key);
 
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;      // key: name + serialized labels
-  std::map<std::string, std::string> help_;   // per family name
+  // key: name + serialized labels
+  std::map<std::string, Entry> entries_ VADA_GUARDED_BY(mutex_);
+  // per family name
+  std::map<std::string, std::string> help_ VADA_GUARDED_BY(mutex_);
 };
 
 }  // namespace vada::obs

@@ -280,6 +280,7 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
   obs::Histogram* eligibility_hist = nullptr;
   obs::Histogram* dep_check_hist = nullptr;
   obs::Histogram* rollback_hist = nullptr;
+  obs::Histogram* scan_speedup_hist = nullptr;
   datalog::EvalOptions eval_options;
   if (m != nullptr) {
     steps_counter =
@@ -300,8 +301,18 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
         m->GetHistogram("vada_kb_rollback_seconds",
                         "WriteGuard rollback of one failed Execute()",
                         obs::Histogram::DefaultLatencyBucketsSeconds());
+    scan_speedup_hist = m->GetHistogram(
+        "vada_orchestrator_scan_speedup",
+        "Parallel eligibility-scan speedup: sum of per-query wall times "
+        "divided by the parallel phase's wall time (1.0 = no benefit)",
+        {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
     eval_options.metrics = m;
   }
+  ThreadPool* pool =
+      (options_.pool != nullptr && options_.pool->workers() > 0)
+          ? options_.pool
+          : nullptr;
+  datalog::SnapshotCache* cache = options_.snapshot_cache;
 
   // Fixpoint probes are a per-Run budget (a new Run is new information:
   // the user added context or feedback, so benched transducers deserve
@@ -312,6 +323,17 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
   auto finalize = [&](Status status) {
     st->quarantined = OpenCircuits();
     PublishQuarantineGauge(m);
+    if (m != nullptr && options_.pool != nullptr) {
+      // Published as a delta against the pool's lifetime counter, so a
+      // pool shared across sessions or Run() calls is never re-counted.
+      uint64_t total = options_.pool->tasks_executed();
+      if (total > pool_tasks_published_) {
+        m->GetCounter("vada_pool_tasks_total",
+                      "Tasks executed on the shared worker pool")
+            ->Increment(total - pool_tasks_published_);
+        pool_tasks_published_ = total;
+      }
+    }
     return status;
   };
 
@@ -336,12 +358,21 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
     }
 
     // Eligibility: dependency satisfied AND the KB moved since last run
-    // AND not quarantined (open circuits sit out their cooldown).
+    // AND not quarantined (open circuits sit out their cooldown). Three
+    // phases so the dependency queries — the expensive, read-only part —
+    // can run on the pool: (1) sequential gating, which mutates circuit
+    // bookkeeping; (2) query evaluation over the now-immutable KB,
+    // concurrent when a pool is configured; (3) sequential consumption
+    // in registration order, so failure recording, abort behavior, and
+    // the eligible order the policy sees match the inline path exactly.
     std::vector<Transducer*> eligible;
     {
       obs::ScopedSpan eligibility_span(spans, eligibility_hist, "eligibility",
                                        "orchestrator");
       VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+
+      // Phase 1: gating (mutates failure_state_; must stay sequential).
+      std::vector<Transducer*> candidates;
       for (const std::unique_ptr<Transducer>& t : registry_->transducers()) {
         FailureState* fs = nullptr;
         if (fp.enabled) {
@@ -372,18 +403,54 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
             continue;  // nothing new since this transducer last ran
           }
         }
+        candidates.push_back(t.get());
+      }
+
+      // Phase 2 (parallel mode only): evaluate every candidate's query
+      // up front on the pool. The KB is not mutated until the chosen
+      // transducer executes, and snapshot-cache lookups are thread-safe,
+      // so the queries are independent pure reads.
+      std::vector<Result<std::vector<Tuple>>> ready(
+          candidates.size(),
+          Result<std::vector<Tuple>>(Status::Internal("not evaluated")));
+      auto eval_dep = [&](size_t i) {
+        obs::ScopedSpan dep_span(nullptr, dep_check_hist, "dep_check");
+        ready[i] =
+            datalog::QueryKnowledgeBase(candidates[i]->input_dependency(),
+                                        *kb, "ready", eval_options, cache);
+      };
+      const bool parallel_scan = pool != nullptr && candidates.size() > 1;
+      if (parallel_scan) {
+        std::vector<uint64_t> query_ns(candidates.size(), 0);
+        uint64_t wall0 = obs::MonotonicNanos();
+        pool->ParallelFor(candidates.size(), [&](size_t i) {
+          uint64_t q0 = obs::MonotonicNanos();
+          eval_dep(i);
+          query_ns[i] = obs::MonotonicNanos() - q0;
+        });
+        uint64_t wall = obs::MonotonicNanos() - wall0;
+        if (scan_speedup_hist != nullptr && wall > 0) {
+          uint64_t sequential_ns = 0;
+          for (uint64_t ns : query_ns) sequential_ns += ns;
+          scan_speedup_hist->Observe(static_cast<double>(sequential_ns) /
+                                     static_cast<double>(wall));
+        }
+      }
+
+      // Phase 3: consume results in registration order. Counters are
+      // incremented here, not at evaluation, so an abort on a failed
+      // dependency reports the same dependency_checks as the inline
+      // path, which never evaluates past the failure.
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        Transducer* t = candidates[i];
         ++st->dependency_checks;
         if (dep_checks_counter != nullptr) dep_checks_counter->Increment();
-        Result<std::vector<Tuple>> ready = [&] {
-          obs::ScopedSpan dep_span(nullptr, dep_check_hist, "dep_check");
-          return datalog::QueryKnowledgeBase(t->input_dependency(), *kb,
-                                             "ready", eval_options);
-        }();
-        if (!ready.ok()) {
-          Status dep_error(ready.status().code(),
+        if (!parallel_scan) eval_dep(i);
+        if (!ready[i].ok()) {
+          Status dep_error(ready[i].status().code(),
                            "input dependency of " + t->name() +
                                " failed to evaluate: " +
-                               ready.status().message());
+                               ready[i].status().message());
           if (!fp.enabled ||
               fp.on_failure_exhausted == FailureAction::kAbort) {
             return finalize(dep_error);
@@ -391,11 +458,11 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
           // Dependency-evaluation failures get the same treatment as
           // execute failures: recorded, counted towards quarantine, and
           // the transducer is skipped instead of aborting the run.
-          RecordFailure(t.get(), dep_error, 1, step, kb, st, m);
+          RecordFailure(t, dep_error, 1, step, kb, st, m);
           last_run_version_[t->name()] = kb->global_version();
           continue;
         }
-        if (!ready.value().empty()) eligible.push_back(t.get());
+        if (!ready[i].value().empty()) eligible.push_back(t);
       }
     }
     if (eligible.empty()) {
@@ -465,8 +532,18 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
           guard.Commit();
           break;
         }
+        // Capture before Rollback() clears the pre-image map. Rollback
+        // restores contents and version counters together, so strictly
+        // the version-keyed entries stay valid — invalidating is the
+        // defensive belt-and-braces for the cache's keying invariant
+        // (snapshot_cache.h).
+        std::vector<std::string> touched;
+        if (cache != nullptr) touched = guard.TouchedRelationNames();
         uint64_t rb0 = obs::MonotonicNanos();
         guard.Rollback();
+        if (cache != nullptr) {
+          for (const std::string& name : touched) cache->Invalidate(name);
+        }
         if (rollback_hist != nullptr) {
           rollback_hist->Observe(
               static_cast<double>(obs::MonotonicNanos() - rb0) * 1e-9);

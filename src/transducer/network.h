@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "datalog/snapshot_cache.h"
 #include "kb/knowledge_base.h"
 #include "obs/obs.h"
 #include "transducer/failure_policy.h"
@@ -76,6 +78,19 @@ struct OrchestratorOptions {
   /// Fault tolerance: write-guard rollback, retry/backoff, quarantine,
   /// budgets, failure facts (see failure_policy.h).
   FailurePolicy failure_policy;
+  /// Worker pool for the eligibility scan (not owned; may be shared with
+  /// the evaluator). When set, the dependency queries of one scan are
+  /// evaluated concurrently over the immutable KB; gating, failure
+  /// recording, and policy choice stay sequential in registration order,
+  /// so scheduling decisions are identical to a nullptr-pool run. Null:
+  /// the scan runs inline exactly as before (the threads=1 escape hatch).
+  ThreadPool* pool = nullptr;
+  /// Version-keyed relation-snapshot cache shared by the scan's
+  /// dependency queries (not owned). Dramatically cuts per-scan relation
+  /// copying: only relations whose version moved since the previous scan
+  /// are re-snapshotted. Null: every query copies what it reads, as
+  /// before. Works with or without `pool`.
+  datalog::SnapshotCache* snapshot_cache = nullptr;
 };
 
 /// Aggregate statistics of one orchestration run.
@@ -176,6 +191,9 @@ class NetworkTransducer {
   std::map<std::string, uint64_t> last_run_version_;
   std::map<std::string, FailureState> failure_state_;
   size_t next_step_ = 0;
+  /// High-water mark of options_.pool->tasks_executed() already published
+  /// to the vada_pool_tasks_total counter (published as deltas per Run).
+  uint64_t pool_tasks_published_ = 0;
 };
 
 }  // namespace vada

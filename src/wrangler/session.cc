@@ -41,9 +41,28 @@ WranglingSession::WranglingSession(WranglerConfig config) {
   state_->config = std::move(config);
   obs_ = std::make_unique<obs::ObsContext>(state_->config.obs);
   registry_.SetDecorator(state_->config.transducer_decorator);
+  const ParallelismOptions& par = state_->config.parallelism;
+  if (par.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(par.threads - 1);
+  }
+  if (par.snapshot_cache) {
+    snapshot_cache_ = std::make_unique<datalog::SnapshotCache>();
+    if (obs_->metrics() != nullptr) {
+      snapshot_cache_->SetCounters(
+          obs_->metrics()->GetCounter(
+              "vada_snapshot_cache_hits_total",
+              "Dependency-scan relation loads served from the snapshot "
+              "cache without copying"),
+          obs_->metrics()->GetCounter(
+              "vada_snapshot_cache_misses_total",
+              "Dependency-scan relation loads that (re)built a snapshot"));
+    }
+  }
   OrchestratorOptions orch_options;
   orch_options.obs = obs_.get();
   orch_options.failure_policy = state_->config.fault_tolerance;
+  orch_options.pool = pool_.get();
+  orch_options.snapshot_cache = snapshot_cache_.get();
   orchestrator_ = std::make_unique<NetworkTransducer>(
       &registry_,
       std::make_unique<ActivityPriorityPolicy>(

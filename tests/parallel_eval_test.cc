@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "datalog/snapshot_cache.h"
+#include "extract/real_estate.h"
+#include "kb/knowledge_base.h"
+#include "transducer/network.h"
+#include "transducer/transducer.h"
+#include "wrangler/session.h"
+
+namespace vada::datalog {
+namespace {
+
+/// Everything one evaluation produced, in exact stored order — the
+/// bit-identity oracle (not sorted on purpose: parallel evaluation must
+/// reproduce sequential row order, not just the set).
+struct EvalOutput {
+  std::map<std::string, std::vector<Tuple>> facts;
+  EvalStats stats;
+
+  bool operator==(const EvalOutput& o) const {
+    return facts == o.facts && stats.iterations == o.stats.iterations &&
+           stats.facts_derived == o.stats.facts_derived &&
+           stats.rule_applications == o.stats.rule_applications &&
+           stats.join_probes == o.stats.join_probes;
+  }
+};
+
+EvalOutput Evaluate(const Program& program, const Database& edb,
+               const EvalOptions& options) {
+  Database db = edb;
+  Evaluator eval(program, options);
+  EXPECT_TRUE(eval.Prepare().ok());
+  EvalOutput out;
+  EXPECT_TRUE(eval.Run(&db, &out.stats).ok());
+  for (const std::string& pred : db.Predicates()) {
+    out.facts[pred] = db.facts(pred);
+  }
+  return out;
+}
+
+Database RandomEdb(Rng* rng, int nodes, int edges) {
+  Database db;
+  for (int e = 0; e < 3; ++e) {
+    std::string pred = "e" + std::to_string(e);
+    for (int i = 0; i < edges; ++i) {
+      db.Insert(pred, Tuple({Value::Int(rng->UniformInt(0, nodes - 1)),
+                             Value::Int(rng->UniformInt(0, nodes - 1))}));
+    }
+  }
+  for (int i = 0; i < nodes; ++i) {
+    if (rng->Bernoulli(0.3)) db.Insert("src", Tuple({Value::Int(i)}));
+    db.Insert("node", Tuple({Value::Int(i)}));
+  }
+  return db;
+}
+
+/// Random positive recursive program over e0..e2 / p0..p3 plus fixed
+/// negation and aggregation rules — exercises every evaluation feature
+/// under the parallel path.
+std::string RandomProgram(Rng* rng) {
+  std::ostringstream p;
+  p << "p0(X, Y) :- e0(X, Y).\n";
+  int rules = static_cast<int>(rng->UniformInt(4, 8));
+  for (int r = 0; r < rules; ++r) {
+    int head = static_cast<int>(rng->UniformInt(0, 3));
+    switch (rng->UniformInt(0, 2)) {
+      case 0:
+        p << "p" << head << "(X, Y) :- e" << rng->UniformInt(0, 2)
+          << "(X, Y).\n";
+        break;
+      case 1:
+        p << "p" << head << "(X, Y) :- e" << rng->UniformInt(0, 2)
+          << "(X, Z), p" << rng->UniformInt(0, 3) << "(Z, Y).\n";
+        break;
+      default:
+        p << "p" << head << "(X, Y) :- p" << rng->UniformInt(0, 3)
+          << "(X, Z), p" << rng->UniformInt(0, 3) << "(Z, Y).\n";
+        break;
+    }
+  }
+  p << "reach(X) :- src(X).\n"
+       "reach(Y) :- reach(X), e0(X, Y).\n"
+       "unreach(X) :- node(X), not reach(X).\n"
+       "fanout(X, count<Y>) :- p0(X, Y).\n";
+  return p.str();
+}
+
+/// Property: a pool-backed evaluation is bit-identical to the sequential
+/// one — same facts, same per-predicate row order, same EvalStats — on
+/// randomly generated programs. chunk threshold 1 forces chunked rule
+/// evaluation even on tiny relations, maximising coverage of the merge
+/// path.
+class ParallelSequentialEquivalence : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelSequentialEquivalence,
+                         ::testing::Range(0, 12));
+
+TEST_P(ParallelSequentialEquivalence, BitIdenticalOnRandomPrograms) {
+  Rng rng(GetParam());
+  Database edb = RandomEdb(&rng, static_cast<int>(rng.UniformInt(4, 14)),
+                           static_cast<int>(rng.UniformInt(5, 45)));
+  Result<Program> program = Parser::Parse(RandomProgram(&rng));
+  ASSERT_TRUE(program.ok());
+
+  EvalOptions sequential;
+  EvalOutput expected = Evaluate(program.value(), edb, sequential);
+
+  ThreadPool pool(3);
+  EvalOptions parallel;
+  parallel.pool = &pool;
+  parallel.parallel_chunk_threshold = 1;
+  EvalOutput actual = Evaluate(program.value(), edb, parallel);
+
+  EXPECT_TRUE(expected == actual) << "seed " << GetParam();
+}
+
+TEST(ParallelEvalTest, LargeRelationWithDefaultThresholdMatchesSequential) {
+  // `big` exceeds the default 1024-candidate threshold, so real chunking
+  // kicks in with production settings; the chain adds recursion depth.
+  Database edb;
+  for (int i = 0; i < 2000; ++i) {
+    edb.Insert("big", Tuple({Value::Int(i), Value::Int(i % 40)}));
+  }
+  for (int i = 0; i < 40; ++i) {
+    edb.Insert("edge", Tuple({Value::Int(i), Value::Int(i + 1)}));
+  }
+  Result<Program> p = Parser::Parse(
+      "joined(X, Y) :- big(X, Z), edge(Z, Y).\n"
+      "tc(X, Y) :- edge(X, Y). tc(X, Y) :- edge(X, Z), tc(Z, Y).\n"
+      "deep(X, Y) :- big(X, Z), tc(Z, Y).\n");
+  ASSERT_TRUE(p.ok());
+
+  EvalOutput expected = Evaluate(p.value(), edb, EvalOptions());
+  ThreadPool pool(3);
+  EvalOptions parallel;
+  parallel.pool = &pool;
+  EvalOutput actual = Evaluate(p.value(), edb, parallel);
+  EXPECT_TRUE(expected == actual);
+}
+
+TEST(ParallelEvalTest, NaiveModeAlsoBitIdentical) {
+  Rng rng(77);
+  Database edb = RandomEdb(&rng, 10, 30);
+  Result<Program> program = Parser::Parse(RandomProgram(&rng));
+  ASSERT_TRUE(program.ok());
+
+  EvalOptions sequential;
+  sequential.semi_naive = false;
+  EvalOutput expected = Evaluate(program.value(), edb, sequential);
+
+  ThreadPool pool(3);
+  EvalOptions parallel;
+  parallel.semi_naive = false;
+  parallel.pool = &pool;
+  parallel.parallel_chunk_threshold = 1;
+  EvalOutput actual = Evaluate(program.value(), edb, parallel);
+  EXPECT_TRUE(expected == actual);
+}
+
+/// Builds the same three-transducer chain twice and compares the
+/// orchestration byte for byte: the pool parallelises dependency-query
+/// evaluation but must not change scheduling, trace, stats or results.
+struct ChainRun {
+  std::vector<std::string> executed;
+  std::vector<std::vector<std::string>> eligible;
+  size_t dependency_checks = 0;
+  std::vector<Tuple> c_rows;
+};
+
+ChainRun RunChain(ThreadPool* pool, SnapshotCache* cache) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.CreateRelation(Schema::Untyped("a", {"x"})).ok());
+  EXPECT_TRUE(kb.Insert("a", {Value::Int(1)}).ok());
+
+  TransducerRegistry registry;
+  auto copy_step = [](const std::string& from, const std::string& to) {
+    return [from, to](KnowledgeBase* kb) -> Status {
+      Relation out(Schema::Untyped(to, {"x"}));
+      for (const Tuple& t : kb->GetRelation(from).value()->rows()) {
+        VADA_RETURN_IF_ERROR(out.Insert(t));
+      }
+      return kb->ReplaceRelationIfChanged(out);
+    };
+  };
+  EXPECT_TRUE(registry
+                  .Add(std::make_unique<FunctionTransducer>(
+                      "a_to_b", "map",
+                      "ready() :- sys_relation_nonempty(\"a\").",
+                      copy_step("a", "b")))
+                  .ok());
+  EXPECT_TRUE(registry
+                  .Add(std::make_unique<FunctionTransducer>(
+                      "b_to_c", "map",
+                      "ready() :- sys_relation_nonempty(\"b\").",
+                      copy_step("b", "c")))
+                  .ok());
+  EXPECT_TRUE(registry
+                  .Add(std::make_unique<FunctionTransducer>(
+                      "noop", "map",
+                      "ready() :- sys_relation_nonempty(\"missing\").",
+                      copy_step("a", "unused")))
+                  .ok());
+
+  OrchestratorOptions options;
+  options.pool = pool;
+  options.snapshot_cache = cache;
+  NetworkTransducer orchestrator(&registry, std::make_unique<FifoPolicy>(),
+                                 options);
+  OrchestrationStats stats;
+  EXPECT_TRUE(orchestrator.Run(&kb, &stats).ok());
+
+  ChainRun run;
+  run.dependency_checks = stats.dependency_checks;
+  for (const TraceEvent& e : orchestrator.trace().events()) {
+    run.executed.push_back(e.transducer);
+    run.eligible.push_back(e.eligible);
+  }
+  if (kb.HasRelation("c")) run.c_rows = kb.GetRelation("c").value()->rows();
+  return run;
+}
+
+TEST(ParallelEvalTest, OrchestratorScanIdenticalWithPoolAndCache) {
+  ChainRun sequential = RunChain(nullptr, nullptr);
+
+  ThreadPool pool(3);
+  SnapshotCache cache;
+  ChainRun parallel = RunChain(&pool, &cache);
+
+  EXPECT_EQ(sequential.executed, parallel.executed);
+  EXPECT_EQ(sequential.eligible, parallel.eligible);
+  EXPECT_EQ(sequential.dependency_checks, parallel.dependency_checks);
+  EXPECT_EQ(sequential.c_rows, parallel.c_rows);
+  // The cache did real work: repeated scans of sys_* control relations
+  // and the chain's inputs hit after the first miss.
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+/// End-to-end: a full wrangling session configured with 4 threads and
+/// the snapshot cache produces the same result relation, in the same row
+/// order, as the default sequential session.
+TEST(ParallelEvalTest, SessionResultIdenticalUnderParallelConfig) {
+  PropertyUniverseOptions uopts;
+  uopts.num_properties = 60;
+  uopts.num_postcodes = 12;
+  uopts.seed = 9;
+  GroundTruth truth = GeneratePropertyUniverse(uopts);
+  ExtractionErrorOptions err;
+  err.seed = 11;
+  Relation rightmove = ExtractRightmove(truth, err);
+  Schema target = Schema::Untyped(
+      "target",
+      {"type", "description", "street", "postcode", "bedrooms", "price",
+       "crimerank"});
+
+  auto run_session = [&](const WranglerConfig& config) {
+    auto session = std::make_unique<WranglingSession>(config);
+    EXPECT_TRUE(session->SetTargetSchema(target).ok());
+    EXPECT_TRUE(session->AddSource(rightmove).ok());
+    EXPECT_TRUE(session->Run().ok());
+    std::vector<Tuple> rows;
+    if (session->result() != nullptr) rows = session->result()->rows();
+    std::vector<std::string> executed;
+    for (const TraceEvent& e : session->trace().events()) {
+      executed.push_back(e.transducer);
+    }
+    return std::make_pair(rows, executed);
+  };
+
+  WranglerConfig sequential;
+  auto expected = run_session(sequential);
+  EXPECT_FALSE(expected.first.empty());
+
+  WranglerConfig parallel;
+  parallel.parallelism.threads = 4;
+  parallel.parallelism.snapshot_cache = true;
+  parallel.parallelism.parallel_chunk_threshold = 64;
+  auto actual = run_session(parallel);
+
+  EXPECT_EQ(expected.first, actual.first);
+  EXPECT_EQ(expected.second, actual.second);
+}
+
+}  // namespace
+}  // namespace vada::datalog

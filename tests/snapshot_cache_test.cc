@@ -1,0 +1,201 @@
+#include "datalog/snapshot_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "kb/knowledge_base.h"
+#include "kb/write_guard.h"
+#include "obs/metrics.h"
+#include "transducer/network.h"
+
+namespace vada::datalog {
+namespace {
+
+KnowledgeBase MakeKb() {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  EXPECT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+  EXPECT_TRUE(kb.Assert("r", {Value::Int(2)}).ok());
+  return kb;
+}
+
+TEST(SnapshotCacheTest, SecondGetAtSameVersionIsAHit) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+
+  std::shared_ptr<const Database> s1 = cache.Get(kb, "r");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->FactCount("r"), 2u);
+
+  std::shared_ptr<const Database> s2 = cache.Get(kb, "r");
+  EXPECT_EQ(s1.get(), s2.get());  // the very same snapshot object
+
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SnapshotCacheTest, MutationMovesVersionAndRebuildsSnapshot) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+
+  std::shared_ptr<const Database> before = cache.Get(kb, "r");
+  ASSERT_TRUE(kb.Assert("r", {Value::Int(3)}).ok());
+
+  std::shared_ptr<const Database> after = cache.Get(kb, "r");
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(before->FactCount("r"), 2u);  // old snapshot is immutable
+  EXPECT_EQ(after->FactCount("r"), 3u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(SnapshotCacheTest, MissingRelationReturnsNullAndIsNotCached) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+  EXPECT_EQ(cache.Get(kb, "absent"), nullptr);
+  EXPECT_EQ(cache.Get(kb, "absent"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(SnapshotCacheTest, RollbackRestoresVersionSoCachedEntryStaysValid) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+  std::shared_ptr<const Database> before = cache.Get(kb, "r");
+  const uint64_t v_before = kb.relation_version("r");
+
+  std::vector<std::string> touched;
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(99)}).ok());
+    touched = guard.TouchedRelationNames();
+    guard.Rollback();
+  }
+  ASSERT_EQ(touched, std::vector<std::string>{"r"});
+  // Rollback restores contents *and* version counters together, so the
+  // cached entry is still keyed correctly ...
+  EXPECT_EQ(kb.relation_version("r"), v_before);
+  std::shared_ptr<const Database> after = cache.Get(kb, "r");
+  EXPECT_EQ(before.get(), after.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // ... and the orchestrator's defensive invalidation only costs one
+  // rebuild with identical contents.
+  for (const std::string& name : touched) cache.Invalidate(name);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  std::shared_ptr<const Database> rebuilt = cache.Get(kb, "r");
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_EQ(rebuilt->facts("r"), before->facts("r"));
+}
+
+TEST(SnapshotCacheTest, CommittedGuardKeepsNewVersionVisible) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+  std::shared_ptr<const Database> before = cache.Get(kb, "r");
+  {
+    WriteGuard guard(&kb);
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(42)}).ok());
+    guard.Commit();
+  }
+  std::shared_ptr<const Database> after = cache.Get(kb, "r");
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(after->FactCount("r"), 3u);
+}
+
+TEST(SnapshotCacheTest, DropAndRecreateNeverReusesAVersionKey) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+  std::shared_ptr<const Database> old_snapshot = cache.Get(kb, "r");
+  ASSERT_EQ(old_snapshot->FactCount("r"), 2u);
+
+  ASSERT_TRUE(kb.DropRelation("r").ok());
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  ASSERT_TRUE(kb.Assert("r", {Value::Int(7)}).ok());
+
+  // Versions are allocated from the global counter, so the recreated
+  // relation's version can never collide with the cached key — the next
+  // Get must observe the new contents, not the stale snapshot.
+  std::shared_ptr<const Database> fresh = cache.Get(kb, "r");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh.get(), old_snapshot.get());
+  EXPECT_EQ(fresh->FactCount("r"), 1u);
+  EXPECT_TRUE(fresh->Contains("r", Tuple({Value::Int(7)})));
+}
+
+TEST(SnapshotCacheTest, CatalogRoleChangeReachesCacheViaControlFacts) {
+  KnowledgeBase kb = MakeKb();
+  kb.catalog().SetRole("r", RelationRole::kSource);
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+
+  SnapshotCache cache;
+  std::shared_ptr<const Database> roles1 = cache.Get(kb, "sys_relation_role");
+  ASSERT_NE(roles1, nullptr);
+  ASSERT_TRUE(roles1->Contains(
+      "sys_relation_role",
+      Tuple({Value::String("r"), Value::String("source")})));
+
+  // A role change alone touches only the catalog; SyncControlFacts is
+  // what re-materialises sys_relation_role and bumps its version, which
+  // is exactly when cached dependency-scan snapshots must refresh.
+  kb.catalog().SetRole("r", RelationRole::kReference);
+  ASSERT_TRUE(NetworkTransducer::SyncControlFacts(&kb).ok());
+
+  std::shared_ptr<const Database> roles2 = cache.Get(kb, "sys_relation_role");
+  ASSERT_NE(roles2, nullptr);
+  EXPECT_NE(roles1.get(), roles2.get());
+  EXPECT_TRUE(roles2->Contains(
+      "sys_relation_role",
+      Tuple({Value::String("r"), Value::String("reference")})));
+}
+
+TEST(SnapshotCacheTest, InvalidateAndClear) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+  (void)cache.Get(kb, "r");
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Invalidate("r");
+  EXPECT_EQ(cache.size(), 0u);
+  cache.Invalidate("r");  // idempotent; counts only real evictions
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  (void)cache.Get(kb, "r");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotCacheTest, CountersReceiveHitsAndMisses) {
+  KnowledgeBase kb = MakeKb();
+  obs::MetricsRegistry registry;
+  obs::Counter* hits = registry.GetCounter("hits", "");
+  obs::Counter* misses = registry.GetCounter("misses", "");
+  SnapshotCache cache;
+  cache.SetCounters(hits, misses);
+  (void)cache.Get(kb, "r");
+  (void)cache.Get(kb, "r");
+  EXPECT_EQ(misses->value(), 1u);
+  EXPECT_EQ(hits->value(), 1u);
+}
+
+TEST(SnapshotCacheTest, ConcurrentGetsAreConsistent) {
+  KnowledgeBase kb = MakeKb();
+  SnapshotCache cache;
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  pool.ParallelFor(256, [&](size_t) {
+    std::shared_ptr<const Database> s = cache.Get(kb, "r");
+    if (s == nullptr || s->FactCount("r") != 2) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  const SnapshotCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 256u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vada::datalog

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace vada {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(100);
+  pool.ParallelFor(seen.size(), [&](size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.ParallelFor(1, [&](size_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForAccumulatesCorrectSum) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 5'000;
+  std::atomic<long long> sum{0};
+  pool.ParallelFor(kN, [&](size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A worker that calls ParallelFor again must make progress even when
+  // every other worker is blocked inside the same outer loop (the caller
+  // always participates, so helpers are an optimisation, not a
+  // requirement).
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureCompletes) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::future<void> f = pool.Submit([&] { ran.store(true); });
+  f.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SubmitOnZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  std::future<void> f = pool.Submit([&] { ran = true; });
+  // Inline execution: the task has completed by the time Submit returns.
+  EXPECT_TRUE(ran);
+  f.wait();
+}
+
+TEST(ThreadPoolTest, TasksExecutedCounts) {
+  ThreadPool pool(2);
+  const uint64_t before = pool.tasks_executed();
+  pool.ParallelFor(100, [](size_t) {});
+  pool.Submit([] {}).wait();
+  EXPECT_GE(pool.tasks_executed(), before + 101);
+}
+
+TEST(ThreadPoolTest, ManySmallLoopsStress) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(17, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 17);
+  }
+}
+
+}  // namespace
+}  // namespace vada
