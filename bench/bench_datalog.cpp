@@ -89,6 +89,44 @@ BENCHMARK(BM_TransitiveClosureGrid)
     ->Args({12, 0})
     ->Unit(benchmark::kMillisecond);
 
+/// Join-planner ablation on a triangle query: full-scan oracle vs
+/// composite-index + reordered evaluation (DESIGN.md §5f). The wider
+/// comparison (work counters, scenario run) lives in bench_join_planner.
+void BM_JoinPlannerTriangles(benchmark::State& state) {
+  bool planner_on = state.range(1) == 1;
+  int edges = static_cast<int>(state.range(0));
+  Program program =
+      Parser::Parse("tri(X, Y, Z) :- edge(X, Y), edge(Y, Z), edge(Z, X).")
+          .value();
+  Database edb;
+  uint64_t s = 42;
+  for (int i = 0; i < edges; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    int64_t a = static_cast<int64_t>((s >> 33) % 60);
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    int64_t b = static_cast<int64_t>((s >> 33) % 60);
+    edb.Insert("edge", Tuple({Value::Int(a), Value::Int(b)}));
+  }
+  for (auto _ : state) {
+    Database db = edb;
+    EvalOptions opts;
+    if (!planner_on) {
+      opts.planner = PlannerOptions{.indexes = false, .reorder = false};
+    }
+    Evaluator eval(program, opts);
+    if (!eval.Prepare().ok()) state.SkipWithError("prepare failed");
+    if (!eval.Run(&db).ok()) state.SkipWithError("run failed");
+    benchmark::DoNotOptimize(db.FactCount("tri"));
+  }
+  state.SetLabel(planner_on ? "indexed+reordered" : "full-scan oracle");
+}
+BENCHMARK(BM_JoinPlannerTriangles)
+    ->Args({200, 1})
+    ->Args({200, 0})
+    ->Args({400, 1})
+    ->Args({400, 0})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_StratifiedNegation(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Program program = Parser::Parse(

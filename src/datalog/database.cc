@@ -11,6 +11,21 @@ const std::vector<Tuple>& EmptyFacts() {
 }
 }  // namespace
 
+Database::Database() : index_cache_(std::make_unique<IndexCache>()) {}
+
+Database::Database(const Database& other)
+    : stores_(other.stores_),
+      shared_(other.shared_),
+      index_cache_(std::make_unique<IndexCache>()) {}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  stores_ = other.stores_;
+  shared_ = other.shared_;
+  index_cache_ = std::make_unique<IndexCache>();
+  return *this;
+}
+
 const Database::PredicateStore* Database::Find(
     const std::string& predicate) const {
   auto it = stores_.find(predicate);
@@ -44,7 +59,48 @@ bool Database::Insert(const std::string& predicate, Tuple t) {
     store.indexes[pos][t.at(pos)].push_back(idx);
   }
   store.facts.push_back(std::move(t));
+  // Composite indexes over this predicate are stale now; they rebuild
+  // lazily on the next probe. (A moved-from database has no cache.)
+  if (index_cache_ != nullptr) {
+    std::lock_guard<std::mutex> lock(index_cache_->mutex);
+    if (!index_cache_->entries.empty()) index_cache_->entries.erase(predicate);
+  }
   return true;
+}
+
+const BoundIndex* Database::EnsureBoundIndex(
+    const std::string& predicate, const std::vector<size_t>& positions,
+    size_t* built) const {
+  if (positions.empty()) return nullptr;
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) {
+    // Borrowed predicates index on the owning snapshot, so every
+    // borrower of one shared snapshot shares one index.
+    auto sit = shared_.find(predicate);
+    if (sit == shared_.end()) return nullptr;
+    return sit->second.owner->EnsureBoundIndex(predicate, positions, built);
+  }
+  const PredicateStore& store = it->second;
+  for (size_t pos : positions) {
+    if (pos >= store.arity) return nullptr;
+  }
+  if (index_cache_ == nullptr) return nullptr;  // moved-from; defensive
+  std::lock_guard<std::mutex> lock(index_cache_->mutex);
+  auto& per_predicate = index_cache_->entries[predicate];
+  auto iit = per_predicate.find(positions);
+  if (iit == per_predicate.end()) {
+    BoundIndex index;
+    index.buckets.reserve(store.facts.size());
+    for (size_t i = 0; i < store.facts.size(); ++i) {
+      std::vector<Value> key;
+      key.reserve(positions.size());
+      for (size_t pos : positions) key.push_back(store.facts[i].at(pos));
+      index.buckets[Tuple(std::move(key))].push_back(i);
+    }
+    iit = per_predicate.emplace(positions, std::move(index)).first;
+    if (built != nullptr) ++*built;
+  }
+  return &iit->second;
 }
 
 void Database::LoadRelation(const Relation& relation) {
@@ -123,6 +179,10 @@ std::vector<std::string> Database::Predicates() const {
 void Database::Clear() {
   stores_.clear();
   shared_.clear();
+  if (index_cache_ != nullptr) {
+    std::lock_guard<std::mutex> lock(index_cache_->mutex);
+    index_cache_->entries.clear();
+  }
 }
 
 }  // namespace vada::datalog

@@ -3,19 +3,33 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "kb/relation.h"
 #include "kb/tuple.h"
 
 namespace vada::datalog {
 
+/// Composite hash index over one predicate: maps the projection of a
+/// fact onto a fixed set of column positions to the insertion-order
+/// indexes of the matching facts. Bucket vectors keep insertion order,
+/// so probing an index enumerates exactly the facts a scan would, in
+/// the same order — the property that makes indexed evaluation
+/// bit-identical to scanning (DESIGN.md §5f).
+struct BoundIndex {
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
+};
+
 /// Fact storage for the Datalog engine: predicate name -> set of tuples,
-/// with hash indexes on every column position so joins can seek instead
-/// of scan. Tuples of one predicate must share an arity (checked).
+/// with eager hash indexes on every single column position and lazy
+/// composite indexes per (predicate, bound-position-set) so joins can
+/// seek on their whole bound prefix instead of scanning. Tuples of one
+/// predicate must share an arity (checked).
 ///
 /// A database can additionally *borrow* predicates from immutable shared
 /// snapshots (AttachShared): reads see the shared store without copying
@@ -24,7 +38,14 @@ namespace vada::datalog {
 /// per-relation snapshot to many concurrent evaluations.
 class Database {
  public:
-  Database() = default;
+  Database();
+
+  /// Copies facts and borrowed views; composite indexes are *not*
+  /// copied — the copy rebuilds its own lazily on first probe.
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
 
   /// Inserts `t`; returns whether it was new. Establishes the predicate's
   /// arity on first insert; later arity mismatches are ignored and return
@@ -53,6 +74,23 @@ class Database {
   const std::vector<size_t>* Lookup(const std::string& predicate,
                                     size_t position, const Value& value) const;
 
+  /// Returns the composite hash index of `predicate` over the column
+  /// set `positions` (sorted, non-empty), building it lazily on first
+  /// request. nullptr when the predicate is unknown or any position is
+  /// out of range. `*built` is incremented iff this call performed the
+  /// build (each index is built at most once per invalidation cycle).
+  ///
+  /// Borrowed predicates delegate to the owning snapshot database, so
+  /// every evaluation sharing one snapshot (via SnapshotCache /
+  /// AttachShared) shares one index. Thread-safe: concurrent const
+  /// callers may race to build; the returned index is immutable until
+  /// the next Insert into the predicate (or Clear), which drops the
+  /// predicate's composite indexes. Callers must not hold the pointer
+  /// across mutations.
+  const BoundIndex* EnsureBoundIndex(const std::string& predicate,
+                                     const std::vector<size_t>& positions,
+                                     size_t* built = nullptr) const;
+
   size_t FactCount(const std::string& predicate) const;
   size_t TotalFacts() const;
 
@@ -77,11 +115,24 @@ class Database {
     const PredicateStore* store = nullptr;
   };
 
+  /// Lazily built composite indexes of the *owned* stores, keyed by
+  /// (predicate, position set). Guarded by its mutex so concurrent
+  /// read-only evaluations sharing this database (snapshot borrowers
+  /// delegate here) can build on demand; entries for a predicate are
+  /// dropped by Insert/Clear. Held behind a unique_ptr so the Database
+  /// stays movable.
+  struct IndexCache {
+    std::mutex mutex;
+    std::map<std::string, std::map<std::vector<size_t>, BoundIndex>> entries
+        VADA_GUARDED_BY(mutex);
+  };
+
   /// Owned store if present, else borrowed store, else nullptr.
   const PredicateStore* Find(const std::string& predicate) const;
 
   std::map<std::string, PredicateStore> stores_;
   std::map<std::string, SharedView> shared_;
+  std::unique_ptr<IndexCache> index_cache_;
 };
 
 }  // namespace vada::datalog

@@ -93,6 +93,12 @@ struct CompiledLiteral {
   int assign_slot = -1;
   ArithOp arith_op = ArithOp::kNone;
   bool recursive = false;  // atom over a same-stratum predicate
+  /// For positive atoms: the column positions that are ground when this
+  /// literal starts executing — constants, plus variables bound by
+  /// earlier literals of the execution order. Statically known because
+  /// the order is fixed at compile time; this is the key set the
+  /// composite index probe uses. Sorted ascending.
+  std::vector<size_t> bound_positions;
 };
 
 struct AggSpec {
@@ -112,70 +118,51 @@ struct CompiledRule {
 
 class RuleCompiler {
  public:
-  explicit RuleCompiler(const std::set<std::string>& stratum_preds)
-      : stratum_preds_(stratum_preds) {}
+  /// `db` supplies the cardinality estimates of cost-based reordering
+  /// (may be null: falls back to the legacy bound-count heuristic).
+  RuleCompiler(const std::set<std::string>& stratum_preds, const Database* db,
+               const PlannerOptions& planner)
+      : stratum_preds_(stratum_preds), db_(db), planner_(planner) {}
 
   CompiledRule Compile(const Rule& rule) {
     CompiledRule out;
     out.text = rule.ToString();
 
-    // Execution order: start from the declared order but hoist builtins
-    // and negations as early as their variables allow, and prefer atoms
-    // that share variables with what is already bound (greedy).
-    std::vector<const Literal*> pending;
-    pending.reserve(rule.body.size());
-    for (const Literal& l : rule.body) pending.push_back(&l);
+    // Execution order: the planner hoists builtins and negations as
+    // early as their variables allow and orders positive atoms by
+    // estimated selectivity (or, without `reorder`, by bound-term
+    // count — the legacy heuristic).
+    std::vector<size_t> order = PlanBodyOrder(rule, db_, planner_);
 
-    std::set<std::string> bound;
-    std::vector<const Literal*> ordered;
-    while (!pending.empty()) {
-      // 1. Any ready builtin/negation?
-      bool placed = false;
-      for (size_t i = 0; i < pending.size(); ++i) {
-        const Literal& l = *pending[i];
-        if (IsReadyNonAtom(l, bound)) {
-          ordered.push_back(&l);
-          BindVars(l, &bound);
-          pending.erase(pending.begin() + i);
-          placed = true;
-          break;
-        }
-      }
-      if (placed) continue;
-      // 2. Best positive atom: most bound terms; ties by declared order.
-      int best = -1;
-      int best_score = -1;
-      for (size_t i = 0; i < pending.size(); ++i) {
-        const Literal& l = *pending[i];
-        if (l.kind != Literal::Kind::kAtom) continue;
-        int score = 0;
-        for (const Term& t : l.atom.terms) {
-          if (t.is_constant() || (t.is_variable() && bound.count(t.var()))) {
-            ++score;
+    // Compile in execution order, tracking which slots are bound when
+    // each literal starts — that static set is exactly the runtime
+    // binding state at literal entry, so it names the index key columns.
+    std::set<int> bound_slots;
+    for (size_t body_index : order) {
+      const Literal& l = rule.body[body_index];
+      CompiledLiteral cl = CompileLiteral(l);
+      if (cl.kind == Literal::Kind::kAtom) {
+        for (size_t i = 0; i < cl.atom.terms.size(); ++i) {
+          const CompiledTerm& t = cl.atom.terms[i];
+          if (!t.is_var || bound_slots.count(t.slot) > 0) {
+            cl.bound_positions.push_back(i);
           }
         }
-        if (score > best_score) {
-          best_score = score;
-          best = static_cast<int>(i);
-        }
       }
-      if (best >= 0) {
-        const Literal& l = *pending[best];
-        ordered.push_back(&l);
-        BindVars(l, &bound);
-        pending.erase(pending.begin() + best);
-        continue;
+      switch (cl.kind) {
+        case Literal::Kind::kAtom:
+          for (const CompiledTerm& t : cl.atom.terms) {
+            if (t.is_var) bound_slots.insert(t.slot);
+          }
+          break;
+        case Literal::Kind::kAssignment:
+          bound_slots.insert(cl.assign_slot);
+          break;
+        case Literal::Kind::kNegatedAtom:
+        case Literal::Kind::kComparison:
+          break;
       }
-      // 3. Only non-ready builtins/negations left. Program validation
-      // guarantees this cannot happen for safe rules; emit in order as a
-      // defensive fallback.
-      ordered.push_back(pending.front());
-      BindVars(*pending.front(), &bound);
-      pending.erase(pending.begin());
-    }
-
-    for (const Literal* l : ordered) {
-      out.body.push_back(CompileLiteral(*l));
+      out.body.push_back(std::move(cl));
       if (out.body.back().kind == Literal::Kind::kAtom &&
           out.body.back().recursive) {
         out.recursive_positions.push_back(out.body.size() - 1);
@@ -203,47 +190,6 @@ class RuleCompiler {
   }
 
  private:
-  static bool IsReadyNonAtom(const Literal& l,
-                             const std::set<std::string>& bound) {
-    switch (l.kind) {
-      case Literal::Kind::kAtom:
-        return false;
-      case Literal::Kind::kNegatedAtom:
-        for (const Term& t : l.atom.terms) {
-          if (t.is_variable() && bound.count(t.var()) == 0) return false;
-        }
-        return true;
-      case Literal::Kind::kComparison:
-        if (l.lhs.is_variable() && bound.count(l.lhs.var()) == 0) return false;
-        if (l.rhs.is_variable() && bound.count(l.rhs.var()) == 0) return false;
-        return true;
-      case Literal::Kind::kAssignment:
-        if (l.lhs.is_variable() && bound.count(l.lhs.var()) == 0) return false;
-        if (l.arith_op != ArithOp::kNone && l.rhs.is_variable() &&
-            bound.count(l.rhs.var()) == 0) {
-          return false;
-        }
-        return true;
-    }
-    return false;
-  }
-
-  static void BindVars(const Literal& l, std::set<std::string>* bound) {
-    switch (l.kind) {
-      case Literal::Kind::kAtom:
-        for (const Term& t : l.atom.terms) {
-          if (t.is_variable()) bound->insert(t.var());
-        }
-        break;
-      case Literal::Kind::kAssignment:
-        bound->insert(l.assign_var);
-        break;
-      case Literal::Kind::kNegatedAtom:
-      case Literal::Kind::kComparison:
-        break;
-    }
-  }
-
   int SlotOf(const std::string& var) {
     auto it = slots_.find(var);
     if (it != slots_.end()) return it->second;
@@ -293,6 +239,8 @@ class RuleCompiler {
   }
 
   const std::set<std::string>& stratum_preds_;
+  const Database* db_;
+  PlannerOptions planner_;
   std::map<std::string, int> slots_;
 };
 
@@ -330,17 +278,43 @@ class BindingEnv {
   std::vector<int> trail_;
 };
 
+/// Join-work counters of one rule evaluation; fields map 1:1 onto the
+/// EvalStats join counters (scan_probes -> join_probes).
+struct JoinWork {
+  size_t scan_probes = 0;
+  size_t index_probes = 0;
+  size_t index_candidates = 0;
+  size_t index_builds = 0;
+
+  void Add(const JoinWork& o) {
+    scan_probes += o.scan_probes;
+    index_probes += o.index_probes;
+    index_candidates += o.index_candidates;
+    index_builds += o.index_builds;
+  }
+
+  void MergeInto(EvalStats* st) const {
+    st->join_probes += scan_probes;
+    st->index_probes += index_probes;
+    st->index_candidates += index_candidates;
+    st->index_builds += index_builds;
+  }
+};
+
 /// Evaluates one compiled rule body, invoking `on_solution` for every
 /// complete binding. `delta_position` (or npos) designates the body atom
 /// that must range over `delta` instead of `db` (semi-naive).
 class RuleExecutor {
  public:
   RuleExecutor(const CompiledRule& rule, const Database& db,
-               const Database* delta, size_t delta_position)
+               const Database* delta, size_t delta_position,
+               const PlannerOptions& planner)
       : rule_(rule),
         db_(db),
         delta_(delta),
         delta_position_(delta_position),
+        planner_(planner),
+        lit_index_(rule.body.size()),
         env_(rule.num_slots) {}
 
   template <typename Fn>
@@ -359,9 +333,24 @@ class RuleExecutor {
 
   BindingEnv& env() { return env_; }
 
-  /// Candidate facts scanned by body-atom evaluation (the join-probe
-  /// count optimisation work cares about).
-  size_t probes() const { return probes_; }
+  /// Join-work counters of this execution (see JoinWork).
+  const JoinWork& work() const { return work_; }
+
+  /// Number of candidates the outermost body literal ranges over — the
+  /// iteration space parallel chunking splits. 0 when the rule cannot be
+  /// chunked (empty body, or a builtin/negation was ordered first).
+  /// Uses exactly the same candidate selection as execution, so chunk
+  /// ranges always cover what EvalAtom enumerates. Index builds it
+  /// triggers are counted in work(); probe counters are left untouched
+  /// (planning is not evaluation).
+  size_t OuterCandidateCount() {
+    if (rule_.body.empty() || rule_.body[0].kind != Literal::Kind::kAtom) {
+      return 0;
+    }
+    const Database& source =
+        (delta_position_ == 0 && delta_ != nullptr) ? *delta_ : db_;
+    return SelectCandidates(rule_.body[0], 0, source).count;
+  }
 
   /// Ground instances of the rule's positive body atoms under the current
   /// (complete) bindings — the premises of the derivation just emitted.
@@ -455,40 +444,99 @@ class RuleExecutor {
     }
   }
 
+  /// Resolved candidate list for one positive atom under the planner
+  /// options. `list == nullptr` means "scan all facts"; `miss` means the
+  /// bound prefix matched nothing (zero candidates, distinct from an
+  /// empty scan so callers can skip range bookkeeping).
+  struct Candidates {
+    const std::vector<size_t>* list = nullptr;
+    size_t count = 0;
+    bool via_index = false;
+    bool miss = false;
+  };
+
+  /// Chooses how the atom at body position `index` enumerates facts:
+  /// composite bound-prefix index when enabled and the relation is large
+  /// enough, single-column seek on the first bound position otherwise,
+  /// full scan when nothing is bound or indexes are disabled (the
+  /// differential oracle). Shared by EvalAtom and OuterCandidateCount so
+  /// parallel chunk planning counts exactly what execution enumerates.
+  /// `lit.bound_positions` is static, but it equals the runtime binding
+  /// state here because execution follows the compiled order: atoms bind
+  /// every variable they mention and assignments always bind theirs.
+  Candidates SelectCandidates(const CompiledLiteral& lit, size_t index,
+                              const Database& source) {
+    Candidates out;
+    const std::vector<Tuple>& all = source.facts(lit.atom.predicate);
+    if (lit.bound_positions.empty() || !planner_.indexes) {
+      out.count = all.size();  // full scan (also the indexes=false oracle)
+      return out;
+    }
+    LitIndex& cached = lit_index_[index];
+    if (cached.state == LitIndex::kUnknown) {
+      cached.state = LitIndex::kUnavailable;
+      if (all.size() >= planner_.min_index_size) {
+        cached.index = source.EnsureBoundIndex(
+            lit.atom.predicate, lit.bound_positions, &work_.index_builds);
+        if (cached.index != nullptr) cached.state = LitIndex::kReady;
+      }
+    }
+    if (cached.state == LitIndex::kReady) {
+      out.via_index = true;
+      std::vector<Value> key;
+      key.reserve(lit.bound_positions.size());
+      for (size_t pos : lit.bound_positions) {
+        key.push_back(*TermValue(lit.atom.terms[pos]));
+      }
+      auto it = cached.index->buckets.find(Tuple(std::move(key)));
+      if (it == cached.index->buckets.end()) {
+        out.miss = true;
+        return out;
+      }
+      out.list = &it->second;
+      out.count = out.list->size();
+      return out;
+    }
+    // Small relation: the eager single-column index on the first bound
+    // position is cheaper than building a composite index.
+    size_t pos = lit.bound_positions[0];
+    out.list = source.Lookup(lit.atom.predicate, pos,
+                             *TermValue(lit.atom.terms[pos]));
+    if (out.list == nullptr) {
+      out.miss = true;
+      return out;
+    }
+    out.count = out.list->size();
+    return out;
+  }
+
   template <typename Fn>
   void EvalAtom(const CompiledLiteral& lit, const Database& source,
                 size_t index, Fn&& on_solution) {
-    // Choose a seek column: first term that is ground under the current
-    // bindings.
-    int seek_pos = -1;
-    Value seek_value;
-    for (size_t i = 0; i < lit.atom.terms.size(); ++i) {
-      std::optional<Value> v = TermValue(lit.atom.terms[i]);
-      if (v.has_value()) {
-        seek_pos = static_cast<int>(i);
-        seek_value = std::move(*v);
-        break;
-      }
+    Candidates cand = SelectCandidates(lit, index, source);
+    // Chunked runs evaluate literal 0 once per chunk against the same
+    // bindings; count its probe only in the first chunk so parallel
+    // stats stay bit-identical to sequential ones.
+    if (cand.via_index && (index != 0 || outer_begin_ == 0)) {
+      ++work_.index_probes;
     }
+    if (cand.miss) return;  // no fact matches the bound prefix
     const std::vector<Tuple>& all = source.facts(lit.atom.predicate);
-    const std::vector<size_t>* candidates = nullptr;
-    if (seek_pos >= 0) {
-      candidates = source.Lookup(lit.atom.predicate,
-                                 static_cast<size_t>(seek_pos), seek_value);
-      if (candidates == nullptr) return;  // no fact matches the bound column
-    }
-    size_t count = (candidates != nullptr) ? candidates->size() : all.size();
     size_t begin = 0;
-    size_t end = count;
+    size_t end = cand.count;
     if (index == 0) {
-      begin = std::min(outer_begin_, count);
-      end = std::min(outer_end_, count);
+      begin = std::min(outer_begin_, cand.count);
+      end = std::min(outer_end_, cand.count);
       if (begin > end) begin = end;
     }
-    probes_ += end - begin;
+    if (cand.via_index) {
+      work_.index_candidates += end - begin;
+    } else {
+      work_.scan_probes += end - begin;
+    }
     for (size_t ci = begin; ci < end; ++ci) {
       const Tuple& fact =
-          (candidates != nullptr) ? all[(*candidates)[ci]] : all[ci];
+          (cand.list != nullptr) ? all[(*cand.list)[ci]] : all[ci];
       if (fact.size() != lit.atom.terms.size()) continue;
       size_t mark = env_.Mark();
       bool ok = true;
@@ -507,14 +555,24 @@ class RuleExecutor {
     }
   }
 
+  /// Per-literal memo of the composite-index decision, so the index map
+  /// lookup (and its mutex) is paid once per execution, not per probe.
+  struct LitIndex {
+    enum State { kUnknown = 0, kUnavailable, kReady };
+    State state = kUnknown;
+    const BoundIndex* index = nullptr;
+  };
+
   const CompiledRule& rule_;
   const Database& db_;
   const Database* delta_;
   size_t delta_position_;
+  PlannerOptions planner_;
+  std::vector<LitIndex> lit_index_;
   size_t outer_begin_ = 0;
   size_t outer_end_ = static_cast<size_t>(-1);
   BindingEnv env_;
-  size_t probes_ = 0;
+  JoinWork work_;
 };
 
 constexpr size_t kNoDelta = static_cast<size_t>(-1);
@@ -538,11 +596,11 @@ Tuple BuildHead(const CompiledRule& rule, const BindingEnv& env) {
 void EvaluateRule(
     const CompiledRule& rule, const Database& db, const Database* delta,
     size_t delta_position, size_t outer_begin, size_t outer_end,
-    std::vector<Tuple>* out,
+    const PlannerOptions& planner, std::vector<Tuple>* out,
     std::vector<std::vector<std::pair<std::string, Tuple>>>* premises_out =
         nullptr,
-    size_t* probes = nullptr) {
-  RuleExecutor exec(rule, db, delta, delta_position);
+    JoinWork* work = nullptr) {
+  RuleExecutor exec(rule, db, delta, delta_position, planner);
   exec.RestrictOuterRange(outer_begin, outer_end);
   exec.ForEachSolution([&](const BindingEnv& env) {
     out->push_back(BuildHead(rule, env));
@@ -550,42 +608,22 @@ void EvaluateRule(
       premises_out->push_back(exec.GroundPositiveAtoms());
     }
   });
-  if (probes != nullptr) *probes += exec.probes();
-}
-
-/// Number of candidates the outermost body literal ranges over — the
-/// iteration space parallel chunking splits. 0 when the rule cannot be
-/// chunked (empty body, or a builtin/negation was ordered first).
-size_t OuterCandidateCount(const CompiledRule& rule, const Database& db,
-                           const Database* delta, size_t delta_position) {
-  if (rule.body.empty() || rule.body[0].kind != Literal::Kind::kAtom) return 0;
-  const CompiledAtom& atom = rule.body[0].atom;
-  const Database& source =
-      (delta_position == 0 && delta != nullptr) ? *delta : db;
-  // Mirror RuleExecutor::EvalAtom's seek choice: with no bindings yet,
-  // the seek column is the first constant term, if any.
-  for (size_t i = 0; i < atom.terms.size(); ++i) {
-    if (!atom.terms[i].is_var) {
-      const std::vector<size_t>* candidates =
-          source.Lookup(atom.predicate, i, atom.terms[i].constant);
-      return candidates == nullptr ? 0 : candidates->size();
-    }
-  }
-  return source.facts(atom.predicate).size();
+  if (work != nullptr) work->Add(exec.work());
 }
 
 /// Evaluates an aggregate rule: groups body solutions by the non-aggregate
 /// head terms; each aggregate ranges over the *distinct values* its
 /// variable takes within the group (set semantics).
 void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
+                           const PlannerOptions& planner,
                            std::vector<Tuple>* out,
-                           size_t* probes = nullptr) {
+                           JoinWork* work = nullptr) {
   struct GroupState {
     std::vector<std::set<Value>> distinct;  // one per aggregate
   };
   std::map<Tuple, GroupState> groups;
 
-  RuleExecutor exec(rule, db, nullptr, kNoDelta);
+  RuleExecutor exec(rule, db, nullptr, kNoDelta, planner);
   exec.ForEachSolution([&](const BindingEnv& env) {
     std::vector<Value> key;
     for (size_t i = 0; i < rule.head.terms.size(); ++i) {
@@ -607,7 +645,7 @@ void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
     }
   });
 
-  if (probes != nullptr) *probes += exec.probes();
+  if (work != nullptr) work->Add(exec.work());
 
   for (const auto& [key, state] : groups) {
     std::vector<Value> values(rule.head.terms.size());
@@ -698,7 +736,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     std::vector<CompiledRule> aggregate_rules;
     for (const Rule& r : program_.rules) {
       if (stratum_preds.count(r.head.predicate) == 0) continue;
-      RuleCompiler compiler(stratum_preds);
+      RuleCompiler compiler(stratum_preds, db, options_.planner);
       CompiledRule cr = compiler.Compile(r);
       if (cr.aggregates.empty()) {
         normal_rules.push_back(std::move(cr));
@@ -712,7 +750,9 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     for (const CompiledRule& rule : aggregate_rules) {
       ++st->rule_applications;
       std::vector<Tuple> produced;
-      EvaluateAggregateRule(rule, *db, &produced, &st->join_probes);
+      JoinWork agg_work;
+      EvaluateAggregateRule(rule, *db, options_.planner, &produced, &agg_work);
+      agg_work.MergeInto(st);
       for (Tuple& t : produced) {
         if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
           // Aggregates summarise whole groups; record the rule alone.
@@ -735,9 +775,12 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
           ++st->rule_applications;
           std::vector<Tuple> produced;
           std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
-          EvaluateRule(rule, *db, nullptr, kNoDelta, 0, kFullRange, &produced,
+          JoinWork naive_work;
+          EvaluateRule(rule, *db, nullptr, kNoDelta, 0, kFullRange,
+                       options_.planner, &produced,
                        provenance != nullptr ? &premises : nullptr,
-                       &st->join_probes);
+                       &naive_work);
+          naive_work.MergeInto(st);
           for (size_t i = 0; i < produced.size(); ++i) {
             Tuple& t = produced[i];
             if (provenance != nullptr &&
@@ -776,7 +819,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       size_t outer_end = kFullRange;
       std::vector<Tuple> produced;
       std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
-      size_t probes = 0;
+      JoinWork work;
     };
     ThreadPool* pool =
         (options_.pool != nullptr && options_.pool->workers() > 0)
@@ -793,7 +836,12 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       size_t chunks = 1;
       size_t count = 0;
       if (pool != nullptr) {
-        count = OuterCandidateCount(rule, *db, delta, delta_position);
+        // The planning executor shares EvalAtom's candidate selection, so
+        // any index it builds is the one execution will probe; credit the
+        // build to this rule's stats.
+        RuleExecutor probe(rule, *db, delta, delta_position, options_.planner);
+        count = probe.OuterCandidateCount();
+        st->index_builds += probe.work().index_builds;
         if (count >= options_.parallel_chunk_threshold) {
           chunks = std::min(pool->workers() + 1, count);
         }
@@ -819,9 +867,10 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       auto eval_one = [&](size_t i) {
         RuleTask& task = (*tasks)[i];
         EvaluateRule(*task.rule, *db, delta, task.delta_position,
-                     task.outer_begin, task.outer_end, &task.produced,
+                     task.outer_begin, task.outer_end, options_.planner,
+                     &task.produced,
                      provenance != nullptr ? &task.premises : nullptr,
-                     &task.probes);
+                     &task.work);
       };
       if (pool != nullptr && tasks->size() > 1) {
         pool->ParallelFor(tasks->size(), eval_one);
@@ -833,7 +882,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     auto merge_tasks = [&](std::vector<RuleTask>* tasks,
                            Database* delta_out) {
       for (RuleTask& task : *tasks) {
-        st->join_probes += task.probes;
+        task.work.MergeInto(st);
         const CompiledRule& rule = *task.rule;
         for (size_t i = 0; i < task.produced.size(); ++i) {
           Tuple& t = task.produced[i];
@@ -892,8 +941,30 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
                   "Fixpoint rounds across all strata")
         ->Increment(st->iterations);
     m->GetCounter("vada_datalog_join_probes",
-                  "Candidate facts scanned while joining body atoms")
+                  "Candidate facts scanned by non-indexed body atoms "
+                  "(full scans and single-column seeks)")
         ->Increment(st->join_probes);
+    m->GetCounter("vada_datalog_index_probes_total",
+                  "Composite hash-index lookups by body atoms")
+        ->Increment(st->index_probes);
+    m->GetCounter("vada_datalog_index_candidates_total",
+                  "Facts enumerated from composite index buckets")
+        ->Increment(st->index_candidates);
+    m->GetCounter("vada_datalog_index_builds_total",
+                  "Composite hash indexes built lazily")
+        ->Increment(st->index_builds);
+    // One sample per run: fraction of join work resolved through
+    // composite indexes (probe-vs-scan mix; 1.0 = fully indexed).
+    size_t total_work = st->join_probes + st->index_probes +
+                        st->index_candidates;
+    if (total_work > 0) {
+      m->GetHistogram("vada_datalog_indexed_work_ratio",
+                      "Share of join work served by composite indexes",
+                      {0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99})
+          ->Observe(static_cast<double>(st->index_probes +
+                                        st->index_candidates) /
+                    static_cast<double>(total_work));
+    }
     m->GetCounter("vada_datalog_evaluations", "Evaluator::Run invocations")
         ->Increment();
   }

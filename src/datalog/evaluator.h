@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "datalog/ast.h"
 #include "datalog/database.h"
+#include "datalog/planner.h"
 #include "datalog/provenance.h"
 #include "datalog/stratify.h"
 #include "obs/metrics.h"
@@ -40,14 +41,32 @@ struct EvalOptions {
   /// Minimum number of outer-literal candidates before one rule
   /// evaluation is split into parallel range chunks (only with `pool`).
   size_t parallel_chunk_threshold = 1024;
+  /// Join planning: composite hash-index probing and cost-based literal
+  /// reordering (DESIGN.md §5f). Defaults on; `{.indexes = false,
+  /// .reorder = false}` is the full-scan, legacy-order reference oracle
+  /// the differential fuzz harness compares against. The derived fact
+  /// *set* is identical at every setting; `reorder` may permute row
+  /// order (reordered joins enumerate solutions differently), `indexes`
+  /// never does.
+  PlannerOptions planner;
 };
 
 /// Counters describing one evaluation run.
+///
+/// Join work is split by resolution strategy (DESIGN.md §5b):
+/// `join_probes` counts candidate facts *scanned* by body atoms that
+/// had no composite index (full scans and single-column seeks), while
+/// `index_probes`/`index_candidates` count composite hash lookups and
+/// the exact-match facts they enumerated. Total join work is
+/// join_probes + index_probes + index_candidates.
 struct EvalStats {
   size_t iterations = 0;         ///< total fixpoint rounds across strata
   size_t facts_derived = 0;      ///< new IDB facts added
   size_t rule_applications = 0;  ///< rule body evaluations attempted
-  size_t join_probes = 0;        ///< candidate facts scanned by body atoms
+  size_t join_probes = 0;        ///< candidate facts scanned (non-indexed)
+  size_t index_probes = 0;       ///< composite hash-index lookups
+  size_t index_candidates = 0;   ///< facts enumerated from index buckets
+  size_t index_builds = 0;       ///< composite indexes built lazily
 };
 
 /// Bottom-up evaluator for validated, stratifiable programs.

@@ -1,0 +1,58 @@
+#ifndef VADA_DATALOG_PLANNER_H_
+#define VADA_DATALOG_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace vada::datalog {
+
+class Database;
+
+/// Join-planning knobs of the evaluator (DESIGN.md §5f). The defaults
+/// are the fast path; `{.indexes = false, .reorder = false}` is the
+/// reference oracle the differential fuzz harness compares against:
+/// body literals keep the legacy bind-aware order and every atom is
+/// resolved by scanning the full relation.
+///
+/// Both knobs are *output-preserving up to row order*: the set of
+/// derived facts is identical at any setting (and `indexes` alone never
+/// changes row order either — index buckets keep insertion order, so
+/// probing enumerates the same facts in the same order a scan would).
+struct PlannerOptions {
+  /// Probe lazy per-(predicate, bound-position-set) hash indexes for the
+  /// bound prefix of each body atom instead of scanning candidates.
+  /// false: atoms are resolved by full scans (the oracle path).
+  bool indexes = true;
+  /// Reorder body literals greedily by estimated selectivity — bound
+  /// positions, relation cardinality, constants first — instead of the
+  /// legacy bound-count heuristic. Negations, comparisons and
+  /// assignments are hoisted as early as their variables allow in both
+  /// modes.
+  bool reorder = true;
+  /// Relations with fewer facts than this are scanned rather than
+  /// indexed: building a hash table over a handful of tuples costs more
+  /// than the scan it would save (deltas of semi-naive rounds are
+  /// usually below this).
+  size_t min_index_size = 32;
+};
+
+/// Returns the execution order of `rule`'s body as indexes into
+/// `rule.body`. Greedy: at every step, ready negations / comparisons /
+/// assignments (all their variables bound) are hoisted first; then the
+/// cheapest positive atom is chosen —
+///  * with `options.reorder` and a non-null `db`: smallest estimated
+///    candidate count, `FactCount` shrunk per bound position (constants
+///    and variables bound by already-placed literals); ties prefer more
+///    bound positions, then declared order;
+///  * otherwise (legacy heuristic, the oracle): most bound terms, ties
+///    by declared order.
+/// Exposed for the planner unit tests; the evaluator calls it per rule
+/// at stratum-compile time with the stratum-start database.
+std::vector<size_t> PlanBodyOrder(const Rule& rule, const Database* db,
+                                  const PlannerOptions& options);
+
+}  // namespace vada::datalog
+
+#endif  // VADA_DATALOG_PLANNER_H_

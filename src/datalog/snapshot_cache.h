@@ -35,6 +35,11 @@ namespace vada::datalog {
 /// the touched relations — it is free, and it keeps the cache correct
 /// even if a future mutation path forgets to bump.
 ///
+/// Composite join indexes (Database::EnsureBoundIndex) live on the
+/// snapshot databases themselves, so every evaluation borrowing one
+/// snapshot shares one lazily built index; dropping or rebuilding a
+/// snapshot drops its indexes with it.
+///
 /// Thread-safe: `Get` may be called concurrently from pool workers
 /// (eligibility scans share one cache); snapshots are returned as
 /// `shared_ptr<const Database>` and are immutable after construction.

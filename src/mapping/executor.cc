@@ -26,7 +26,9 @@ Result<Relation> MappingExecutor::Execute(const Mapping& mapping,
     const Relation* rel = kb.FindRelation(source);
     if (rel != nullptr) db.LoadRelation(*rel);
   }
-  datalog::Evaluator eval(program.value());
+  datalog::EvalOptions eval_options;
+  eval_options.planner = planner_;
+  datalog::Evaluator eval(program.value(), eval_options);
   VADA_RETURN_IF_ERROR(eval.Prepare());
   VADA_RETURN_IF_ERROR(eval.Run(&db, /*stats=*/nullptr, provenance));
   std::vector<Tuple> sorted = db.facts(mapping.result_predicate);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "datalog/planner.h"
 #include "datalog/provenance.h"
 #include "kb/knowledge_base.h"
 #include "kb/schema.h"
@@ -17,7 +18,10 @@ namespace vada {
 /// made operational.
 class MappingExecutor {
  public:
-  MappingExecutor() = default;
+  /// `planner` configures join planning of the underlying evaluations
+  /// (defaults: indexes + reordering on; see datalog/planner.h).
+  explicit MappingExecutor(datalog::PlannerOptions planner = {})
+      : planner_(planner) {}
 
   /// Evaluates `mapping` against the source instances in `kb` and returns
   /// the result as a relation with the target schema's attribute names,
@@ -33,6 +37,9 @@ class MappingExecutor {
   Result<Relation> ExecuteUnion(const std::vector<Mapping>& mappings,
                                 const Schema& target, const KnowledgeBase& kb,
                                 const std::string& result_name) const;
+
+ private:
+  datalog::PlannerOptions planner_;
 };
 
 }  // namespace vada

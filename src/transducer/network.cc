@@ -282,6 +282,7 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
   obs::Histogram* rollback_hist = nullptr;
   obs::Histogram* scan_speedup_hist = nullptr;
   datalog::EvalOptions eval_options;
+  eval_options.planner = options_.planner;
   if (m != nullptr) {
     steps_counter =
         m->GetCounter("vada_orchestrator_steps", "Transducer executions");

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "datalog/planner.h"
 #include "datalog/snapshot_cache.h"
 #include "kb/knowledge_base.h"
 #include "obs/obs.h"
@@ -91,6 +92,9 @@ struct OrchestratorOptions {
   /// are re-snapshotted. Null: every query copies what it reads, as
   /// before. Works with or without `pool`.
   datalog::SnapshotCache* snapshot_cache = nullptr;
+  /// Join planning of the scan's dependency queries (composite index
+  /// probing, cost-based literal reordering; see datalog/planner.h).
+  datalog::PlannerOptions planner;
 };
 
 /// Aggregate statistics of one orchestration run.

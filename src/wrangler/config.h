@@ -7,6 +7,7 @@
 
 #include "context/data_context.h"
 #include "context/user_context.h"
+#include "datalog/planner.h"
 #include "feedback/feedback.h"
 #include "fusion/dedup.h"
 #include "feedback/propagation.h"
@@ -98,6 +99,13 @@ struct WranglerConfig {
   /// sequential escape hatch (threads = 1, cache off). See DESIGN.md §5e
   /// and README "Performance & tuning".
   ParallelismOptions parallelism;
+  /// Join planning for every Datalog evaluation the session runs —
+  /// mapping execution, dependency scans and orchestration queries:
+  /// composite hash-index probing and cost-based literal reordering
+  /// (DESIGN.md §5f). Defaults on; `{.indexes = false, .reorder =
+  /// false}` is the full-scan reference oracle. The derived facts are
+  /// identical at every setting. See README "Performance & tuning".
+  datalog::PlannerOptions planner;
   /// Applied to every transducer registered through the session
   /// (standard suite and custom). Used by the fault-injection soak
   /// harness (fault_injection.h); nullptr means no wrapping.

@@ -47,7 +47,7 @@ Result<Relation> EtlPipeline::Run(const Schema& target,
   for (const Relation& src : sources) {
     VADA_RETURN_IF_ERROR(kb.InsertAll(src));
   }
-  MappingExecutor executor;
+  MappingExecutor executor(config_.planner);
   Result<Relation> unioned = executor.ExecuteUnion(
       mappings.value(), target, kb, config_.result_relation);
   if (!unioned.ok()) return unioned.status();

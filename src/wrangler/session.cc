@@ -63,6 +63,7 @@ WranglingSession::WranglingSession(WranglerConfig config) {
   orch_options.failure_policy = state_->config.fault_tolerance;
   orch_options.pool = pool_.get();
   orch_options.snapshot_cache = snapshot_cache_.get();
+  orch_options.planner = state_->config.planner;
   orchestrator_ = std::make_unique<NetworkTransducer>(
       &registry_,
       std::make_unique<ActivityPriorityPolicy>(
@@ -266,7 +267,7 @@ Result<std::string> WranglingSession::ExplainResultRow(const Tuple& row) const {
   }
   std::string out = "result row " + row.ToString() + "\n";
   bool attributed = false;
-  MappingExecutor executor;
+  MappingExecutor executor(state_->config.planner);
   for (const Mapping& m : mappings()) {
     const Relation* raw = kb_.FindRelation(m.result_predicate);
     const Relation* repaired = kb_.FindRelation("repaired_" + m.id);

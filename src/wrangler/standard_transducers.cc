@@ -163,7 +163,7 @@ Status MappingExecutionBody(WranglingState* state, KnowledgeBase* kb) {
   if (!target.ok()) return target.status();
   Result<std::vector<Mapping>> mappings = ReadMappings(*kb);
   if (!mappings.ok()) return mappings.status();
-  MappingExecutor executor;
+  MappingExecutor executor(state->config.planner);
   for (const Mapping& m : mappings.value()) {
     Result<Relation> result = executor.Execute(m, target.value(), *kb);
     if (!result.ok()) return result.status();

@@ -31,7 +31,10 @@ struct EvalOutput {
     return facts == o.facts && stats.iterations == o.stats.iterations &&
            stats.facts_derived == o.stats.facts_derived &&
            stats.rule_applications == o.stats.rule_applications &&
-           stats.join_probes == o.stats.join_probes;
+           stats.join_probes == o.stats.join_probes &&
+           stats.index_probes == o.stats.index_probes &&
+           stats.index_candidates == o.stats.index_candidates &&
+           stats.index_builds == o.stats.index_builds;
   }
 };
 
