@@ -1,0 +1,186 @@
+// Experiment O1 — observability overhead (DESIGN.md §5g): what does the
+// introspection layer cost when it is off, on, and actively scraped?
+//
+// Four configurations bootstrap the demonstration scenario:
+//
+//  1. obs disabled          — ObsOptions{enabled = false}; every
+//     instrumentation site reduces to a null-pointer check. This is the
+//     zero-cost contract: it must stay within noise (<1%) of...
+//  2. obs enabled, no HTTP  — metrics + spans recorded in-process,
+//     http_port unset (the default -1), no exposition thread.
+//  3. obs enabled + HTTP    — introspection server on an ephemeral port,
+//     idle (bound and listening, never scraped).
+//  4. obs enabled + scrapes — same, with a /metrics GET after every
+//     session Run, the worst realistic scrape cadence.
+//
+// A fifth row times EXPLAIN ANALYZE of a transitive-closure program
+// against plain evaluation of the same program, bounding the cost of
+// per-literal attribution (only paid when Explain is called; Run never
+// materializes explain structures).
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "datalog/database.h"
+#include "datalog/evaluator.h"
+#include "datalog/explain.h"
+#include "datalog/parser.h"
+#include "obs/http_server.h"
+#include "wrangler/session.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+// Minimal blocking GET against 127.0.0.1:port; returns the raw response
+// (empty on any socket failure). Enough to exercise the scrape path.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  std::string response;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    std::string request = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+      ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      response.append(buf, static_cast<size_t>(n));
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vada;
+  using namespace vada::bench;
+
+  std::printf("O1: observability overhead\n\n");
+
+  Scenario sc = MakeScenario(41, 300, 40);
+  std::vector<Relation> sources = {sc.rightmove, sc.onthemarket,
+                                   sc.deprivation};
+
+  // One full bootstrap per configuration, `reps` times; fresh session
+  // each rep. `scrape` GETs /metrics after each Run.
+  auto bootstrap_ms = [&](const obs::ObsOptions& obs, bool scrape,
+                          size_t reps) {
+    double total = 0.0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      WranglerConfig config;
+      config.obs = obs;
+      auto session = std::make_unique<WranglingSession>(config);
+      Status s = session->SetTargetSchema(PaperTargetSchema());
+      for (const Relation& src : sources) {
+        if (s.ok()) s = session->AddSource(src);
+      }
+      total += TimeMs([&] {
+        if (s.ok()) s = session->Run();
+        if (scrape && session->obs().http_server() != nullptr) {
+          std::string r = HttpGet(session->obs().http_port(), "/metrics");
+          if (r.find("vada_") == std::string::npos) {
+            std::fprintf(stderr, "scrape returned no metrics\n");
+            std::exit(1);
+          }
+        }
+      });
+      if (!s.ok()) {
+        std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return total / static_cast<double>(reps);
+  };
+
+  const size_t kReps = 5;
+  obs::ObsOptions disabled;
+  disabled.enabled = false;
+  obs::ObsOptions enabled;  // defaults: metrics + spans, no HTTP
+  obs::ObsOptions with_http = enabled;
+  with_http.http_port = 0;  // ephemeral
+
+  // Warm-up so first-touch allocation noise does not land on a row.
+  (void)bootstrap_ms(disabled, false, 1);
+
+  double off_ms = bootstrap_ms(disabled, false, kReps);
+  double on_ms = bootstrap_ms(enabled, false, kReps);
+  double http_idle_ms = bootstrap_ms(with_http, false, kReps);
+  double http_scrape_ms = bootstrap_ms(with_http, true, kReps);
+
+  // EXPLAIN ANALYZE attribution cost vs plain Run of the same program.
+  const std::string kProgram =
+      "tc(X,Y) :- edge(X,Y).\n"
+      "tc(X,Z) :- edge(X,Y), tc(Y,Z).\n";
+  Relation edges(Schema::Untyped("edge", {"src", "dst"}));
+  for (int i = 0; i < 400; ++i) {
+    (void)edges.Insert(Tuple{Value::Int(i), Value::Int((i + 1) % 400)});
+  }
+  auto eval_ms = [&](bool analyze) {
+    return TimeMs([&] {
+      Result<datalog::Program> program = datalog::Parser::Parse(kProgram);
+      datalog::Database db;
+      db.LoadRelation(edges);
+      datalog::Evaluator eval(std::move(program).value());
+      Status s = eval.Prepare();
+      if (s.ok()) {
+        if (analyze) {
+          datalog::PlanExplain plan;
+          s = eval.Explain(&db, &plan, /*analyze=*/true);
+        } else {
+          s = eval.Run(&db);
+        }
+      }
+      if (!s.ok()) {
+        std::fprintf(stderr, "eval failed: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+    });
+  };
+  (void)eval_ms(false);  // warm-up
+  double run_ms = eval_ms(false);
+  double explain_ms = eval_ms(true);
+
+  auto pct = [](double base, double v) {
+    return base > 0.0 ? (v - base) / base * 100.0 : 0.0;
+  };
+
+  Table table({"configuration", "bootstrap ms", "vs disabled"});
+  table.AddRow({"obs disabled", Fmt(off_ms), "--"});
+  table.AddRow({"obs enabled, no http", Fmt(on_ms),
+                Fmt(pct(off_ms, on_ms), 1) + "%"});
+  table.AddRow({"obs + http idle", Fmt(http_idle_ms),
+                Fmt(pct(off_ms, http_idle_ms), 1) + "%"});
+  table.AddRow({"obs + /metrics scrape", Fmt(http_scrape_ms),
+                Fmt(pct(off_ms, http_scrape_ms), 1) + "%"});
+  table.Print();
+
+  std::printf("\nEXPLAIN ANALYZE attribution: run=%sms analyze=%sms (%s%%)\n",
+              Fmt(run_ms).c_str(), Fmt(explain_ms).c_str(),
+              Fmt(pct(run_ms, explain_ms), 1).c_str());
+
+  BenchReport report("obs_overhead");
+  report.Add("disabled_ms", off_ms);
+  report.Add("enabled_ms", on_ms);
+  report.Add("http_idle_ms", http_idle_ms);
+  report.Add("http_scrape_ms", http_scrape_ms);
+  report.Add("enabled_overhead_pct", pct(off_ms, on_ms));
+  report.Add("run_ms", run_ms);
+  report.Add("explain_analyze_ms", explain_ms);
+  report.WriteJson();
+  return 0;
+}

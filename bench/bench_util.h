@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "kb/schema.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/process_stats.h"
 
 namespace vada::bench {
 
@@ -114,6 +116,9 @@ class BenchReport {
   /// Writes BENCH_<name>.json into $VADA_BENCH_DIR (default: cwd).
   /// Returns false (after a warning) when the file cannot be written —
   /// benches still print their human-readable tables regardless.
+  /// Every report is stamped with the run's peak RSS and the machine's
+  /// hardware thread count, so perf-trajectory numbers can be compared
+  /// across hosts and memory regressions show up next to the timings.
   bool WriteJson() const {
     const char* dir = std::getenv("VADA_BENCH_DIR");
     std::string path =
@@ -124,9 +129,16 @@ class BenchReport {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return false;
     }
+    std::vector<std::pair<std::string, double>> entries = entries_;
+    entries.emplace_back(
+        "peak_rss_bytes",
+        static_cast<double>(obs::SampleProcessMemory().peak_rss_bytes));
+    entries.emplace_back(
+        "hardware_threads",
+        static_cast<double>(std::thread::hardware_concurrency()));
     out << "{\"bench\":\"" << obs::JsonEscape(name_) << "\",\"entries\":{";
     bool first = true;
-    for (const auto& [key, value] : entries_) {
+    for (const auto& [key, value] : entries) {
       if (!first) out << ",";
       first = false;
       char buf[64];
@@ -134,7 +146,7 @@ class BenchReport {
       out << "\"" << obs::JsonEscape(key) << "\":" << buf;
     }
     out << "}}\n";
-    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries_.size());
+    std::printf("wrote %s (%zu entries)\n", path.c_str(), entries.size());
     return true;
   }
 

@@ -9,6 +9,10 @@ const std::vector<Tuple>& EmptyFacts() {
   static const std::vector<Tuple>* empty = new std::vector<Tuple>();
   return *empty;
 }
+
+size_t PostingListBytes(const std::vector<size_t>& postings) {
+  return sizeof(postings) + postings.capacity() * sizeof(size_t);
+}
 }  // namespace
 
 Database::Database() : index_cache_(std::make_unique<IndexCache>()) {}
@@ -97,10 +101,51 @@ const BoundIndex* Database::EnsureBoundIndex(
       for (size_t pos : positions) key.push_back(store.facts[i].at(pos));
       index.buckets[Tuple(std::move(key))].push_back(i);
     }
+    size_t bytes = sizeof(BoundIndex) +
+                   index.buckets.bucket_count() * sizeof(void*);
+    for (const auto& [key, postings] : index.buckets) {
+      bytes += key.ApproxBytes() + PostingListBytes(postings);
+    }
+    index.approx_bytes = bytes;
     iit = per_predicate.emplace(positions, std::move(index)).first;
     if (built != nullptr) ++*built;
   }
   return &iit->second;
+}
+
+size_t Database::ApproxBytes(const std::string& predicate) const {
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) return 0;
+  const PredicateStore& store = it->second;
+  size_t bytes = sizeof(PredicateStore);
+  for (const Tuple& t : store.facts) bytes += t.ApproxBytes();
+  for (const Tuple& t : store.set) bytes += t.ApproxBytes();
+  bytes += store.set.bucket_count() * sizeof(void*);
+  for (const auto& column : store.indexes) {
+    bytes += column.bucket_count() * sizeof(void*);
+    for (const auto& [value, postings] : column) {
+      bytes += value.ApproxBytes() + PostingListBytes(postings);
+    }
+  }
+  return bytes;
+}
+
+size_t Database::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, store] : stores_) bytes += ApproxBytes(name);
+  return bytes;
+}
+
+size_t Database::IndexBytes() const {
+  if (index_cache_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(index_cache_->mutex);
+  size_t bytes = 0;
+  for (const auto& [predicate, per_predicate] : index_cache_->entries) {
+    for (const auto& [positions, index] : per_predicate) {
+      bytes += index.approx_bytes;
+    }
+  }
+  return bytes;
 }
 
 void Database::LoadRelation(const Relation& relation) {

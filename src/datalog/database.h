@@ -23,6 +23,9 @@ namespace vada::datalog {
 /// bit-identical to scanning (DESIGN.md §5f).
 struct BoundIndex {
   std::unordered_map<Tuple, std::vector<size_t>, TupleHash> buckets;
+  /// Approximate resident size, computed once at build time (the index
+  /// is immutable afterwards). Feeds `vada_index_bytes` (DESIGN.md §5g).
+  size_t approx_bytes = 0;
 };
 
 /// Fact storage for the Datalog engine: predicate name -> set of tuples,
@@ -93,6 +96,20 @@ class Database {
 
   size_t FactCount(const std::string& predicate) const;
   size_t TotalFacts() const;
+
+  /// Approximate resident bytes of one owned predicate's fact storage
+  /// (facts, dedup set, eager single-column indexes); 0 for unknown or
+  /// borrowed predicates — borrowed storage is owned (and counted) by
+  /// the snapshot database.
+  size_t ApproxBytes(const std::string& predicate) const;
+
+  /// Sum of ApproxBytes over every owned predicate.
+  size_t ApproxBytes() const;
+
+  /// Approximate resident bytes of the lazily built composite indexes
+  /// this database owns (borrowers' indexes live on, and are counted
+  /// by, the owning snapshot).
+  size_t IndexBytes() const;
 
   /// Known predicate names (owned and borrowed), sorted.
   std::vector<std::string> Predicates() const;

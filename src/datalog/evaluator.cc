@@ -1,10 +1,12 @@
 #include "datalog/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <unordered_map>
 
+#include "datalog/explain.h"
 #include "obs/span.h"
 
 namespace vada::datalog {
@@ -99,6 +101,12 @@ struct CompiledLiteral {
   /// the order is fixed at compile time; this is the key set the
   /// composite index probe uses. Sorted ascending.
   std::vector<size_t> bound_positions;
+  /// Position of this literal in the rule's *declared* body (the
+  /// compiled body is in execution order) — EXPLAIN reports both.
+  size_t body_index = 0;
+  /// The planner's candidate estimate when it placed this literal
+  /// (atoms under cost-based reordering; 0 otherwise).
+  size_t estimated_cost = 0;
 };
 
 struct AggSpec {
@@ -113,7 +121,8 @@ struct CompiledRule {
   std::vector<CompiledLiteral> body;
   std::vector<size_t> recursive_positions;  // body indexes of recursive atoms
   int num_slots = 0;
-  std::string text;  // for error messages
+  std::string text;        // for error messages
+  const Rule* source = nullptr;  // declared rule, for EXPLAIN rendering
 };
 
 class RuleCompiler {
@@ -127,20 +136,25 @@ class RuleCompiler {
   CompiledRule Compile(const Rule& rule) {
     CompiledRule out;
     out.text = rule.ToString();
+    out.source = &rule;
 
     // Execution order: the planner hoists builtins and negations as
     // early as their variables allow and orders positive atoms by
     // estimated selectivity (or, without `reorder`, by bound-term
     // count — the legacy heuristic).
-    std::vector<size_t> order = PlanBodyOrder(rule, db_, planner_);
+    std::vector<LiteralPlan> plan;
+    std::vector<size_t> order = PlanBodyOrder(rule, db_, planner_, &plan);
 
     // Compile in execution order, tracking which slots are bound when
     // each literal starts — that static set is exactly the runtime
     // binding state at literal entry, so it names the index key columns.
     std::set<int> bound_slots;
-    for (size_t body_index : order) {
+    for (size_t oi = 0; oi < order.size(); ++oi) {
+      size_t body_index = order[oi];
       const Literal& l = rule.body[body_index];
       CompiledLiteral cl = CompileLiteral(l);
+      cl.body_index = body_index;
+      cl.estimated_cost = plan[oi].estimated_cost;
       if (cl.kind == Literal::Kind::kAtom) {
         for (size_t i = 0; i < cl.atom.terms.size(); ++i) {
           const CompiledTerm& t = cl.atom.terms[i];
@@ -333,6 +347,16 @@ class RuleExecutor {
 
   BindingEnv& env() { return env_; }
 
+  /// EXPLAIN ANALYZE hookup: when set (one slot per compiled body
+  /// literal), probe/candidate counters are additionally recorded per
+  /// literal — at the same sites and with the same chunk-dedup rule as
+  /// work_, so per-literal totals reconcile with EvalStats exactly —
+  /// and each literal accumulates inclusive wall time. Null (the
+  /// default): zero extra work.
+  void set_lit_stats(std::vector<LiteralRuntime>* lit_stats) {
+    lit_stats_ = lit_stats;
+  }
+
   /// Join-work counters of this execution (see JoinWork).
   const JoinWork& work() const { return work_; }
 
@@ -387,6 +411,22 @@ class RuleExecutor {
       on_solution(env_);
       return;
     }
+    if (lit_stats_ == nullptr) {
+      DescendStep(index, on_solution);
+      return;
+    }
+    // ANALYZE: inclusive wall time per literal (this literal plus
+    // everything nested inside it in the join tree).
+    auto start = std::chrono::steady_clock::now();
+    DescendStep(index, on_solution);
+    (*lit_stats_)[index].time_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  template <typename Fn>
+  void DescendStep(size_t index, Fn&& on_solution) {
     const CompiledLiteral& lit = rule_.body[index];
     switch (lit.kind) {
       case Literal::Kind::kAtom: {
@@ -519,6 +559,7 @@ class RuleExecutor {
     // stats stay bit-identical to sequential ones.
     if (cand.via_index && (index != 0 || outer_begin_ == 0)) {
       ++work_.index_probes;
+      if (lit_stats_ != nullptr) ++(*lit_stats_)[index].index_probes;
     }
     if (cand.miss) return;  // no fact matches the bound prefix
     const std::vector<Tuple>& all = source.facts(lit.atom.predicate);
@@ -531,8 +572,12 @@ class RuleExecutor {
     }
     if (cand.via_index) {
       work_.index_candidates += end - begin;
+      if (lit_stats_ != nullptr) {
+        (*lit_stats_)[index].index_candidates += end - begin;
+      }
     } else {
       work_.scan_probes += end - begin;
+      if (lit_stats_ != nullptr) (*lit_stats_)[index].scan_probes += end - begin;
     }
     for (size_t ci = begin; ci < end; ++ci) {
       const Tuple& fact =
@@ -573,6 +618,7 @@ class RuleExecutor {
   size_t outer_end_ = static_cast<size_t>(-1);
   BindingEnv env_;
   JoinWork work_;
+  std::vector<LiteralRuntime>* lit_stats_ = nullptr;
 };
 
 constexpr size_t kNoDelta = static_cast<size_t>(-1);
@@ -599,8 +645,10 @@ void EvaluateRule(
     const PlannerOptions& planner, std::vector<Tuple>* out,
     std::vector<std::vector<std::pair<std::string, Tuple>>>* premises_out =
         nullptr,
-    JoinWork* work = nullptr) {
+    JoinWork* work = nullptr,
+    std::vector<LiteralRuntime>* lit_stats = nullptr) {
   RuleExecutor exec(rule, db, delta, delta_position, planner);
+  exec.set_lit_stats(lit_stats);
   exec.RestrictOuterRange(outer_begin, outer_end);
   exec.ForEachSolution([&](const BindingEnv& env) {
     out->push_back(BuildHead(rule, env));
@@ -617,13 +665,15 @@ void EvaluateRule(
 void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
                            const PlannerOptions& planner,
                            std::vector<Tuple>* out,
-                           JoinWork* work = nullptr) {
+                           JoinWork* work = nullptr,
+                           std::vector<LiteralRuntime>* lit_stats = nullptr) {
   struct GroupState {
     std::vector<std::set<Value>> distinct;  // one per aggregate
   };
   std::map<Tuple, GroupState> groups;
 
   RuleExecutor exec(rule, db, nullptr, kNoDelta, planner);
+  exec.set_lit_stats(lit_stats);
   exec.ForEachSolution([&](const BindingEnv& env) {
     std::vector<Value> key;
     for (size_t i = 0; i < rule.head.terms.size(); ++i) {
@@ -698,6 +748,69 @@ void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
   }
 }
 
+// ---------------------------------------------------------------------------
+// EXPLAIN support (datalog/explain.h). Only materialized when a caller
+// asks for a plan; Run() never touches any of this.
+// ---------------------------------------------------------------------------
+
+/// Predicts the access path SelectCandidates will choose for `lit`
+/// against `db` (the stratum-start state). Delta-restricted recursive
+/// occurrences resolve against the round's delta at run time and may
+/// differ; ANALYZE's actual counters capture that.
+std::string PredictAccess(const CompiledLiteral& lit, const Database* db,
+                          const PlannerOptions& planner) {
+  switch (lit.kind) {
+    case Literal::Kind::kAtom:
+      if (lit.bound_positions.empty() || !planner.indexes) return "scan";
+      if (db != nullptr &&
+          db->FactCount(lit.atom.predicate) >= planner.min_index_size) {
+        return "index";
+      }
+      return "seek";
+    case Literal::Kind::kNegatedAtom:
+      return "check";
+    case Literal::Kind::kComparison:
+    case Literal::Kind::kAssignment:
+      return "filter";
+  }
+  return "?";
+}
+
+const char* LiteralKindName(Literal::Kind kind) {
+  switch (kind) {
+    case Literal::Kind::kAtom:
+      return "atom";
+    case Literal::Kind::kNegatedAtom:
+      return "negation";
+    case Literal::Kind::kComparison:
+      return "comparison";
+    case Literal::Kind::kAssignment:
+      return "assignment";
+  }
+  return "?";
+}
+
+RuleExplain BuildRuleExplain(const CompiledRule& rule, const Database* db,
+                             const PlannerOptions& planner) {
+  RuleExplain out;
+  out.text = rule.text;
+  out.aggregate = !rule.aggregates.empty();
+  out.literals.reserve(rule.body.size());
+  for (const CompiledLiteral& lit : rule.body) {
+    LiteralExplain le;
+    le.body_index = lit.body_index;
+    if (rule.source != nullptr && lit.body_index < rule.source->body.size()) {
+      le.text = rule.source->body[lit.body_index].ToString();
+    }
+    le.kind = LiteralKindName(lit.kind);
+    le.bound_positions = lit.bound_positions;
+    le.estimated_cost = lit.estimated_cost;
+    le.access = PredictAccess(lit, db, planner);
+    out.literals.push_back(std::move(le));
+  }
+  return out;
+}
+
 }  // namespace
 
 Evaluator::Evaluator(Program program, EvalOptions options)
@@ -714,6 +827,48 @@ Status Evaluator::Prepare() {
 
 Status Evaluator::Run(Database* db, EvalStats* stats,
                       Provenance* provenance) {
+  return RunInternal(db, stats, provenance, nullptr);
+}
+
+Status Evaluator::Explain(Database* db, PlanExplain* out, bool analyze,
+                          EvalStats* stats) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("Evaluator::Prepare() was not called");
+  }
+  if (out == nullptr) {
+    return Status::InvalidArgument("Explain requires a PlanExplain output");
+  }
+  out->strata.clear();
+  out->analyzed = analyze;
+  if (analyze) return RunInternal(db, stats, nullptr, out);
+
+  // Compile-only pass: plan every stratum against the database as-is,
+  // mirroring RunInternal's aggregate-rules-first ordering so EXPLAIN
+  // and EXPLAIN ANALYZE render rules in the same sequence.
+  for (const std::vector<std::string>& stratum : stratification_.strata) {
+    std::set<std::string> stratum_preds(stratum.begin(), stratum.end());
+    StratumExplain sx;
+    sx.predicates = stratum;
+    std::vector<RuleExplain> normal;
+    for (const Rule& r : program_.rules) {
+      if (stratum_preds.count(r.head.predicate) == 0) continue;
+      RuleCompiler compiler(stratum_preds, db, options_.planner);
+      CompiledRule cr = compiler.Compile(r);
+      RuleExplain rex = BuildRuleExplain(cr, db, options_.planner);
+      if (rex.aggregate) {
+        sx.rules.push_back(std::move(rex));
+      } else {
+        normal.push_back(std::move(rex));
+      }
+    }
+    for (RuleExplain& rex : normal) sx.rules.push_back(std::move(rex));
+    out->strata.push_back(std::move(sx));
+  }
+  return Status::OK();
+}
+
+Status Evaluator::RunInternal(Database* db, EvalStats* stats,
+                              Provenance* provenance, PlanExplain* explain) {
   if (!prepared_) {
     return Status::FailedPrecondition("Evaluator::Prepare() was not called");
   }
@@ -745,14 +900,48 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       }
     }
 
+    // EXPLAIN ANALYZE bookkeeping: one RuleExplain per compiled rule,
+    // aggregates first to match execution order. The pointers stay
+    // valid because sx.rules is fully reserved before any is taken.
+    std::vector<RuleExplain*> agg_rex(aggregate_rules.size(), nullptr);
+    std::vector<RuleExplain*> normal_rex(normal_rules.size(), nullptr);
+    if (explain != nullptr) {
+      explain->strata.emplace_back();
+      StratumExplain& sx = explain->strata.back();
+      sx.predicates = stratum;
+      sx.rules.reserve(aggregate_rules.size() + normal_rules.size());
+      for (size_t i = 0; i < aggregate_rules.size(); ++i) {
+        sx.rules.push_back(
+            BuildRuleExplain(aggregate_rules[i], db, options_.planner));
+        agg_rex[i] = &sx.rules.back();
+      }
+      for (size_t i = 0; i < normal_rules.size(); ++i) {
+        sx.rules.push_back(
+            BuildRuleExplain(normal_rules[i], db, options_.planner));
+        normal_rex[i] = &sx.rules.back();
+      }
+    }
+
     // Aggregate rules first: stratification guarantees their bodies are
     // complete (all body predicates lie in strictly lower strata).
-    for (const CompiledRule& rule : aggregate_rules) {
+    for (size_t ri = 0; ri < aggregate_rules.size(); ++ri) {
+      const CompiledRule& rule = aggregate_rules[ri];
+      RuleExplain* rex = agg_rex[ri];
       ++st->rule_applications;
+      if (rex != nullptr) ++rex->applications;
       std::vector<Tuple> produced;
       JoinWork agg_work;
-      EvaluateAggregateRule(rule, *db, options_.planner, &produced, &agg_work);
+      std::vector<LiteralRuntime> lit_rt;
+      if (rex != nullptr) lit_rt.resize(rule.body.size());
+      EvaluateAggregateRule(rule, *db, options_.planner, &produced, &agg_work,
+                            rex != nullptr && !lit_rt.empty() ? &lit_rt
+                                                              : nullptr);
       agg_work.MergeInto(st);
+      if (rex != nullptr) {
+        for (size_t i = 0; i < lit_rt.size(); ++i) {
+          rex->literals[i].actual.Add(lit_rt[i]);
+        }
+      }
       for (Tuple& t : produced) {
         if (provenance != nullptr && !db->Contains(rule.head.predicate, t)) {
           // Aggregates summarise whole groups; record the rule alone.
@@ -760,6 +949,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
         }
         if (db->Insert(rule.head.predicate, std::move(t))) {
           ++st->facts_derived;
+          if (rex != nullptr) ++rex->facts_derived;
         }
       }
     }
@@ -771,16 +961,27 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
         ++st->iterations;
         bool any_new = false;
-        for (const CompiledRule& rule : normal_rules) {
+        for (size_t ri = 0; ri < normal_rules.size(); ++ri) {
+          const CompiledRule& rule = normal_rules[ri];
+          RuleExplain* rex = normal_rex[ri];
           ++st->rule_applications;
+          if (rex != nullptr) ++rex->applications;
           std::vector<Tuple> produced;
           std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
           JoinWork naive_work;
+          std::vector<LiteralRuntime> lit_rt;
+          if (rex != nullptr) lit_rt.resize(rule.body.size());
           EvaluateRule(rule, *db, nullptr, kNoDelta, 0, kFullRange,
                        options_.planner, &produced,
                        provenance != nullptr ? &premises : nullptr,
-                       &naive_work);
+                       &naive_work,
+                       rex != nullptr && !lit_rt.empty() ? &lit_rt : nullptr);
           naive_work.MergeInto(st);
+          if (rex != nullptr) {
+            for (size_t i = 0; i < lit_rt.size(); ++i) {
+              rex->literals[i].actual.Add(lit_rt[i]);
+            }
+          }
           for (size_t i = 0; i < produced.size(); ++i) {
             Tuple& t = produced[i];
             if (provenance != nullptr &&
@@ -791,6 +992,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
             if (db->Insert(rule.head.predicate, std::move(t))) {
               ++st->facts_derived;
               any_new = true;
+              if (rex != nullptr) ++rex->facts_derived;
             }
           }
         }
@@ -814,24 +1016,28 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     // range results reproduces the unchunked enumeration order exactly.
     struct RuleTask {
       const CompiledRule* rule = nullptr;
+      RuleExplain* rex = nullptr;  // EXPLAIN ANALYZE target, else null
       size_t delta_position = kNoDelta;
       size_t outer_begin = 0;
       size_t outer_end = kFullRange;
       std::vector<Tuple> produced;
       std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
       JoinWork work;
+      std::vector<LiteralRuntime> lit_stats;  // filled iff rex != nullptr
     };
     ThreadPool* pool =
         (options_.pool != nullptr && options_.pool->workers() > 0)
             ? options_.pool
             : nullptr;
 
-    auto plan_rule = [&](const CompiledRule& rule, size_t delta_position,
-                         const Database* delta,
+    auto plan_rule = [&](const CompiledRule& rule, RuleExplain* rex,
+                         size_t delta_position, const Database* delta,
                          std::vector<RuleTask>* tasks) {
       ++st->rule_applications;
+      if (rex != nullptr) ++rex->applications;
       RuleTask task;
       task.rule = &rule;
+      task.rex = rex;
       task.delta_position = delta_position;
       size_t chunks = 1;
       size_t count = 0;
@@ -866,11 +1072,13 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     auto run_tasks = [&](std::vector<RuleTask>* tasks, const Database* delta) {
       auto eval_one = [&](size_t i) {
         RuleTask& task = (*tasks)[i];
+        if (task.rex != nullptr) task.lit_stats.resize(task.rule->body.size());
         EvaluateRule(*task.rule, *db, delta, task.delta_position,
                      task.outer_begin, task.outer_end, options_.planner,
                      &task.produced,
                      provenance != nullptr ? &task.premises : nullptr,
-                     &task.work);
+                     &task.work,
+                     task.lit_stats.empty() ? nullptr : &task.lit_stats);
       };
       if (pool != nullptr && tasks->size() > 1) {
         pool->ParallelFor(tasks->size(), eval_one);
@@ -883,6 +1091,11 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
                            Database* delta_out) {
       for (RuleTask& task : *tasks) {
         task.work.MergeInto(st);
+        if (task.rex != nullptr) {
+          for (size_t i = 0; i < task.lit_stats.size(); ++i) {
+            task.rex->literals[i].actual.Add(task.lit_stats[i]);
+          }
+        }
         const CompiledRule& rule = *task.rule;
         for (size_t i = 0; i < task.produced.size(); ++i) {
           Tuple& t = task.produced[i];
@@ -893,6 +1106,7 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
           }
           if (db->Insert(rule.head.predicate, t)) {
             ++st->facts_derived;
+            if (task.rex != nullptr) ++task.rex->facts_derived;
             delta_out->Insert(rule.head.predicate, std::move(t));
           }
         }
@@ -903,8 +1117,8 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
     ++st->iterations;
     {
       std::vector<RuleTask> tasks;
-      for (const CompiledRule& rule : normal_rules) {
-        plan_rule(rule, kNoDelta, nullptr, &tasks);
+      for (size_t ri = 0; ri < normal_rules.size(); ++ri) {
+        plan_rule(normal_rules[ri], normal_rex[ri], kNoDelta, nullptr, &tasks);
       }
       run_tasks(&tasks, nullptr);
       merge_tasks(&tasks, &delta);
@@ -915,10 +1129,11 @@ Status Evaluator::Run(Database* db, EvalStats* stats,
       ++st->iterations;
       Database next_delta;
       std::vector<RuleTask> tasks;
-      for (const CompiledRule& rule : normal_rules) {
+      for (size_t ri = 0; ri < normal_rules.size(); ++ri) {
+        const CompiledRule& rule = normal_rules[ri];
         for (size_t pos : rule.recursive_positions) {
           if (delta.FactCount(rule.body[pos].atom.predicate) == 0) continue;
-          plan_rule(rule, pos, &delta, &tasks);
+          plan_rule(rule, normal_rex[ri], pos, &delta, &tasks);
         }
       }
       run_tasks(&tasks, &delta);

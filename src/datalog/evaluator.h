@@ -15,6 +15,8 @@
 
 namespace vada::datalog {
 
+struct PlanExplain;  // datalog/explain.h
+
 /// Evaluation strategy and safety limits.
 struct EvalOptions {
   /// Semi-naive (delta-driven) fixpoint vs. naive re-derivation. Naive is
@@ -95,9 +97,25 @@ class Evaluator {
   Status Run(Database* db, EvalStats* stats = nullptr,
              Provenance* provenance = nullptr);
 
+  /// EXPLAIN / EXPLAIN ANALYZE (DESIGN.md §5g). With `analyze == false`,
+  /// compiles every stratum's join plans against `db` as-is and fills
+  /// `*out` without evaluating anything — `db` is not mutated, and the
+  /// estimates of later strata therefore use pre-run cardinalities
+  /// (a real run would see earlier strata's derived facts). With
+  /// `analyze == true`, runs the program exactly like Run() — mutating
+  /// `db`, recording metrics and `stats` — and additionally attributes
+  /// per-literal probes, candidates and inclusive time to the plan.
+  /// Explain structures are materialized only on this path; Run() pays
+  /// nothing for them. Pre-condition: Prepare() returned OK.
+  Status Explain(Database* db, PlanExplain* out, bool analyze = false,
+                 EvalStats* stats = nullptr);
+
   const Stratification& stratification() const { return stratification_; }
 
  private:
+  Status RunInternal(Database* db, EvalStats* stats, Provenance* provenance,
+                     PlanExplain* explain);
+
   Program program_;
   EvalOptions options_;
   Stratification stratification_;

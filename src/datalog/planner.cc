@@ -80,18 +80,31 @@ size_t EstimatedCost(const Literal& l, const Database& db,
 }  // namespace
 
 std::vector<size_t> PlanBodyOrder(const Rule& rule, const Database* db,
-                                  const PlannerOptions& options) {
+                                  const PlannerOptions& options,
+                                  std::vector<LiteralPlan>* plan) {
   const bool cost_based = options.reorder && db != nullptr;
   std::vector<size_t> pending;
   pending.reserve(rule.body.size());
   for (size_t i = 0; i < rule.body.size(); ++i) pending.push_back(i);
 
+  if (plan != nullptr) {
+    plan->clear();
+    plan->reserve(rule.body.size());
+  }
   std::set<std::string> bound;
   std::vector<size_t> ordered;
   ordered.reserve(rule.body.size());
-  auto place = [&](size_t pending_pos) {
+  auto place = [&](size_t pending_pos, size_t estimated_cost) {
     size_t body_index = pending[pending_pos];
     ordered.push_back(body_index);
+    if (plan != nullptr) {
+      const Literal& l = rule.body[body_index];
+      size_t bound_terms =
+          l.kind == Literal::Kind::kAtom || l.kind == Literal::Kind::kNegatedAtom
+              ? BoundTermCount(l, bound)
+              : 0;
+      plan->push_back(LiteralPlan{body_index, estimated_cost, bound_terms});
+    }
     BindVars(rule.body[body_index], &bound);
     pending.erase(pending.begin() + pending_pos);
   };
@@ -101,7 +114,7 @@ std::vector<size_t> PlanBodyOrder(const Rule& rule, const Database* db,
     bool placed = false;
     for (size_t i = 0; i < pending.size(); ++i) {
       if (IsReadyNonAtom(rule.body[pending[i]], bound)) {
-        place(i);
+        place(i, 0);
         placed = true;
         break;
       }
@@ -110,8 +123,8 @@ std::vector<size_t> PlanBodyOrder(const Rule& rule, const Database* db,
     // 2. Cheapest positive atom. Ties fall back to declared order in
     // both modes, so planning is deterministic.
     int best = -1;
+    size_t best_cost = 0;
     if (cost_based) {
-      size_t best_cost = 0;
       size_t best_bound = 0;
       for (size_t i = 0; i < pending.size(); ++i) {
         const Literal& l = rule.body[pending[i]];
@@ -138,13 +151,13 @@ std::vector<size_t> PlanBodyOrder(const Rule& rule, const Database* db,
       }
     }
     if (best >= 0) {
-      place(static_cast<size_t>(best));
+      place(static_cast<size_t>(best), best_cost);
       continue;
     }
     // 3. Only non-ready builtins/negations left. Program validation
     // guarantees this cannot happen for safe rules; emit in order as a
     // defensive fallback.
-    place(0);
+    place(0, 0);
   }
   return ordered;
 }

@@ -38,6 +38,18 @@ struct PlannerOptions {
   size_t min_index_size = 32;
 };
 
+/// Per-literal record of one planning decision, in execution order.
+/// Feeds EXPLAIN (datalog/explain.h); zero-cost when not requested.
+struct LiteralPlan {
+  size_t body_index = 0;      ///< position in the rule's declared body
+  /// The candidate-count estimate at placement time: positive atoms get
+  /// EstimatedCost (cardinality shrunk per bound position); hoisted
+  /// builtins/negations cost 0. Meaningful only in cost-based mode —
+  /// the legacy heuristic never computes costs and records 0.
+  size_t estimated_cost = 0;
+  size_t bound_terms = 0;     ///< ground terms at placement time
+};
+
 /// Returns the execution order of `rule`'s body as indexes into
 /// `rule.body`. Greedy: at every step, ready negations / comparisons /
 /// assignments (all their variables bound) are hoisted first; then the
@@ -48,10 +60,13 @@ struct PlannerOptions {
 ///    bound positions, then declared order;
 ///  * otherwise (legacy heuristic, the oracle): most bound terms, ties
 ///    by declared order.
+/// When `plan` is non-null it receives one LiteralPlan per body literal,
+/// parallel to the returned order.
 /// Exposed for the planner unit tests; the evaluator calls it per rule
 /// at stratum-compile time with the stratum-start database.
 std::vector<size_t> PlanBodyOrder(const Rule& rule, const Database* db,
-                                  const PlannerOptions& options);
+                                  const PlannerOptions& options,
+                                  std::vector<LiteralPlan>* plan = nullptr);
 
 }  // namespace vada::datalog
 

@@ -54,6 +54,15 @@ size_t SnapshotCache::size() const {
   return entries_.size();
 }
 
+size_t SnapshotCache::ApproxIndexBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bytes = 0;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.snapshot != nullptr) bytes += entry.snapshot->IndexBytes();
+  }
+  return bytes;
+}
+
 SnapshotCache::Stats SnapshotCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

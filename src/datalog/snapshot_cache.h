@@ -69,6 +69,11 @@ class SnapshotCache {
   /// Number of relations currently cached.
   size_t size() const;
 
+  /// Approximate resident bytes of the composite join indexes built on
+  /// the cached snapshots (the only place persistent composite indexes
+  /// live — per-evaluation databases are discarded with their run).
+  size_t ApproxIndexBytes() const;
+
   Stats stats() const;
 
   /// Optional observability hookup: when set, hits and misses are also

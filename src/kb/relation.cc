@@ -124,4 +124,13 @@ std::string Relation::ToDebugString(size_t max_rows) const {
   return out;
 }
 
+size_t Relation::ApproxBytes() const {
+  size_t bytes = sizeof(Relation) +
+                 (rows_.capacity() - rows_.size()) * sizeof(Tuple);
+  for (const Tuple& row : rows_) bytes += row.ApproxBytes();
+  for (const Tuple& row : index_) bytes += row.ApproxBytes();
+  bytes += index_.bucket_count() * sizeof(void*);
+  return bytes;
+}
+
 }  // namespace vada

@@ -56,6 +56,11 @@ class Relation {
   /// Multi-line table rendering for examples and traces.
   std::string ToDebugString(size_t max_rows = 20) const;
 
+  /// Approximate resident size of the relation: rows, the dedup hash
+  /// set (which stores a second copy of every row) and bucket arrays.
+  /// Feeds the `vada_kb_relation_bytes` gauge (DESIGN.md §5g).
+  size_t ApproxBytes() const;
+
  private:
   Status CheckTuple(const Tuple& t, bool type_check) const;
 

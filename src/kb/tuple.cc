@@ -21,6 +21,13 @@ std::string Tuple::ToString() const {
   return out;
 }
 
+size_t Tuple::ApproxBytes() const {
+  size_t bytes = sizeof(Tuple) +
+                 (values_.capacity() - values_.size()) * sizeof(Value);
+  for (const Value& v : values_) bytes += v.ApproxBytes();
+  return bytes;
+}
+
 size_t Tuple::Hash() const {
   size_t seed = values_.size();
   for (const Value& v : values_) {

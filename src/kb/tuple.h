@@ -35,6 +35,10 @@ class Tuple {
 
   size_t Hash() const;
 
+  /// Approximate resident size: the tuple object, its value storage
+  /// (including unused vector capacity) and any string heap payloads.
+  size_t ApproxBytes() const;
+
   friend bool operator==(const Tuple& a, const Tuple& b) {
     return a.values_ == b.values_;
   }

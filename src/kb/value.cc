@@ -96,6 +96,17 @@ std::string Value::ToLiteral() const {
   return out;
 }
 
+size_t Value::ApproxBytes() const {
+  size_t bytes = sizeof(Value);
+  if (type() == ValueType::kString) {
+    const std::string& s = string_value();
+    // Short strings live inside the std::string object (SSO) and add
+    // no heap bytes.
+    if (s.capacity() > sizeof(std::string)) bytes += s.capacity() + 1;
+  }
+  return bytes;
+}
+
 size_t Value::Hash() const {
   size_t seed = static_cast<size_t>(data_.index());
   switch (type()) {

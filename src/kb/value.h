@@ -68,6 +68,11 @@ class Value {
 
   size_t Hash() const;
 
+  /// Approximate resident size: sizeof(Value) plus heap bytes held by a
+  /// string payload. Deterministic for a given value, so tests can
+  /// assert on it; it is an estimate, not an allocator measurement.
+  size_t ApproxBytes() const;
+
   friend bool operator==(const Value& a, const Value& b) {
     return a.data_ == b.data_;
   }

@@ -11,7 +11,7 @@ void ChromeTraceBuilder::AddSpans(const SpanCollector& collector, int tid) {
     e.category = span.category.empty() ? "span" : span.category;
     e.ts_us = span.start_ns / 1000;
     e.dur_us = (span.end_ns - span.start_ns) / 1000;
-    e.tid = tid;
+    e.tid = tid + static_cast<int>(span.lane);
     Add(std::move(e));
   }
 }

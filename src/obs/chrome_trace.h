@@ -28,7 +28,10 @@ class ChromeTraceBuilder {
  public:
   void Add(ChromeTraceEvent event) { events_.push_back(std::move(event)); }
 
-  /// Adds every finished span from `collector` on lane `tid`.
+  /// Adds every finished span from `collector`. Spans recorded by the
+  /// collector's first thread (lane 0) land on `tid`; each further
+  /// recording thread (pool workers) gets its own consecutive tid, so
+  /// concurrent worker spans never interleave on one trace lane.
   void AddSpans(const SpanCollector& collector, int tid = 2);
 
   size_t size() const { return events_.size(); }

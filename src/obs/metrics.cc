@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "obs/json.h"
-
 namespace vada::obs {
 
 namespace {
@@ -23,6 +21,23 @@ std::string EntryKey(const std::string& name,
   return key;
 }
 
+/// Escapes a label value per the Prometheus text exposition format
+/// (version 0.0.4): backslash, double-quote and line feed — and nothing
+/// else; \uXXXX-style escapes are JSON, not exposition format.
+std::string PromEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderLabels(const std::map<std::string, std::string>& labels,
                          const std::string& extra_key = "",
                          const std::string& extra_value = "") {
@@ -32,7 +47,7 @@ std::string RenderLabels(const std::map<std::string, std::string>& labels,
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + JsonEscape(v) + "\"";
+    out += k + "=\"" + PromEscapeLabelValue(v) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ",";

@@ -1,0 +1,80 @@
+#include "obs/obs.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "obs/chrome_trace.h"
+#include "obs/process_stats.h"
+
+namespace vada::obs {
+
+ObsContext::ObsContext(ObsOptions options) : options_(options) {
+  if (!options_.enabled) return;
+  if (options_.registry == nullptr) {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    options_.registry = owned_registry_.get();
+  }
+  if (options_.collect_spans) {
+    spans_ = std::make_unique<SpanCollector>();
+  }
+  sessions_ = options_.sessions != nullptr ? options_.sessions
+                                           : &SessionRegistry::Default();
+  if (options_.http_port >= 0 && options_.http_port <= 65535) {
+    StartHttpServer();
+  }
+}
+
+// Out of line so the header does not need the full HttpServer teardown.
+ObsContext::~ObsContext() = default;
+
+void ObsContext::StartHttpServer() {
+  http_ = std::make_unique<HttpServer>();
+
+  MetricsRegistry* registry = options_.registry;
+  SpanCollector* spans = spans_.get();
+  SessionRegistry* sessions = sessions_;
+  HttpServer* server = http_.get();
+
+  // All four handlers run on the server thread and touch only
+  // mutex-/atomic-guarded state (registry, collector, session registry),
+  // never live session objects.
+  http_->Handle("/healthz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  http_->Handle("/metrics", [registry, server](const HttpRequest&) {
+    HttpResponse response;
+    PublishProcessMetrics(registry);  // scrape-fresh RSS / peak RSS
+    registry->GetGauge("vada_obs_http_requests",
+                       "Requests the introspection server has answered")
+        ->Set(static_cast<int64_t>(server->requests_served()));
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = registry->RenderPrometheus();
+    return response;
+  });
+  http_->Handle("/sessions", [sessions](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = sessions->ToJson();
+    return response;
+  });
+  http_->Handle("/trace", [spans](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    ChromeTraceBuilder builder;
+    if (spans != nullptr) builder.AddSpans(*spans, /*tid=*/2);
+    response.body = builder.ToJson();
+    return response;
+  });
+
+  Status status = http_->Start(static_cast<uint16_t>(options_.http_port));
+  if (!status.ok()) {
+    // Introspection must never take the wrangling pipeline down with it.
+    VADA_LOG(kWarning, "obs") << "introspection server disabled: "
+                              << status.ToString();
+    http_.reset();
+  }
+}
+
+}  // namespace vada::obs

@@ -3,7 +3,9 @@
 
 #include <memory>
 
+#include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/session_registry.h"
 #include "obs/span.h"
 
 namespace vada::obs {
@@ -19,6 +21,15 @@ struct ObsOptions {
   MetricsRegistry* registry = nullptr;
   /// Collect a per-session span tree (feeds the Chrome trace export).
   bool collect_spans = true;
+  /// Live introspection server (DESIGN.md §5g): < 0 (default) starts
+  /// nothing; >= 0 serves /metrics, /healthz, /sessions and /trace on
+  /// 127.0.0.1:<http_port>, with 0 binding a kernel-assigned ephemeral
+  /// port (read it back via ObsContext::http_port()). Requires
+  /// `enabled`.
+  int http_port = -1;
+  /// Session registry behind the /sessions route; nullptr means the
+  /// process-wide SessionRegistry::Default().
+  SessionRegistry* sessions = nullptr;
 };
 
 /// Bundles the live observability objects instrumented layers record
@@ -26,16 +37,8 @@ struct ObsOptions {
 /// signal instrumentation sites use to skip all work.
 class ObsContext {
  public:
-  explicit ObsContext(ObsOptions options = ObsOptions()) : options_(options) {
-    if (!options_.enabled) return;
-    if (options_.registry == nullptr) {
-      owned_registry_ = std::make_unique<MetricsRegistry>();
-      options_.registry = owned_registry_.get();
-    }
-    if (options_.collect_spans) {
-      spans_ = std::make_unique<SpanCollector>();
-    }
-  }
+  explicit ObsContext(ObsOptions options = ObsOptions());
+  ~ObsContext();
 
   bool enabled() const { return options_.enabled; }
   MetricsRegistry* metrics() const {
@@ -43,10 +46,27 @@ class ObsContext {
   }
   SpanCollector* spans() const { return spans_.get(); }
 
+  /// The session registry introspection reports on; nullptr when the
+  /// context is disabled.
+  SessionRegistry* sessions() const {
+    return options_.enabled ? sessions_ : nullptr;
+  }
+
+  /// The embedded introspection server; nullptr unless `http_port >= 0`
+  /// was configured, the context is enabled, and the bind succeeded.
+  const HttpServer* http_server() const { return http_.get(); }
+  /// The introspection server's bound port (resolves the ephemeral
+  /// port-0 case); 0 when no server is running.
+  uint16_t http_port() const { return http_ == nullptr ? 0 : http_->port(); }
+
  private:
+  void StartHttpServer();
+
   ObsOptions options_;
   std::unique_ptr<MetricsRegistry> owned_registry_;
   std::unique_ptr<SpanCollector> spans_;
+  SessionRegistry* sessions_ = nullptr;
+  std::unique_ptr<HttpServer> http_;
 };
 
 }  // namespace vada::obs

@@ -1,0 +1,73 @@
+#include "obs/process_stats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/resource.h>
+#endif
+
+namespace vada::obs {
+
+namespace {
+
+/// Parses one "VmXXX:   12345 kB" line into bytes; 0 when absent.
+int64_t ParseStatusLine(const char* line, const char* key) {
+  size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return 0;
+  long long kb = 0;
+  if (std::sscanf(line + key_len, " %lld", &kb) != 1) return 0;
+  return static_cast<int64_t>(kb) * 1024;
+}
+
+}  // namespace
+
+ProcessMemory SampleProcessMemory() {
+  ProcessMemory mem;
+#ifndef _WIN32
+  // Primary source: /proc/self/status has both current and peak RSS.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (int64_t v = ParseStatusLine(line, "VmRSS:")) mem.rss_bytes = v;
+      if (int64_t v = ParseStatusLine(line, "VmHWM:")) mem.peak_rss_bytes = v;
+      if (mem.rss_bytes != 0 && mem.peak_rss_bytes != 0) break;
+    }
+    std::fclose(f);
+  }
+  if (mem.peak_rss_bytes == 0) {
+    // Fallback (macOS, stripped-down containers): getrusage only has the
+    // high-water mark — in kilobytes on Linux, bytes on macOS.
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#ifdef __APPLE__
+      mem.peak_rss_bytes = static_cast<int64_t>(usage.ru_maxrss);
+#else
+      mem.peak_rss_bytes = static_cast<int64_t>(usage.ru_maxrss) * 1024;
+#endif
+    }
+  }
+#endif
+  if (mem.rss_bytes == 0) mem.rss_bytes = mem.peak_rss_bytes;
+  return mem;
+}
+
+void PublishProcessMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  ProcessMemory mem = SampleProcessMemory();
+  registry
+      ->GetGauge("vada_process_rss_bytes",
+                 "Process resident set size, sampled at exposition time")
+      ->Set(mem.rss_bytes);
+  registry
+      ->GetGauge("vada_process_peak_rss_bytes",
+                 "Process peak resident set size (VmHWM / ru_maxrss)")
+      ->Set(mem.peak_rss_bytes);
+  registry
+      ->GetGauge("vada_process_hardware_threads",
+                 "std::thread::hardware_concurrency of this host")
+      ->Set(static_cast<int64_t>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace vada::obs

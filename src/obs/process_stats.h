@@ -1,0 +1,33 @@
+#ifndef VADA_OBS_PROCESS_STATS_H_
+#define VADA_OBS_PROCESS_STATS_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace vada::obs {
+
+/// Point-in-time process memory readings, in bytes. Zero means the
+/// platform offered no figure (the sampler never fails hard).
+struct ProcessMemory {
+  int64_t rss_bytes = 0;       ///< current resident set size
+  int64_t peak_rss_bytes = 0;  ///< high-water resident set size
+};
+
+/// Samples the process's resident-set size. On Linux this parses
+/// /proc/self/status (VmRSS / VmHWM); elsewhere — or when /proc is
+/// unavailable — it falls back to getrusage(RUSAGE_SELF).ru_maxrss,
+/// which only yields the peak. Cheap enough to call per scrape, not
+/// per operation.
+ProcessMemory SampleProcessMemory();
+
+/// Refreshes the process-level gauges in `registry`:
+/// `vada_process_rss_bytes`, `vada_process_peak_rss_bytes` and
+/// `vada_process_hardware_threads`. Call before every exposition
+/// (/metrics scrape, MetricsReport) so the values are scrape-fresh.
+/// No-op on nullptr.
+void PublishProcessMetrics(MetricsRegistry* registry);
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_PROCESS_STATS_H_

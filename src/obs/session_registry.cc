@@ -1,0 +1,75 @@
+#include "obs/session_registry.h"
+
+#include "obs/json.h"
+
+namespace vada::obs {
+
+void SessionRegistry::SessionHandle::Update(SessionSnapshot snapshot) {
+  if (registry_ != nullptr) registry_->Update(id_, std::move(snapshot));
+}
+
+void SessionRegistry::SessionHandle::Release() {
+  if (registry_ != nullptr) registry_->Unregister(id_);
+  registry_ = nullptr;
+}
+
+SessionRegistry::SessionHandle SessionRegistry::Register(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = next_id_++;
+  SessionSnapshot snapshot;
+  snapshot.name = name;
+  sessions_.emplace(id, std::move(snapshot));
+  return SessionHandle(this, id);
+}
+
+void SessionRegistry::Update(uint64_t id, SessionSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  if (snapshot.name.empty()) snapshot.name = it->second.name;
+  it->second = std::move(snapshot);
+}
+
+void SessionRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(id);
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::vector<SessionSnapshot> SessionRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionSnapshot> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, snapshot] : sessions_) out.push_back(snapshot);
+  return out;
+}
+
+std::string SessionRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"sessions\":[";
+  bool first = true;
+  for (const auto& [id, snapshot] : sessions_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(id) + ",\"name\":\"" +
+           JsonEscape(snapshot.name) + "\"";
+    for (const auto& [key, value] : snapshot.fields) {
+      out += ",\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+SessionRegistry& SessionRegistry::Default() {
+  static SessionRegistry* registry = new SessionRegistry();
+  return *registry;
+}
+
+}  // namespace vada::obs

@@ -1,0 +1,104 @@
+#ifndef VADA_OBS_SESSION_REGISTRY_H_
+#define VADA_OBS_SESSION_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace vada::obs {
+
+/// What one session publishes about itself for the /sessions endpoint.
+/// `fields` is ordered free-form detail (relation counts, versions, run
+/// counters); values are rendered as JSON strings.
+struct SessionSnapshot {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Process-wide registry of live sessions, the data source behind the
+/// introspection server's /sessions route and the seed of the
+/// multi-tenant service's session table (ROADMAP item 1).
+///
+/// Push model: the owning thread publishes a fresh SessionSnapshot after
+/// every run (SessionHandle::Update), and the HTTP thread only ever
+/// reads stored copies — it never calls into live session objects, so
+/// there is nothing to race with.
+class SessionRegistry {
+ public:
+  /// Owning registration token; unregisters in its destructor. Movable,
+  /// not copyable. A default-constructed handle is inert (the disabled-
+  /// observability case costs nothing).
+  class SessionHandle {
+   public:
+    SessionHandle() = default;
+    SessionHandle(SessionRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    ~SessionHandle() { Release(); }
+
+    SessionHandle(SessionHandle&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    SessionHandle& operator=(SessionHandle&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    SessionHandle(const SessionHandle&) = delete;
+    SessionHandle& operator=(const SessionHandle&) = delete;
+
+    /// Replaces this session's published snapshot.
+    void Update(SessionSnapshot snapshot);
+
+    bool valid() const { return registry_ != nullptr; }
+
+   private:
+    void Release();
+
+    SessionRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  SessionRegistry() = default;
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  /// Registers a session under `name` (not required to be unique — the
+  /// handle id disambiguates) with an initial empty snapshot.
+  SessionHandle Register(const std::string& name);
+
+  size_t size() const;
+
+  /// Stored snapshots, in registration order.
+  std::vector<SessionSnapshot> List() const;
+
+  /// The /sessions payload: {"sessions":[{"id":...,"name":...,...},...]}.
+  std::string ToJson() const;
+
+  /// The process-wide default registry (sessions registered by any
+  /// WranglingSession with observability on).
+  static SessionRegistry& Default();
+
+ private:
+  friend class SessionHandle;
+
+  void Update(uint64_t id, SessionSnapshot snapshot);
+  void Unregister(uint64_t id);
+
+  mutable std::mutex mutex_;
+  uint64_t next_id_ VADA_GUARDED_BY(mutex_) = 1;
+  std::map<uint64_t, SessionSnapshot> sessions_ VADA_GUARDED_BY(mutex_);
+};
+
+}  // namespace vada::obs
+
+#endif  // VADA_OBS_SESSION_REGISTRY_H_

@@ -1,10 +1,12 @@
 #ifndef VADA_OBS_SPAN_H_
 #define VADA_OBS_SPAN_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -21,20 +23,33 @@ inline uint64_t MonotonicNanos() {
           .count());
 }
 
-/// One finished span. Depth is the nesting level at open time; Chrome
-/// trace viewers reconstruct the tree from nested [start, end) intervals.
+/// One finished span. Depth is the nesting level at open time *on its
+/// thread*; lane is a small dense id for the recording thread (0 for the
+/// first thread that opened a span on the collector, usually the session
+/// thread). Chrome trace viewers reconstruct per-lane trees from nested
+/// [start, end) intervals, so spans from concurrent pool workers must
+/// not share a lane — that is exactly what lane separates.
 struct SpanRecord {
   std::string name;
   std::string category;
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
   size_t depth = 0;
+  uint64_t lane = 0;
 };
 
-/// Collects finished spans for one session. Thread-safe appends; spans
-/// from concurrent sessions go to their own collectors.
+/// Collects finished spans for one session. Fully thread-safe: appends
+/// take the mutex, and scope (depth/lane) bookkeeping is per-thread, so
+/// pool workers can record concurrently with the session thread without
+/// corrupting each other's nesting.
 class SpanCollector {
  public:
+  /// What a ScopedSpan needs to remember from open time.
+  struct Scope {
+    uint64_t lane = 0;
+    size_t depth = 0;
+  };
+
   void Record(SpanRecord span) {
     std::lock_guard<std::mutex> lock(mutex_);
     spans_.push_back(std::move(span));
@@ -50,16 +65,55 @@ class SpanCollector {
     return spans_.size();
   }
 
-  /// Current nesting depth bookkeeping for ScopedSpan.
-  size_t EnterScope() { return depth_++; }
+  /// Opens a scope on the calling thread: returns the thread's lane and
+  /// its nesting depth before the open.
+  Scope EnterScope() {
+    ThreadState* state = LocalState();
+    return Scope{state->lane, state->depth++};
+  }
   void LeaveScope() {
-    if (depth_ > 0) --depth_;
+    ThreadState* state = LocalState();
+    if (state->depth > 0) --state->depth;
   }
 
+  /// Number of distinct threads that have opened spans so far.
+  uint64_t lanes() const { return next_lane_.load(std::memory_order_relaxed); }
+
  private:
+  struct ThreadState {
+    uint64_t lane = 0;
+    size_t depth = 0;
+  };
+
+  /// Per-(thread, collector) scope state. Keyed by a never-reused
+  /// collector id, not the address, so a collector allocated where a
+  /// dead one lived cannot inherit stale lanes. Entries of dead
+  /// collectors are pruned opportunistically once the map grows.
+  ThreadState* LocalState() {
+    thread_local std::unordered_map<uint64_t, ThreadState> states;
+    auto [it, inserted] = states.try_emplace(id_);
+    if (inserted) {
+      it->second.lane = next_lane_.fetch_add(1, std::memory_order_relaxed);
+      if (states.size() > 256) {
+        for (auto sit = states.begin(); sit != states.end();) {
+          bool idle = sit->second.depth == 0 && sit->first != id_;
+          sit = idle ? states.erase(sit) : ++sit;
+        }
+        it = states.find(id_);  // rehash may have moved the entry
+      }
+    }
+    return &it->second;
+  }
+
+  static uint64_t NextCollectorId() {
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const uint64_t id_ = NextCollectorId();
+  std::atomic<uint64_t> next_lane_{0};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
-  size_t depth_ = 0;
 };
 
 /// RAII timer: times its scope, records the elapsed seconds into an
@@ -74,7 +128,7 @@ class ScopedSpan {
     if (collector_ == nullptr && histogram_ == nullptr) return;
     name_ = std::move(name);
     category_ = std::move(category);
-    if (collector_ != nullptr) depth_ = collector_->EnterScope();
+    if (collector_ != nullptr) scope_ = collector_->EnterScope();
     start_ns_ = MonotonicNanos();
   }
 
@@ -88,7 +142,7 @@ class ScopedSpan {
       collector_->LeaveScope();
       collector_->Record(
           SpanRecord{std::move(name_), std::move(category_), start_ns_,
-                     end_ns, depth_});
+                     end_ns, scope_.depth, scope_.lane});
     }
   }
 
@@ -101,7 +155,7 @@ class ScopedSpan {
   std::string name_;
   std::string category_;
   uint64_t start_ns_ = 0;
-  size_t depth_ = 0;
+  SpanCollector::Scope scope_;
 };
 
 }  // namespace vada::obs

@@ -415,7 +415,11 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
           candidates.size(),
           Result<std::vector<Tuple>>(Status::Internal("not evaluated")));
       auto eval_dep = [&](size_t i) {
-        obs::ScopedSpan dep_span(nullptr, dep_check_hist, "dep_check");
+        // SpanCollector is thread-safe (per-thread lanes), so pool
+        // workers record real spans — each worker lands on its own
+        // Chrome-trace tid instead of interleaving on one.
+        obs::ScopedSpan dep_span(spans, dep_check_hist, "dep_check",
+                                 "orchestrator");
         ready[i] =
             datalog::QueryKnowledgeBase(candidates[i]->input_dependency(),
                                         *kb, "ready", eval_options, cache);

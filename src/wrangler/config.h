@@ -112,6 +112,10 @@ struct WranglerConfig {
   TransducerRegistry::Decorator transducer_decorator;
   /// Name of the final result relation in the knowledge base.
   std::string result_relation = "wrangled_result";
+  /// Display name under which the session registers itself in the
+  /// observability session registry (the /sessions endpoint; DESIGN.md
+  /// §5g). Names need not be unique — the registry id disambiguates.
+  std::string session_name = "wrangling-session";
 };
 
 /// Mutable state shared by the standard transducers and the session that

@@ -2,8 +2,11 @@
 
 #include "common/logging.h"
 #include "datalog/analysis/analyzer.h"
+#include "datalog/kb_adapter.h"
+#include "datalog/parser.h"
 #include "mapping/executor.h"
 #include "mapping/mapping.h"
+#include "obs/process_stats.h"
 #include "transducer/trace_export.h"
 
 namespace vada {
@@ -40,6 +43,10 @@ WranglingSession::WranglingSession(WranglerConfig config) {
   state_ = std::make_unique<WranglingState>();
   state_->config = std::move(config);
   obs_ = std::make_unique<obs::ObsContext>(state_->config.obs);
+  if (obs_->sessions() != nullptr) {
+    session_handle_ =
+        obs_->sessions()->Register(state_->config.session_name);
+  }
   registry_.SetDecorator(state_->config.transducer_decorator);
   const ParallelismOptions& par = state_->config.parallelism;
   if (par.threads > 1) {
@@ -197,12 +204,20 @@ Status WranglingSession::Run(OrchestrationStats* stats) {
 void WranglingSession::PublishKbGauges() const {
   obs::MetricsRegistry* m = obs_->metrics();
   if (m == nullptr) return;
+  size_t kb_bytes = 0;
   for (const std::string& name : kb_.RelationNames()) {
     const Relation* rel = kb_.FindRelation(name);
     if (rel == nullptr) continue;
     m->GetGauge("vada_kb_relation_rows", "Current relation cardinality",
                 {{"relation", name}})
         ->Set(static_cast<int64_t>(rel->size()));
+    size_t bytes = rel->ApproxBytes();
+    kb_bytes += bytes;
+    m->GetGauge("vada_kb_relation_bytes",
+                "Approximate resident bytes of one relation (rows, dedup "
+                "set, bucket arrays)",
+                {{"relation", name}})
+        ->Set(static_cast<int64_t>(bytes));
   }
   m->GetGauge("vada_kb_relations", "Number of registered relations")
       ->Set(static_cast<int64_t>(kb_.RelationNames().size()));
@@ -213,6 +228,49 @@ void WranglingSession::PublishKbGauges() const {
       ->Set(static_cast<int64_t>(kb_.facts_added()));
   m->GetGauge("vada_kb_facts_removed", "Lifetime facts removed from the KB")
       ->Set(static_cast<int64_t>(kb_.facts_removed()));
+  // Persistent composite join indexes live only on the snapshot-cache
+  // databases (per-evaluation scratch copies die with their run), so
+  // the cache is the whole story for index memory. 0 when the cache is
+  // off or nothing has been indexed yet.
+  size_t index_bytes =
+      snapshot_cache_ == nullptr ? 0 : snapshot_cache_->ApproxIndexBytes();
+  m->GetGauge("vada_index_bytes",
+              "Approximate resident bytes of composite join indexes on "
+              "cached relation snapshots")
+      ->Set(static_cast<int64_t>(index_bytes));
+  obs::PublishProcessMetrics(m);
+
+  if (session_handle_.valid()) {
+    obs::SessionSnapshot snap;
+    snap.name = state_->config.session_name;
+    snap.fields = {
+        {"target", state_->target_relation},
+        {"relations", std::to_string(kb_.RelationNames().size())},
+        {"kb_bytes", std::to_string(kb_bytes)},
+        {"index_bytes", std::to_string(index_bytes)},
+        {"global_version", std::to_string(kb_.global_version())},
+        {"facts_added", std::to_string(kb_.facts_added())},
+    };
+    session_handle_.Update(std::move(snap));
+  }
+}
+
+Result<datalog::PlanExplain> WranglingSession::ExplainProgram(
+    const std::string& program_text, bool analyze) const {
+  Result<datalog::Program> parsed = datalog::Parser::Parse(program_text);
+  if (!parsed.ok()) return parsed.status();
+  // Scratch copy of just the relations the program reads: ANALYZE runs
+  // the program for real, and its derived facts must not leak into the
+  // knowledge base.
+  datalog::Database db;
+  datalog::LoadReferencedRelations(parsed.value(), kb_, &db);
+  datalog::EvalOptions options;
+  options.planner = state_->config.planner;
+  datalog::Evaluator eval(std::move(parsed).value(), options);
+  VADA_RETURN_IF_ERROR(eval.Prepare());
+  datalog::PlanExplain plan;
+  VADA_RETURN_IF_ERROR(eval.Explain(&db, &plan, analyze));
+  return plan;
 }
 
 SessionMetricsReport WranglingSession::MetricsReport() const {

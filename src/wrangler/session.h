@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "datalog/explain.h"
 #include "datalog/snapshot_cache.h"
 #include "kb/knowledge_base.h"
 #include "obs/obs.h"
@@ -102,6 +103,18 @@ class WranglingSession {
   /// counterpart of the orchestration trace.
   Result<std::string> ExplainResultRow(const Tuple& row) const;
 
+  /// EXPLAIN / EXPLAIN ANALYZE one Vadalog program against the current
+  /// knowledge base (DESIGN.md §5g): the chosen literal order,
+  /// per-literal cost estimates and index-vs-scan decisions, and — with
+  /// `analyze` — actual per-literal probes, candidates and time. The
+  /// program runs (analyze) or is planned (plain) over a scratch
+  /// database loaded with the relations it references; the KB is never
+  /// mutated and no session metrics are recorded. Uses the session's
+  /// configured planner options, so the plan is the one mapping
+  /// execution and dependency scans would run with.
+  Result<datalog::PlanExplain> ExplainProgram(const std::string& program_text,
+                                              bool analyze = false) const;
+
   /// One-stop observability readout: refreshes the KB gauges
   /// (vada_kb_relation_rows et al.), snapshots the session's metrics
   /// registry, and renders both export formats. Non-empty after any
@@ -138,6 +151,10 @@ class WranglingSession {
   KnowledgeBase kb_;
   std::unique_ptr<WranglingState> state_;
   std::unique_ptr<obs::ObsContext> obs_;
+  /// Registration in the observability session registry; inert when
+  /// observability is disabled. Updated from PublishKbGauges, which
+  /// const MetricsReport() also calls.
+  mutable obs::SessionRegistry::SessionHandle session_handle_;
   TransducerRegistry registry_;
   /// Worker pool and snapshot cache backing config.parallelism (null
   /// when threads <= 1 / the cache is off). Declared before the

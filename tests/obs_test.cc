@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -161,6 +162,32 @@ TEST(PrometheusTest, RendersExpositionFormat) {
   EXPECT_EQ(reg.RenderPrometheus(), expected);
 }
 
+// Label values escape exactly backslash, double-quote and line feed —
+// nothing else. Relation names are user data (CSV headers, target
+// schemas), so a quote in a name must not corrupt the exposition.
+TEST(PrometheusTest, LabelValuesEscapedPerExpositionFormat) {
+  MetricsRegistry reg;
+  reg.GetGauge("vada_test_esc", "", {{"relation", "a\\b\"c\nd\te"}})->Set(1);
+  std::string text = reg.RenderPrometheus();
+  // Backslash -> \\, quote -> \", newline -> \n; the tab stays literal
+  // (\uXXXX-style escapes are JSON, not exposition format).
+  EXPECT_NE(text.find("vada_test_esc{relation=\"a\\\\b\\\"c\\nd\te\"} 1"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a label value: every line must
+  // still start with a metric name or '#'.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ASSERT_FALSE(line.empty());
+    EXPECT_TRUE(line[0] == '#' || line.rfind("vada_test_esc", 0) == 0)
+        << line;
+  }
+}
+
 // Structural validity check, applied to a richer registry: every
 // non-comment line is `name{labels}? value`.
 TEST(PrometheusTest, EveryLineParsesAsExposition) {
@@ -265,6 +292,36 @@ TEST(SpanTest, NullTargetsAreNoOp) {
   ScopedSpan span(nullptr, nullptr, "ignored");
   // Nothing to assert beyond "does not crash": with both targets null the
   // span must not touch the clock or allocate its name.
+}
+
+// Each recording thread gets its own dense lane id, so concurrent spans
+// from pool workers reconstruct as separate trace rows instead of one
+// interleaved mess.
+TEST(SpanTest, EachRecordingThreadGetsItsOwnLane) {
+  SpanCollector collector;
+  {
+    ScopedSpan s(&collector, nullptr, "caller");
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&collector] {
+      ScopedSpan outer(&collector, nullptr, "outer");
+      ScopedSpan inner(&collector, nullptr, "inner");
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::vector<SpanRecord> spans = collector.spans();
+  ASSERT_EQ(spans.size(), 7u);
+  EXPECT_EQ(collector.lanes(), 4u);  // calling thread + 3 workers
+  std::set<uint64_t> lanes;
+  for (const SpanRecord& s : spans) lanes.insert(s.lane);
+  EXPECT_EQ(lanes.size(), 4u);
+  // Depth bookkeeping is per-thread: every worker's inner span sits at
+  // depth 1 under its outer span on the same lane.
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.depth, s.name == "inner" ? 1u : 0u) << s.name;
+  }
 }
 
 // ------------------------------------------------------------ obs context

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "datalog/snapshot_cache.h"
 #include "extract/real_estate.h"
 #include "kb/knowledge_base.h"
+#include "obs/chrome_trace.h"
 #include "transducer/network.h"
 #include "transducer/transducer.h"
 #include "wrangler/session.h"
@@ -291,6 +293,86 @@ TEST(ParallelEvalTest, SessionResultIdenticalUnderParallelConfig) {
 
   EXPECT_EQ(expected.first, actual.first);
   EXPECT_EQ(expected.second, actual.second);
+}
+
+/// Chrome-trace export of a parallel run: spans recorded concurrently on
+/// pool workers land on distinct lanes (distinct trace tids), and the
+/// spans of each lane nest properly — concurrent dep checks never
+/// interleave on one trace row, which is what makes the Perfetto view
+/// readable.
+TEST(ParallelEvalTest, ChromeTraceSeparatesPoolWorkerSpans) {
+  PropertyUniverseOptions uopts;
+  uopts.num_properties = 60;
+  uopts.num_postcodes = 12;
+  uopts.seed = 9;
+  GroundTruth truth = GeneratePropertyUniverse(uopts);
+  ExtractionErrorOptions err;
+  err.seed = 11;
+  Relation rightmove = ExtractRightmove(truth, err);
+
+  WranglerConfig config;
+  config.parallelism.threads = 3;
+  WranglingSession session(config);
+  ASSERT_TRUE(session
+                  .SetTargetSchema(Schema::Untyped(
+                      "target", {"type", "description", "street", "postcode",
+                                 "bedrooms", "price", "crimerank"}))
+                  .ok());
+  ASSERT_TRUE(session.AddSource(rightmove).ok());
+  ASSERT_TRUE(session.Run().ok());
+
+  const obs::SpanCollector* collector = session.obs().spans();
+  ASSERT_NE(collector, nullptr);
+  std::vector<obs::SpanRecord> spans = collector->spans();
+  ASSERT_FALSE(spans.empty());
+
+  // Dependency checks ran on pool workers, so more than one thread
+  // recorded spans.
+  size_t dep_checks = 0;
+  std::set<uint64_t> dep_check_lanes;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "dep_check") {
+      ++dep_checks;
+      dep_check_lanes.insert(s.lane);
+    }
+  }
+  EXPECT_GT(dep_checks, 0u);
+  EXPECT_GE(collector->lanes(), 2u);
+
+  // Within one lane spans obey stack discipline: any two either nest or
+  // are disjoint. Interleaving would mean two threads shared a lane.
+  std::map<uint64_t, std::vector<obs::SpanRecord>> by_lane;
+  for (const obs::SpanRecord& s : spans) by_lane[s.lane].push_back(s);
+  for (const auto& [lane, lane_spans] : by_lane) {
+    for (size_t i = 0; i < lane_spans.size(); ++i) {
+      for (size_t j = i + 1; j < lane_spans.size(); ++j) {
+        const obs::SpanRecord& a = lane_spans[i];
+        const obs::SpanRecord& b = lane_spans[j];
+        bool disjoint = a.end_ns <= b.start_ns || b.end_ns <= a.start_ns;
+        bool a_in_b = b.start_ns <= a.start_ns && a.end_ns <= b.end_ns;
+        bool b_in_a = a.start_ns <= b.start_ns && b.end_ns <= a.end_ns;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "lane " << lane << ": spans " << a.name << " and " << b.name
+            << " interleave";
+      }
+    }
+  }
+
+  // The export maps lanes to consecutive tids, so worker spans get their
+  // own trace rows.
+  obs::ChromeTraceBuilder builder;
+  builder.AddSpans(*collector, /*tid=*/2);
+  std::string json = builder.ToJson();
+  std::set<std::string> tids;
+  size_t pos = 0;
+  while ((pos = json.find("\"tid\":", pos)) != std::string::npos) {
+    pos += 6;
+    size_t end = json.find_first_of(",}", pos);
+    tids.insert(json.substr(pos, end - pos));
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(collector->lanes()));
+  EXPECT_TRUE(tids.count("2") == 1);
+  EXPECT_TRUE(tids.count("3") == 1);
 }
 
 }  // namespace
