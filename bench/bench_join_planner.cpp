@@ -14,9 +14,11 @@
 // work by well over an order of magnitude; wall time follows at the
 // larger sizes. The scenario row (the bench_scale workload) must show
 // at least a 5x reduction.
+#include <algorithm>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "datalog/analysis/dataflow/optimizer.h"
 #include "datalog/evaluator.h"
 #include "datalog/parser.h"
 #include "wrangler/session.h"
@@ -157,6 +159,71 @@ int main() {
                static_cast<double>(fast.stats.index_builds));
   }
 
+  // J2: the goal-directed ProgramOptimizer (DESIGN.md §5h) on bound
+  // recursive queries, on top of the default planner. The baseline
+  // evaluates the written program; the optimized run evaluates the
+  // magic-set rewrite toward the goal (what Query does with
+  // PlannerOptions::optimize), so join work only covers the demanded
+  // slice of the recursion instead of the full transitive closure.
+  std::printf("\nJ2: goal-directed optimizer (magic sets) vs planner alone\n\n");
+  Table opt_table({"workload", "results", "planner ms", "optimized ms",
+                   "planner work", "optimized work", "work reduction"});
+  // Left-recursive tc keeps the bound source in the recursive call, so
+  // the magic slice stays a single frontier; right-recursive tc would
+  // demand every suffix and win nothing on a chain.
+  Workload goal_workloads[] = {
+      {"goal_tc_chain_256",
+       "tc(X, Y) :- edge(X, Y). tc(X, Y) :- tc(X, Z), edge(Z, Y). "
+       "q(Y) :- tc(1, Y).",
+       "q", ChainDb(256)},
+      {"goal_tc_grid_12",
+       "tc(X, Y) :- edge(X, Y). tc(X, Y) :- tc(X, Z), edge(Z, Y). "
+       "q(Y) :- tc(0, Y).",
+       "q", GridDb(12)},
+      {"goal_same_gen_chain_128",
+       "sg(X, X) :- edge(X, Y). sg(X, Y) :- edge(A, X), sg(A, B), edge(B, Y). "
+       "q(Y) :- sg(4, Y).",
+       "q", ChainDb(128)},
+  };
+  double best_opt_reduction = 0.0;
+  for (Workload& w : goal_workloads) {
+    Result<Program> program = Parser::Parse(w.program);
+    if (!program.ok()) {
+      std::fprintf(stderr, "%s: %s\n", w.name.c_str(),
+                   program.status().ToString().c_str());
+      continue;
+    }
+    Measured base = RunProgram(program.value(), w.db, planner, w.goal);
+
+    namespace dataflow = datalog::dataflow;
+    dataflow::EdbSeeds seeds = dataflow::SeedsFromDatabase(w.db);
+    dataflow::OptimizeResult optimized =
+        dataflow::OptimizeProgram(program.value(), w.goal, seeds);
+    Measured fast = RunProgram(optimized.program, w.db, planner, w.goal);
+    double reduction =
+        fast.work > 0 ? static_cast<double>(base.work) / fast.work : 0.0;
+    best_opt_reduction = std::max(best_opt_reduction, reduction);
+    if (base.results != fast.results) {
+      std::fprintf(stderr, "%s: RESULT MISMATCH %zu vs %zu\n", w.name.c_str(),
+                   base.results, fast.results);
+    }
+    if (!optimized.report.magic_applied) {
+      std::fprintf(stderr, "%s: magic sets not applied (%s)\n", w.name.c_str(),
+                   optimized.report.magic_fallback.c_str());
+    }
+    opt_table.AddRow({w.name, std::to_string(fast.results), Fmt(base.ms, 1),
+                      Fmt(fast.ms, 1), std::to_string(base.work),
+                      std::to_string(fast.work), Fmt(reduction, 1) + "x"});
+    report.Add(w.name + "_planner_work", static_cast<double>(base.work));
+    report.Add(w.name + "_optimized_work", static_cast<double>(fast.work));
+    report.Add(w.name + "_work_reduction", reduction);
+    report.Add(w.name + "_planner_ms", base.ms);
+    report.Add(w.name + "_optimized_ms", fast.ms);
+    report.Add(w.name + "_magic_rules",
+               static_cast<double>(optimized.report.magic_rules));
+  }
+  opt_table.Print();
+
   // The bench_scale workload end to end: the full wrangling session over
   // the paper's demo scenario at 1000 properties, oracle vs planner.
   // This is the acceptance row: >= 5x join-work reduction.
@@ -206,6 +273,8 @@ int main() {
   table.Print();
   std::printf("\nscenario_1000 join-work reduction: %.1fx (target >= 5x)\n",
               reduction);
+  std::printf("best optimizer join-work reduction: %.1fx (target >= 2x)\n",
+              best_opt_reduction);
   report.WriteJson();
-  return reduction >= 5.0 ? 0 : 1;
+  return (reduction >= 5.0 && best_opt_reduction >= 2.0) ? 0 : 1;
 }

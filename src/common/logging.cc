@@ -20,7 +20,7 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
 /// the guarded-by relationship is machine-checkable. Leaked on purpose
 /// (never destroyed) so logging from static destructors stays safe.
 struct SinkState {
-  std::mutex mutex;
+  Mutex mutex;
   std::vector<std::shared_ptr<LogSink>> sinks VADA_GUARDED_BY(mutex);
 };
 
@@ -67,19 +67,19 @@ LogLevel Logger::level() {
 void Logger::AddSink(std::shared_ptr<LogSink> sink) {
   if (sink == nullptr) return;
   SinkState& state = GlobalSinks();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.sinks.push_back(std::move(sink));
 }
 
 void Logger::ClearSinks() {
   SinkState& state = GlobalSinks();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.sinks.clear();
 }
 
 void Logger::ResetSinks() {
   SinkState& state = GlobalSinks();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.sinks.clear();
   state.sinks.push_back(std::make_shared<StderrLogSink>());
 }
@@ -99,7 +99,7 @@ void Logger::Log(LogLevel level, const std::string& component,
           .count();
   record.thread_id = std::hash<std::thread::id>{}(std::this_thread::get_id());
   SinkState& state = GlobalSinks();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   for (const std::shared_ptr<LogSink>& sink : state.sinks) {
     sink->Write(record);
   }

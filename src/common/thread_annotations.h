@@ -1,10 +1,19 @@
 #ifndef VADA_COMMON_THREAD_ANNOTATIONS_H_
 #define VADA_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <mutex>
+
 // Clang thread-safety annotations, compiled away elsewhere. These are
 // documentation that the compiler can check (-Wthread-safety under
 // clang): a member declared VADA_GUARDED_BY(mutex_) may only be touched
-// while mutex_ is held.
+// while mutex_ is held, a function declared VADA_REQUIRES(mutex_) may
+// only be called with it held, and so on.
+//
+// The analysis can only track locks whose type is itself annotated, so
+// classes that want checking use vada::Mutex / vada::MutexLock below
+// instead of std::mutex / std::lock_guard (std::mutex carries no
+// capability attributes under libstdc++). Both compile down to exactly
+// the std types; only the attributes differ.
 
 #if defined(__clang__) && (!defined(SWIG))
 #define VADA_THREAD_ANNOTATION(x) __attribute__((x))
@@ -14,5 +23,81 @@
 
 #define VADA_GUARDED_BY(x) VADA_THREAD_ANNOTATION(guarded_by(x))
 #define VADA_PT_GUARDED_BY(x) VADA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a type to be a lock (a "capability" the analysis tracks).
+#define VADA_CAPABILITY(x) VADA_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires on construction, releases on
+/// destruction.
+#define VADA_SCOPED_CAPABILITY VADA_THREAD_ANNOTATION(scoped_lockable)
+/// The function acquires the listed locks and holds them on return.
+#define VADA_ACQUIRE(...) \
+  VADA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// The function releases the listed locks (held on entry).
+#define VADA_RELEASE(...) \
+  VADA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// The function may only be called while holding the listed locks.
+#define VADA_REQUIRES(...) \
+  VADA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// The function may only be called while NOT holding the listed locks
+/// (it will acquire them itself — catches self-deadlock).
+#define VADA_EXCLUDES(...) VADA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Conditionally acquires: returns `res` on success.
+#define VADA_TRY_ACQUIRE(res, ...) \
+  VADA_THREAD_ANNOTATION(try_acquire_capability(res, __VA_ARGS__))
+/// Opts a function out of the analysis (init/destruction paths).
+#define VADA_NO_THREAD_SAFETY_ANALYSIS \
+  VADA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace vada {
+
+/// std::mutex with capability attributes, so -Wthread-safety can check
+/// VADA_GUARDED_BY members against actual lock acquisitions.
+class VADA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() VADA_ACQUIRE() { m_.lock(); }
+  void unlock() VADA_RELEASE() { m_.unlock(); }
+  bool try_lock() VADA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis.
+class VADA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) VADA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() VADA_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// MutexLock that std::condition_variable_any can wait on: exposes the
+/// BasicLockable pair the wait loop needs. wait() unlocks and relocks
+/// internally, invisible to the analysis — on return the lock is held
+/// again, so treating the whole scope as held (like libc++'s annotated
+/// condition_variable does) is sound.
+class VADA_SCOPED_CAPABILITY CvMutexLock {
+ public:
+  explicit CvMutexLock(Mutex& m) VADA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~CvMutexLock() VADA_RELEASE() { m_.unlock(); }
+  CvMutexLock(const CvMutexLock&) = delete;
+  CvMutexLock& operator=(const CvMutexLock&) = delete;
+
+  // For std::condition_variable_any only; do not call directly.
+  void lock() VADA_NO_THREAD_SAFETY_ANALYSIS { m_.lock(); }
+  void unlock() VADA_NO_THREAD_SAFETY_ANALYSIS { m_.unlock(); }
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace vada
 
 #endif  // VADA_COMMON_THREAD_ANNOTATIONS_H_

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      CvMutexLock lock(mutex_);
+      cv_.wait(lock, [this]() VADA_REQUIRES(mutex_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -78,7 +80,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // index range is empty, so extra helpers would find nothing to do.
   size_t helpers = std::min(threads_.size(), n - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) helpers = 0;
     for (size_t i = 0; i < helpers; ++i) queue_.emplace_back(drain);
   }
@@ -103,7 +105,7 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::future<void> future = task->get_future();
   bool inline_run = threads_.empty();
   if (!inline_run) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (stop_) {
       inline_run = true;
     } else {

@@ -67,8 +67,11 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> tasks_executed_{0};
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  // _any because the annotated Mutex/CvMutexLock pair is not
+  // std::mutex/std::unique_lock; the queue wait is coarse enough that
+  // the indirection cost is noise.
+  std::condition_variable_any cv_;
   std::deque<std::function<void()>> queue_ VADA_GUARDED_BY(mutex_);
   bool stop_ VADA_GUARDED_BY(mutex_) = false;
 };

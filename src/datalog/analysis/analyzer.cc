@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "datalog/analysis/dataflow/dataflow.h"
 #include "datalog/parser.h"
 #include "datalog/stratify.h"
 
@@ -37,6 +38,7 @@ class Checker {
     if (options_.check_stratification) CheckStratification();
     if (options_.check_wardedness) CheckWardedness();
     if (options_.check_catalog) CheckCatalog();
+    if (options_.check_dataflow) CheckDataflow();
     if (options_.check_lint) CheckLint();
     if (!options_.goal_predicate.empty()) CheckGoal();
   }
@@ -412,6 +414,19 @@ class Checker {
                                 /*is_head=*/false, lit.pos);
       }
     }
+    // One diagnostic per unknown predicate, anchored at its *first* use
+    // (scan order above is declaration order, so the recorded occurrence
+    // is the earliest one).
+    for (const auto& [pred, use] : unknown_first_use_) {
+      Emit(options_.unknown_predicates == UnknownPredicatePolicy::kError
+               ? Severity::kError
+               : Severity::kWarning,
+           "catalog/unknown-predicate", use.rule_index, use.pos,
+           "predicate " + pred +
+               " is neither derived by the program nor a known relation",
+           "create relation " + pred +
+               " in the knowledge base, or add rules deriving it");
+    }
   }
 
   void CheckAtomAgainstCatalog(const Atom& atom, int rule_index, bool is_head,
@@ -422,15 +437,10 @@ class Checker {
       if (options_.unknown_predicates == UnknownPredicatePolicy::kIgnore) {
         return;
       }
-      Emit(options_.unknown_predicates == UnknownPredicatePolicy::kError
-               ? Severity::kError
-               : Severity::kWarning,
-           "catalog/unknown-predicate", rule_index,
-           Anchor(atom.pos, fallback),
-           "predicate " + atom.predicate +
-               " is neither derived by the program nor a known relation",
-           "create relation " + atom.predicate +
-               " in the knowledge base, or add rules deriving it");
+      if (unknown_seen_.insert(atom.predicate).second) {
+        unknown_first_use_.emplace_back(
+            atom.predicate, FirstUse{rule_index, Anchor(atom.pos, fallback)});
+      }
       return;
     }
     if (atom.terms.size() != info->arity) {
@@ -468,6 +478,77 @@ class Checker {
                AttributeTypeName(declared) + " of " + atom.predicate,
            "use a " + std::string(AttributeTypeName(declared)) +
                " constant or a variable");
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // (4b) Dataflow: abstract interpretation over the lattices of
+  // datalog/analysis/dataflow. Open-world (unseeded predicates may hold
+  // anything), with the catalog's declared attribute types narrowing
+  // the seeds — so every finding is a proof about *all* databases the
+  // catalog admits, and warning severity is deserved.
+  // -------------------------------------------------------------------
+  void CheckDataflow() {
+    dataflow::EdbSeeds seeds;
+    if (catalog_ != nullptr) {
+      for (const auto& [name, info] : catalog_->entries()) {
+        if (idb_.count(name) > 0) continue;  // derived: fixpoint covers it
+        dataflow::PredicateSeed seed;
+        seed.cardinality = dataflow::kCardUnbounded;
+        for (AttributeType at : info.attribute_types) {
+          dataflow::PosFacts pf = dataflow::PosFacts::Top();
+          switch (at) {
+            case AttributeType::kAny:
+              break;
+            case AttributeType::kBool:
+              pf.types = dataflow::TypeSet::Of(ValueType::kBool)
+                             .Union(dataflow::TypeSet::Of(ValueType::kNull));
+              break;
+            case AttributeType::kInt:
+              pf.types = dataflow::TypeSet::Of(ValueType::kInt)
+                             .Union(dataflow::TypeSet::Of(ValueType::kNull));
+              break;
+            case AttributeType::kDouble:
+              pf.types = dataflow::TypeSet::Of(ValueType::kDouble)
+                             .Union(dataflow::TypeSet::Of(ValueType::kNull));
+              break;
+            case AttributeType::kString:
+              pf.types = dataflow::TypeSet::Of(ValueType::kString)
+                             .Union(dataflow::TypeSet::Of(ValueType::kNull));
+              break;
+          }
+          seed.positions.push_back(pf);
+        }
+        seeds.emplace(name, std::move(seed));
+      }
+    }
+    dataflow::DataflowResult df =
+        dataflow::AnalyzeDataflow(program_, seeds, dataflow::DataflowOptions{});
+    for (size_t ri = 0; ri < df.rule_findings.size(); ++ri) {
+      const SourcePos rule_pos =
+          ri < program_.rules.size() ? program_.rules[ri].pos : SourcePos{};
+      for (const dataflow::RuleFinding& f : df.rule_findings[ri]) {
+        std::string hint;
+        switch (f.kind) {
+          case dataflow::FindingKind::kEmptyRule:
+            hint = "the rule can never fire; delete it or fix the join";
+            break;
+          case dataflow::FindingKind::kTypeClash:
+            hint =
+                "no runtime value satisfies both positions; fix the "
+                "variable or the data";
+            break;
+          case dataflow::FindingKind::kContradictoryComparisons:
+            hint = "the combined comparisons admit no value; relax one";
+            break;
+          case dataflow::FindingKind::kUnsatisfiableGuard:
+            hint = "this guard is always false; remove or correct it";
+            break;
+        }
+        Emit(Severity::kWarning, dataflow::FindingCheckId(f.kind),
+             static_cast<int>(ri), Anchor(f.pos, rule_pos), f.message,
+             std::move(hint));
+      }
     }
   }
 
@@ -639,6 +720,14 @@ class Checker {
   const PredicateCatalog* catalog_;
   AnalysisReport* report_;
   std::set<std::string> idb_;
+  /// Unknown predicates in first-use order; one diagnostic each,
+  /// anchored at the earliest occurrence.
+  struct FirstUse {
+    int rule_index;
+    SourcePos pos;
+  };
+  std::set<std::string> unknown_seen_;
+  std::vector<std::pair<std::string, FirstUse>> unknown_first_use_;
 };
 
 }  // namespace

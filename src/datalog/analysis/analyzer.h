@@ -24,6 +24,12 @@ struct AnalyzerOptions {
   bool check_wardedness = true;      ///< wardedness/* + classification
   bool check_catalog = true;         ///< catalog/* (arity, types, unknown)
   bool check_lint = true;            ///< lint/* (style & dead code)
+  /// dataflow/* — abstract interpretation over type/constant/interval
+  /// lattices (datalog/analysis/dataflow): position type clashes,
+  /// provably-empty rules, contradictory comparison chains and
+  /// unsatisfiable guards. Open-world: predicates outside the catalog
+  /// are assumed to possibly hold anything, so every finding is a proof.
+  bool check_dataflow = true;
 
   /// When non-empty the program is expected to define this predicate
   /// (goal/undefined error otherwise) and rules that cannot contribute

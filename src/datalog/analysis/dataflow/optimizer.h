@@ -1,0 +1,73 @@
+#ifndef VADA_DATALOG_ANALYSIS_DATAFLOW_OPTIMIZER_H_
+#define VADA_DATALOG_ANALYSIS_DATAFLOW_OPTIMIZER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "datalog/analysis/dataflow/dataflow.h"
+#include "datalog/ast.h"
+
+namespace vada::datalog::dataflow {
+
+/// Which rewrites ProgramOptimizer applies. All default on; the whole
+/// pipeline is reached only through PlannerOptions::optimize, which
+/// defaults off (rewrites may permute row order within a predicate's
+/// derivation, so golden row-order tests opt in explicitly).
+struct OptimizerOptions {
+  /// Substitute constant assignments (Z = 3, Z = 1 + 2) into the rule
+  /// and evaluate constant-vs-constant comparisons away.
+  bool fold_constants = true;
+  /// Drop rules the dataflow analysis proves can never fire.
+  bool eliminate_dead = true;
+  /// With a goal: drop rules that cannot contribute to it.
+  bool eliminate_unreachable = true;
+  /// With a goal: demand-driven (magic-set) specialization of recursive
+  /// predicates called with bound arguments.
+  bool magic_sets = true;
+  /// Closed world: predicates that are neither derived nor present in
+  /// the seeds are provably empty. The Query/session path seeds from
+  /// the actual database, so this is sound there; pass false when
+  /// seeding from a schema-only catalog.
+  bool assume_unknown_empty = true;
+};
+
+/// What one OptimizeProgram run did — rendered by vada_explain and
+/// asserted on by tests.
+struct OptimizerReport {
+  size_t folded_assignments = 0;   ///< constant assignments substituted away
+  size_t folded_comparisons = 0;   ///< constant guards evaluated away
+  size_t dead_rules = 0;           ///< provably-empty rules dropped
+  size_t unreachable_rules = 0;    ///< rules that cannot feed the goal
+  size_t magic_rules = 0;          ///< demand (magic) rules added
+  size_t specialized_rules = 0;    ///< adorned copies of original rules
+  bool magic_applied = false;
+  /// Non-empty when the magic-set transform was attempted but rolled
+  /// back (post-transform validation or stratification failed).
+  std::string magic_fallback;
+
+  std::string Summary() const;
+};
+
+struct OptimizeResult {
+  Program program;
+  OptimizerReport report;
+};
+
+/// Semantics-preserving rewrite pipeline over a validated program:
+/// constant folding, dead-rule elimination, goal-directed unreachable-
+/// rule elimination, and a magic-set transformation specializing
+/// recursion toward `goal_predicate` (empty goal: the goal-directed
+/// passes are skipped). The output program derives exactly the same
+/// facts for `goal_predicate` as the input over any database matching
+/// `seeds` — the differential fuzz harness checks this bit-for-bit.
+/// The transformed program is re-validated and re-stratified; on any
+/// failure the magic transform rolls back to the pre-magic program, so
+/// the result is always evaluable if the input was.
+OptimizeResult OptimizeProgram(const Program& program,
+                               const std::string& goal_predicate,
+                               const EdbSeeds& seeds,
+                               const OptimizerOptions& options = {});
+
+}  // namespace vada::datalog::dataflow
+
+#endif  // VADA_DATALOG_ANALYSIS_DATAFLOW_OPTIMIZER_H_

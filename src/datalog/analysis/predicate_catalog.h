@@ -34,6 +34,11 @@ class PredicateCatalog {
   const PredicateInfo* Find(const std::string& predicate) const;
   bool empty() const { return predicates_.empty(); }
   size_t size() const { return predicates_.size(); }
+  /// All declared predicates, name-ordered — the dataflow checks seed
+  /// their abstract domains from the declared attribute types.
+  const std::map<std::string, PredicateInfo>& entries() const {
+    return predicates_;
+  }
 
   /// Every relation currently in `kb`, plus the sys_* control relations
   /// the orchestrator materialises before each dependency check (so

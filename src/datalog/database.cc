@@ -66,7 +66,7 @@ bool Database::Insert(const std::string& predicate, Tuple t) {
   // Composite indexes over this predicate are stale now; they rebuild
   // lazily on the next probe. (A moved-from database has no cache.)
   if (index_cache_ != nullptr) {
-    std::lock_guard<std::mutex> lock(index_cache_->mutex);
+    MutexLock lock(index_cache_->mutex);
     if (!index_cache_->entries.empty()) index_cache_->entries.erase(predicate);
   }
   return true;
@@ -89,7 +89,7 @@ const BoundIndex* Database::EnsureBoundIndex(
     if (pos >= store.arity) return nullptr;
   }
   if (index_cache_ == nullptr) return nullptr;  // moved-from; defensive
-  std::lock_guard<std::mutex> lock(index_cache_->mutex);
+  MutexLock lock(index_cache_->mutex);
   auto& per_predicate = index_cache_->entries[predicate];
   auto iit = per_predicate.find(positions);
   if (iit == per_predicate.end()) {
@@ -138,7 +138,7 @@ size_t Database::ApproxBytes() const {
 
 size_t Database::IndexBytes() const {
   if (index_cache_ == nullptr) return 0;
-  std::lock_guard<std::mutex> lock(index_cache_->mutex);
+  MutexLock lock(index_cache_->mutex);
   size_t bytes = 0;
   for (const auto& [predicate, per_predicate] : index_cache_->entries) {
     for (const auto& [positions, index] : per_predicate) {
@@ -225,7 +225,7 @@ void Database::Clear() {
   stores_.clear();
   shared_.clear();
   if (index_cache_ != nullptr) {
-    std::lock_guard<std::mutex> lock(index_cache_->mutex);
+    MutexLock lock(index_cache_->mutex);
     index_cache_->entries.clear();
   }
 }

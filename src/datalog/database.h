@@ -139,7 +139,7 @@ class Database {
   /// dropped by Insert/Clear. Held behind a unique_ptr so the Database
   /// stays movable.
   struct IndexCache {
-    std::mutex mutex;
+    Mutex mutex;
     std::map<std::string, std::map<std::vector<size_t>, BoundIndex>> entries
         VADA_GUARDED_BY(mutex);
   };

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
+#include "datalog/analysis/dataflow/optimizer.h"
 #include "datalog/explain.h"
 #include "obs/span.h"
 
@@ -107,6 +109,9 @@ struct CompiledLiteral {
   /// The planner's candidate estimate when it placed this literal
   /// (atoms under cost-based reordering; 0 otherwise).
   size_t estimated_cost = 0;
+  /// Static cardinality prior that backed the estimate when the
+  /// relation had no facts at compile time (0: runtime stats decided).
+  size_t static_prior = 0;
 };
 
 struct AggSpec {
@@ -155,6 +160,7 @@ class RuleCompiler {
       CompiledLiteral cl = CompileLiteral(l);
       cl.body_index = body_index;
       cl.estimated_cost = plan[oi].estimated_cost;
+      cl.static_prior = plan[oi].static_prior;
       if (cl.kind == Literal::Kind::kAtom) {
         for (size_t i = 0; i < cl.atom.terms.size(); ++i) {
           const CompiledTerm& t = cl.atom.terms[i];
@@ -805,6 +811,7 @@ RuleExplain BuildRuleExplain(const CompiledRule& rule, const Database* db,
     le.kind = LiteralKindName(lit.kind);
     le.bound_positions = lit.bound_positions;
     le.estimated_cost = lit.estimated_cost;
+    le.static_prior = lit.static_prior;
     le.access = PredictAccess(lit, db, planner);
     out.literals.push_back(std::move(le));
   }
@@ -1189,7 +1196,27 @@ Status Evaluator::RunInternal(Database* db, EvalStats* stats,
 Result<std::vector<Tuple>> Query(const Program& program, Database* db,
                                  const std::string& goal_predicate,
                                  const EvalOptions& options) {
-  Evaluator eval(program, options);
+  // Opt-in goal-directed rewrite: the optimized program derives exactly
+  // the same goal facts (the differential fuzz harness checks this
+  // bit-for-bit), so Query — which only exposes the goal relation — may
+  // substitute it freely. The static cardinality bounds computed along
+  // the way become the planner's priors for still-empty IDB relations.
+  const Program* to_run = &program;
+  dataflow::OptimizeResult optimized;
+  EvalOptions eval_options = options;
+  if (options.planner.optimize) {
+    dataflow::EdbSeeds seeds = dataflow::SeedsFromDatabase(*db);
+    optimized = dataflow::OptimizeProgram(program, goal_predicate, seeds);
+    to_run = &optimized.program;
+    dataflow::DataflowOptions dopt;
+    dopt.assume_unknown_nonempty = false;
+    dataflow::DataflowResult df =
+        dataflow::AnalyzeDataflow(optimized.program, seeds, dopt);
+    eval_options.planner.priors =
+        std::make_shared<const std::map<std::string, size_t>>(
+            df.CardinalityPriors());
+  }
+  Evaluator eval(*to_run, eval_options);
   VADA_RETURN_IF_ERROR(eval.Prepare());
   VADA_RETURN_IF_ERROR(eval.Run(db));
   std::vector<Tuple> out = db->facts(goal_predicate);

@@ -41,6 +41,12 @@ struct LiteralExplain {
   /// The planner's candidate-count estimate when it placed this literal
   /// (atoms only; see planner.cc EstimatedCost).
   size_t estimated_cost = 0;
+  /// Static cardinality bound from the dataflow analysis that stood in
+  /// for the runtime fact count (the relation was empty at compile
+  /// time); 0 when the estimate came from observed facts. Rendered next
+  /// to the actual counters so inferred and observed numbers can be
+  /// compared side by side.
+  size_t static_prior = 0;
   /// Predicted access path against the stratum-start database:
   /// "index" (composite bound-prefix hash index), "seek" (eager
   /// single-column index), "scan" (full relation), "check" (negation

@@ -8,7 +8,7 @@ std::shared_ptr<const Database> SnapshotCache::Get(const KnowledgeBase& kb,
                                                    const std::string& name) {
   const uint64_t version = kb.relation_version(name);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it != entries_.end() && it->second.version == version) {
       ++stats_.hits;
@@ -23,7 +23,7 @@ std::shared_ptr<const Database> SnapshotCache::Get(const KnowledgeBase& kb,
   // while scans run); last insert wins.
   const Relation* rel = kb.FindRelation(name);
   if (rel == nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.misses;
     if (misses_counter_ != nullptr) misses_counter_->Increment();
     return nullptr;
@@ -31,7 +31,7 @@ std::shared_ptr<const Database> SnapshotCache::Get(const KnowledgeBase& kb,
   auto snapshot = std::make_shared<Database>();
   snapshot->LoadRelation(*rel);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.misses;
   if (misses_counter_ != nullptr) misses_counter_->Increment();
   entries_[name] = Entry{version, snapshot};
@@ -39,23 +39,23 @@ std::shared_ptr<const Database> SnapshotCache::Get(const KnowledgeBase& kb,
 }
 
 void SnapshotCache::Invalidate(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (entries_.erase(name) > 0) ++stats_.invalidations;
 }
 
 void SnapshotCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.invalidations += entries_.size();
   entries_.clear();
 }
 
 size_t SnapshotCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 size_t SnapshotCache::ApproxIndexBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t bytes = 0;
   for (const auto& [name, entry] : entries_) {
     if (entry.snapshot != nullptr) bytes += entry.snapshot->IndexBytes();
@@ -64,12 +64,12 @@ size_t SnapshotCache::ApproxIndexBytes() const {
 }
 
 SnapshotCache::Stats SnapshotCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void SnapshotCache::SetCounters(obs::Counter* hits, obs::Counter* misses) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   hits_counter_ = hits;
   misses_counter_ = misses;
 }

@@ -87,7 +87,7 @@ class SnapshotCache {
     std::shared_ptr<const Database> snapshot;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<std::string, Entry> entries_ VADA_GUARDED_BY(mutex_);
   Stats stats_ VADA_GUARDED_BY(mutex_);
   obs::Counter* hits_counter_ VADA_GUARDED_BY(mutex_) = nullptr;

@@ -53,7 +53,7 @@ void WriteAll(int fd, const std::string& data) {
 }  // namespace
 
 void HttpServer::Handle(const std::string& path, Handler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   routes_[path] = std::move(handler);
 }
 
@@ -172,7 +172,7 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
   }
   Handler handler;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = routes_.find(request.path);
     if (it != routes_.end()) {
       handler = it->second;

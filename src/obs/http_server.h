@@ -77,7 +77,7 @@ class HttpServer {
   void ServeClient(int client_fd);
   HttpResponse Dispatch(const HttpRequest& request);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::map<std::string, Handler> routes_ VADA_GUARDED_BY(mutex_);
   std::thread thread_;
   std::atomic<bool> running_{false};

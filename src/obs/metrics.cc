@@ -123,7 +123,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrNull(const std::string& key) {
 Counter* MetricsRegistry::GetCounter(
     const std::string& name, const std::string& help,
     const std::map<std::string, std::string>& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string key = EntryKey(name, labels);
   Entry* e = FindOrNull(key);
   if (e == nullptr) {
@@ -141,7 +141,7 @@ Counter* MetricsRegistry::GetCounter(
 Gauge* MetricsRegistry::GetGauge(
     const std::string& name, const std::string& help,
     const std::map<std::string, std::string>& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string key = EntryKey(name, labels);
   Entry* e = FindOrNull(key);
   if (e == nullptr) {
@@ -160,7 +160,7 @@ Histogram* MetricsRegistry::GetHistogram(
     const std::string& name, const std::string& help,
     std::vector<double> bounds,
     const std::map<std::string, std::string>& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string key = EntryKey(name, labels);
   Entry* e = FindOrNull(key);
   if (e == nullptr) {
@@ -176,7 +176,7 @@ Histogram* MetricsRegistry::GetHistogram(
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.samples.reserve(entries_.size());
   for (const auto& [key, e] : entries_) {
@@ -211,7 +211,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 
   std::map<std::string, std::string> help;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     help = help_;
   }
 

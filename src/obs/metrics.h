@@ -134,9 +134,9 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* FindOrNull(const std::string& key);
+  Entry* FindOrNull(const std::string& key) VADA_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // key: name + serialized labels
   std::map<std::string, Entry> entries_ VADA_GUARDED_BY(mutex_);
   // per family name

@@ -15,7 +15,7 @@ void SessionRegistry::SessionHandle::Release() {
 
 SessionRegistry::SessionHandle SessionRegistry::Register(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t id = next_id_++;
   SessionSnapshot snapshot;
   snapshot.name = name;
@@ -24,7 +24,7 @@ SessionRegistry::SessionHandle SessionRegistry::Register(
 }
 
 void SessionRegistry::Update(uint64_t id, SessionSnapshot snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
   if (snapshot.name.empty()) snapshot.name = it->second.name;
@@ -32,17 +32,17 @@ void SessionRegistry::Update(uint64_t id, SessionSnapshot snapshot) {
 }
 
 void SessionRegistry::Unregister(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sessions_.erase(id);
 }
 
 size_t SessionRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return sessions_.size();
 }
 
 std::vector<SessionSnapshot> SessionRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SessionSnapshot> out;
   out.reserve(sessions_.size());
   for (const auto& [id, snapshot] : sessions_) out.push_back(snapshot);
@@ -50,7 +50,7 @@ std::vector<SessionSnapshot> SessionRegistry::List() const {
 }
 
 std::string SessionRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"sessions\":[";
   bool first = true;
   for (const auto& [id, snapshot] : sessions_) {

@@ -94,7 +94,7 @@ class SessionRegistry {
   void Update(uint64_t id, SessionSnapshot snapshot);
   void Unregister(uint64_t id);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   uint64_t next_id_ VADA_GUARDED_BY(mutex_) = 1;
   std::map<uint64_t, SessionSnapshot> sessions_ VADA_GUARDED_BY(mutex_);
 };

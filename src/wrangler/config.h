@@ -104,7 +104,12 @@ struct WranglerConfig {
   /// composite hash-index probing and cost-based literal reordering
   /// (DESIGN.md §5f). Defaults on; `{.indexes = false, .reorder =
   /// false}` is the full-scan reference oracle. The derived facts are
-  /// identical at every setting. See README "Performance & tuning".
+  /// identical at every setting of `indexes`/`reorder`. `optimize`
+  /// additionally runs the goal-directed dataflow rewrites (DESIGN.md
+  /// §5h) on the session's orchestration queries — goal-visible results
+  /// are unchanged, but facts of predicates a query does not need may
+  /// no longer be derived into its scratch database. See README
+  /// "Performance & tuning".
   datalog::PlannerOptions planner;
   /// Applied to every transducer registered through the session
   /// (standard suite and custom). Used by the fault-injection soak

@@ -9,7 +9,6 @@
 // must be bit-identical to its sequential run, stats included.
 #include <algorithm>
 #include <map>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,127 +19,10 @@
 #include "datalog/database.h"
 #include "datalog/evaluator.h"
 #include "datalog/parser.h"
+#include "datalog_random_program.h"
 
 namespace vada::datalog {
 namespace {
-
-struct EvalOutput {
-  std::map<std::string, std::vector<Tuple>> facts;
-  EvalStats stats;
-
-  std::map<std::string, std::vector<Tuple>> SortedFacts() const {
-    std::map<std::string, std::vector<Tuple>> out = facts;
-    for (auto& [pred, rows] : out) std::sort(rows.begin(), rows.end());
-    return out;
-  }
-
-  /// Bit-identity: same rows in the same order, same stats.
-  bool operator==(const EvalOutput& o) const {
-    return facts == o.facts && stats.iterations == o.stats.iterations &&
-           stats.facts_derived == o.stats.facts_derived &&
-           stats.rule_applications == o.stats.rule_applications &&
-           stats.join_probes == o.stats.join_probes &&
-           stats.index_probes == o.stats.index_probes &&
-           stats.index_candidates == o.stats.index_candidates &&
-           stats.index_builds == o.stats.index_builds;
-  }
-};
-
-EvalOutput Evaluate(const Program& program, const Database& edb,
-                    const EvalOptions& options) {
-  Database db = edb;
-  Evaluator eval(program, options);
-  EXPECT_TRUE(eval.Prepare().ok());
-  EvalOutput out;
-  EXPECT_TRUE(eval.Run(&db, &out.stats).ok());
-  for (const std::string& pred : db.Predicates()) {
-    out.facts[pred] = db.facts(pred);
-  }
-  return out;
-}
-
-/// Random EDB over three binary edge relations (one possibly left empty
-/// while rules still reference it), a string-labelled relation, a
-/// weighted relation, and unary node/src relations.
-Database RandomEdb(Rng* rng) {
-  Database db;
-  int nodes = static_cast<int>(rng->UniformInt(3, 12));
-  int edges = static_cast<int>(rng->UniformInt(4, 60));
-  bool e2_empty = rng->Bernoulli(0.2);
-  for (int e = 0; e < 3; ++e) {
-    if (e == 2 && e2_empty) continue;
-    std::string pred = "e" + std::to_string(e);
-    for (int i = 0; i < edges; ++i) {
-      db.Insert(pred, Tuple({Value::Int(rng->UniformInt(0, nodes - 1)),
-                             Value::Int(rng->UniformInt(0, nodes - 1))}));
-    }
-  }
-  for (int i = 0; i < edges / 2; ++i) {
-    db.Insert("lab",
-              Tuple({Value::Int(rng->UniformInt(0, nodes - 1)),
-                     Value::String("s" + std::to_string(rng->UniformInt(0, 3)))}));
-    db.Insert("w", Tuple({Value::Int(rng->UniformInt(0, nodes - 1)),
-                          Value::Int(rng->UniformInt(0, nodes - 1)),
-                          Value::Int(rng->UniformInt(0, 9))}));
-  }
-  for (int i = 0; i < nodes; ++i) {
-    if (rng->Bernoulli(0.3)) db.Insert("src", Tuple({Value::Int(i)}));
-    db.Insert("node", Tuple({Value::Int(i)}));
-  }
-  return db;
-}
-
-/// Random program exercising every feature the planner touches: multi-way
-/// joins (cross products included), constants in atoms, comparisons,
-/// arithmetic assignments, stratified negation and aggregates.
-std::string RandomProgram(Rng* rng) {
-  std::ostringstream p;
-  p << "p0(X, Y) :- e0(X, Y).\n";
-  int rules = static_cast<int>(rng->UniformInt(4, 9));
-  for (int r = 0; r < rules; ++r) {
-    int head = static_cast<int>(rng->UniformInt(0, 3));
-    switch (rng->UniformInt(0, 6)) {
-      case 0:  // copy, sometimes from the (possibly empty) e2
-        p << "p" << head << "(X, Y) :- e" << rng->UniformInt(0, 2)
-          << "(X, Y).\n";
-        break;
-      case 1:  // linear recursion
-        p << "p" << head << "(X, Y) :- e" << rng->UniformInt(0, 2)
-          << "(X, Z), p" << rng->UniformInt(0, 3) << "(Z, Y).\n";
-        break;
-      case 2:  // nonlinear recursion
-        p << "p" << head << "(X, Y) :- p" << rng->UniformInt(0, 3)
-          << "(X, Z), p" << rng->UniformInt(0, 3) << "(Z, Y).\n";
-        break;
-      case 3:  // constant in an atom position
-        p << "p" << head << "(X, Y) :- e" << rng->UniformInt(0, 1) << "(X, Y), "
-          << "e" << rng->UniformInt(0, 1) << "(" << rng->UniformInt(0, 5)
-          << ", X).\n";
-        break;
-      case 4:  // comparison filter over a two-atom join
-        p << "p" << head << "(X, Y) :- e" << rng->UniformInt(0, 1)
-          << "(X, Z), e" << rng->UniformInt(0, 1) << "(Z, Y), X "
-          << (rng->Bernoulli(0.5) ? "<" : "!=") << " Y.\n";
-        break;
-      case 5:  // arithmetic assignment
-        p << "p" << head << "(X, S) :- w(X, Y, C), S = C + "
-          << rng->UniformInt(1, 3) << ".\n";
-        break;
-      default:  // cross product joined back through a label
-        p << "p" << head << "(X, Y) :- node(X), node(Y), lab(X, \"s"
-          << rng->UniformInt(0, 3) << "\").\n";
-        break;
-    }
-  }
-  // Fixed stratified tail: negation over reachability and aggregates.
-  p << "reach(X) :- src(X).\n"
-       "reach(Y) :- reach(X), e0(X, Y).\n"
-       "unreach(X) :- node(X), not reach(X).\n"
-       "fanout(X, count<Y>) :- p0(X, Y).\n"
-       "wsum(X, sum<C>) :- w(X, Y, C).\n"
-       "span(min<X>, max<Y>) :- p1(X, Y).\n";
-  return p.str();
-}
 
 /// 25 shards x 20 seeds = 500 differential cases.
 class JoinPlannerDifferential : public ::testing::TestWithParam<int> {};
@@ -210,6 +92,54 @@ TEST_P(JoinPlannerDifferential, AllPlannerConfigsAgreeOnRandomPrograms) {
     naive.semi_naive = false;
     EXPECT_EQ(Evaluate(program.value(), edb, naive).SortedFacts(),
               expected_sorted);
+  }
+}
+
+/// Optimizer differential: with PlannerOptions::optimize on, Query()
+/// rewrites the program (constant folding, dead/unreachable-rule
+/// elimination, magic sets toward the goal) — but the goal-visible
+/// output must stay bit-identical to the unoptimized oracle, for every
+/// derived predicate of every random program, sequential and pool-
+/// backed. 25 shards x 20 seeds = 500 programs x 9 goals.
+class OptimizerDifferential : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Shards, OptimizerDifferential,
+                         ::testing::Range(0, 25));
+
+TEST_P(OptimizerDifferential, GoalVisibleOutputIsBitIdentical) {
+  ThreadPool pool(3);
+  for (int s = 0; s < kSeedsPerShard; ++s) {
+    int seed = GetParam() * kSeedsPerShard + s;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    Database edb = RandomEdb(&rng);
+    Result<Program> program = Parser::Parse(RandomProgram(&rng));
+    ASSERT_TRUE(program.ok()) << program.status().message();
+
+    for (const std::string& goal : RandomProgramGoals()) {
+      SCOPED_TRACE("goal=" + goal);
+      Database oracle_db = edb;
+      Result<std::vector<Tuple>> expected =
+          Query(program.value(), &oracle_db, goal, EvalOptions());
+      ASSERT_TRUE(expected.ok()) << expected.status().message();
+
+      EvalOptions optimized;
+      optimized.planner.optimize = true;
+      Database opt_db = edb;
+      Result<std::vector<Tuple>> actual =
+          Query(program.value(), &opt_db, goal, optimized);
+      ASSERT_TRUE(actual.ok()) << actual.status().message();
+      EXPECT_EQ(actual.value(), expected.value());
+
+      EvalOptions par = optimized;
+      par.pool = &pool;
+      par.parallel_chunk_threshold = 1;
+      Database par_db = edb;
+      Result<std::vector<Tuple>> parallel =
+          Query(program.value(), &par_db, goal, par);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+      EXPECT_EQ(parallel.value(), expected.value());
+    }
   }
 }
 

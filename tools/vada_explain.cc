@@ -13,10 +13,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "datalog/analysis/dataflow/optimizer.h"
 #include "datalog/database.h"
 #include "datalog/evaluator.h"
 #include "datalog/explain.h"
@@ -53,6 +57,13 @@ int Usage(const char* argv0) {
       << "  --no-indexes    plan without composite hash indexes\n"
       << "  --no-reorder    keep the written literal order (no cost-based\n"
       << "                  reordering)\n"
+      << "  --goal=PRED     the query goal; enables goal-directed rewrites\n"
+      << "                  with --optimize and static cardinality priors\n"
+      << "  --optimize      run the dataflow ProgramOptimizer (constant\n"
+      << "                  folding, dead/unreachable-rule elimination,\n"
+      << "                  magic sets toward --goal) and explain the\n"
+      << "                  rewritten program; inferred cardinality bounds\n"
+      << "                  show as prior=N next to the estimates\n"
       << "  -h, --help      this message\n";
   return 2;
 }
@@ -62,6 +73,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   bool analyze = false;
   bool json = false;
+  std::string goal;
   EvalOptions options;
   std::vector<std::pair<std::string, std::string>> csv_inputs;  // rel, path
   std::string program_file;
@@ -79,6 +91,10 @@ int main(int argc, char** argv) {
       options.planner.indexes = false;
     } else if (arg == "--no-reorder") {
       options.planner.reorder = false;
+    } else if (arg == "--optimize") {
+      options.planner.optimize = true;
+    } else if (arg.rfind("--goal=", 0) == 0) {
+      goal = arg.substr(std::strlen("--goal="));
     } else if (arg == "--csv") {
       if (i + 1 >= argc) {
         std::cerr << "--csv requires REL=FILE\n";
@@ -135,7 +151,26 @@ int main(int argc, char** argv) {
     db.LoadRelation(relation.value());
   }
 
-  Evaluator evaluator(std::move(program).value(), options);
+  Program to_explain = std::move(program).value();
+  if (options.planner.optimize) {
+    namespace dataflow = vada::datalog::dataflow;
+    dataflow::EdbSeeds seeds = dataflow::SeedsFromDatabase(db);
+    dataflow::OptimizeResult optimized =
+        dataflow::OptimizeProgram(to_explain, goal, seeds);
+    if (!json) {
+      std::cout << "optimizer: " << optimized.report.Summary() << "\n";
+    }
+    to_explain = std::move(optimized.program);
+    dataflow::DataflowOptions dopt;
+    dopt.assume_unknown_nonempty = false;
+    dataflow::DataflowResult df =
+        dataflow::AnalyzeDataflow(to_explain, seeds, dopt);
+    options.planner.priors =
+        std::make_shared<const std::map<std::string, size_t>>(
+            df.CardinalityPriors());
+  }
+
+  Evaluator evaluator(std::move(to_explain), options);
   Status status = evaluator.Prepare();
   if (status.ok()) {
     PlanExplain plan;

@@ -3,10 +3,12 @@
 //   vada_lint [options] file.dlog [file2.dlog ...]
 //
 // Runs the full ProgramAnalyzer pipeline (safety, stratification,
-// wardedness, catalog, lint) over each file and prints gcc-style
-// file:line:col diagnostics. Exits 1 when any file has errors (or, with
-// --Werror, warnings).
+// wardedness, catalog, dataflow, lint) over each file and prints
+// gcc-style file:line:col diagnostics (or, with --json, one machine-
+// readable JSON document on stdout). Exits 1 when any file has errors
+// (or, with --Werror, warnings).
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -33,7 +35,7 @@ int Usage(const char* argv0) {
       << "usage: " << argv0 << " [options] file.dlog [file2.dlog ...]\n"
       << "\n"
       << "Static analysis for Vadalog-lite programs: safety, stratification,\n"
-      << "wardedness, catalog consistency and lint.\n"
+      << "wardedness, catalog consistency, dataflow and lint.\n"
       << "\n"
       << "options:\n"
       << "  --goal=PRED     require PRED to be derivable; rules that cannot\n"
@@ -41,6 +43,8 @@ int Usage(const char* argv0) {
       << "  --Werror        treat warnings as errors (nonzero exit)\n"
       << "  --closed-world  body predicates that are neither derived nor\n"
       << "                  known system relations become errors\n"
+      << "  --json          machine-readable output: one JSON document with\n"
+      << "                  every diagnostic (stable check ids, file/line/col)\n"
       << "  --quiet         print errors and warnings only, no info notes\n"
       << "  -h, --help      this message\n";
   return 2;
@@ -59,6 +63,58 @@ void Print(const std::string& file, const Diagnostic& d) {
   std::cout << "\n";
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One diagnostic as a JSON object. The schema is part of the tool's
+/// contract (documented in README.md): check ids are stable across
+/// releases, line/col are 1-based and 0 when unknown.
+std::string ToJson(const std::string& file, const Diagnostic& d) {
+  std::string out = "{";
+  out += "\"file\":\"" + JsonEscape(file) + "\"";
+  out += ",\"line\":" + std::to_string(d.pos.known() ? d.pos.line : 0);
+  out += ",\"col\":" + std::to_string(d.pos.known() ? d.pos.col : 0);
+  out += ",\"rule_index\":" + std::to_string(d.rule_index);
+  out += ",\"severity\":\"" + std::string(SeverityName(d.severity)) + "\"";
+  out += ",\"check_id\":\"" + JsonEscape(d.check_id) + "\"";
+  out += ",\"message\":\"" + JsonEscape(d.message) + "\"";
+  if (!d.fix_hint.empty()) {
+    out += ",\"fix_hint\":\"" + JsonEscape(d.fix_hint) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +122,7 @@ int main(int argc, char** argv) {
   options.unknown_predicates = UnknownPredicatePolicy::kIgnore;
   bool warnings_as_errors = false;
   bool quiet = false;
+  bool json = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +136,8 @@ int main(int argc, char** argv) {
       warnings_as_errors = true;
     } else if (arg == "--closed-world") {
       options.unknown_predicates = UnknownPredicatePolicy::kError;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -97,10 +156,14 @@ int main(int argc, char** argv) {
 
   size_t total_errors = 0;
   size_t total_warnings = 0;
+  std::string json_out = "{\"diagnostics\":[";
+  bool json_first = true;
+  std::vector<std::string> unreadable;
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) {
       std::cerr << file << ": cannot open file\n";
+      unreadable.push_back(file);
       ++total_errors;
       continue;
     }
@@ -109,17 +172,33 @@ int main(int argc, char** argv) {
     const AnalysisReport report = analyzer.AnalyzeSource(source.str(), &catalog);
     for (const Diagnostic& d : report.diagnostics) {
       if (quiet && d.severity == Severity::kInfo) continue;
-      Print(file, d);
+      if (json) {
+        if (!json_first) json_out += ",";
+        json_out += ToJson(file, d);
+        json_first = false;
+      } else {
+        Print(file, d);
+      }
     }
     total_errors += report.error_count();
     total_warnings += report.warning_count();
-    if (!quiet && report.ok()) {
+    if (!json && !quiet && report.ok()) {
       std::cout << file << ": ok ("
                 << WardedClassName(report.warded_class) << ")\n";
     }
   }
 
-  if (total_errors > 0 || total_warnings > 0) {
+  if (json) {
+    json_out += "],\"errors\":" + std::to_string(total_errors);
+    json_out += ",\"warnings\":" + std::to_string(total_warnings);
+    json_out += ",\"unreadable_files\":[";
+    for (size_t i = 0; i < unreadable.size(); ++i) {
+      if (i > 0) json_out += ",";
+      json_out += "\"" + JsonEscape(unreadable[i]) + "\"";
+    }
+    json_out += "]}";
+    std::cout << json_out << "\n";
+  } else if (total_errors > 0 || total_warnings > 0) {
     std::cerr << total_errors << " error(s), " << total_warnings
               << " warning(s)\n";
   }
