@@ -1,0 +1,25 @@
+#ifndef VADA_COMMON_CRC32_H_
+#define VADA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vada {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum gzip/zlib
+/// use. Table-driven, byte-at-a-time. Used to frame write-ahead-log
+/// records and to fingerprint checkpoint files so torn or bit-flipped
+/// storage is detected at recovery instead of being replayed as data.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view text) {
+  return Crc32(text.data(), text.size());
+}
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace vada
+
+#endif  // VADA_COMMON_CRC32_H_

@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "unknown";
 }

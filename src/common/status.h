@@ -21,6 +21,8 @@ enum class StatusCode {
   kParseError,
   kDeadlineExceeded,    ///< a cooperative deadline passed before completion
   kResourceExhausted,   ///< an execution budget (steps, wall clock) ran out
+  kDataLoss,            ///< durable state is corrupt or unrecoverable (bad
+                        ///< WAL/checkpoint checksum, torn write, lost file)
 };
 
 /// Returns the canonical lowercase name of `code`, e.g. "invalid_argument".
@@ -68,6 +70,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

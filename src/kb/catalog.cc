@@ -23,7 +23,10 @@ const char* RelationRoleName(RelationRole role) {
 }
 
 void Catalog::SetRole(const std::string& relation_name, RelationRole role) {
+  auto it = roles_.find(relation_name);
+  if (it != roles_.end() && it->second == role) return;
   roles_[relation_name] = role;
+  if (listener_ != nullptr) listener_->OnRoleSet(relation_name, role);
 }
 
 std::optional<RelationRole> Catalog::GetRole(
@@ -34,7 +37,8 @@ std::optional<RelationRole> Catalog::GetRole(
 }
 
 void Catalog::Remove(const std::string& relation_name) {
-  roles_.erase(relation_name);
+  if (roles_.erase(relation_name) == 0) return;
+  if (listener_ != nullptr) listener_->OnRoleRemoved(relation_name);
 }
 
 std::vector<std::string> Catalog::RelationsWithRole(RelationRole role) const {

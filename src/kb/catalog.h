@@ -24,6 +24,19 @@ enum class RelationRole {
 
 const char* RelationRoleName(RelationRole role);
 
+/// Observer of catalog role changes. The durability layer implements
+/// this to write-ahead-log role mutations without touching the many
+/// `kb.catalog().SetRole(...)` call sites. Snapshot()/Restore() — the
+/// WriteGuard rollback path — deliberately bypass the listener: a
+/// rollback is not new history, it un-happens logged history.
+class CatalogListener {
+ public:
+  virtual ~CatalogListener() = default;
+  virtual void OnRoleSet(const std::string& relation_name,
+                         RelationRole role) = 0;
+  virtual void OnRoleRemoved(const std::string& relation_name) = 0;
+};
+
 /// Registry mapping relation names to their wrangling role. Owned by the
 /// KnowledgeBase; separate so it can be inspected/tested in isolation.
 class Catalog {
@@ -31,6 +44,11 @@ class Catalog {
   void SetRole(const std::string& relation_name, RelationRole role);
   std::optional<RelationRole> GetRole(const std::string& relation_name) const;
   void Remove(const std::string& relation_name);
+
+  /// At most one listener; nullptr detaches. Only effective mutations
+  /// notify (SetRole to the current role and Remove of an absent entry
+  /// are silent no-ops).
+  void SetListener(CatalogListener* listener) { listener_ = listener; }
 
   /// Relation names with the given role, sorted.
   std::vector<std::string> RelationsWithRole(RelationRole role) const;
@@ -49,6 +67,7 @@ class Catalog {
 
  private:
   std::map<std::string, RelationRole> roles_;
+  CatalogListener* listener_ = nullptr;  // not owned
 };
 
 }  // namespace vada

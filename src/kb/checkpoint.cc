@@ -1,0 +1,194 @@
+#include "kb/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "kb/fs_util.h"
+#include "kb/persistence.h"
+
+namespace vada {
+
+namespace {
+
+constexpr char kWalPosFile[] = "wal.pos";
+constexpr char kChecksumsFile[] = "checksums";
+
+Status AdmitOrCrash(CrashInjector* crash, const char* what) {
+  if (crash != nullptr && !crash->AdmitOp()) {
+    return Status::DataLoss(std::string("simulated crash during ") + what);
+  }
+  return Status::OK();
+}
+
+std::string WalPosText(const WalPosition& pos) {
+  return "wal-pos\t" + std::to_string(pos.segment) + "\t" +
+         std::to_string(pos.offset) + "\n";
+}
+
+Result<WalPosition> ParseWalPos(const std::string& text) {
+  std::vector<std::string> fields = Split(Trim(text), '\t');
+  if (fields.size() != 3 || fields[0] != "wal-pos" || !IsDigits(fields[1]) ||
+      !IsDigits(fields[2])) {
+    return Status::DataLoss("malformed wal.pos: " + Trim(text));
+  }
+  return WalPosition{std::strtoull(fields[1].c_str(), nullptr, 10),
+                     std::strtoull(fields[2].c_str(), nullptr, 10)};
+}
+
+/// Verifies `directory` against its `checksums` manifest and returns the
+/// verified wal.pos contents. Everything that can be wrong with the
+/// on-disk state maps to kDataLoss so callers can fall back.
+Result<std::string> VerifyCheckpointFiles(const std::string& directory) {
+  Result<std::string> manifest =
+      ReadFileText(directory + "/" + kChecksumsFile);
+  if (!manifest.ok()) {
+    return Status::DataLoss("checkpoint " + directory +
+                            " has no checksums manifest");
+  }
+  std::string wal_pos_text;
+  bool saw_wal_pos = false;
+  for (const std::string& line : Split(manifest.value(), '\n')) {
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 2 || !IsDigits(fields[0])) {
+      return Status::DataLoss("malformed checksums line in " + directory +
+                              ": " + line);
+    }
+    uint32_t want =
+        static_cast<uint32_t>(std::strtoull(fields[0].c_str(), nullptr, 10));
+    Result<std::string> data = ReadFileText(directory + "/" + fields[1]);
+    if (!data.ok()) {
+      return Status::DataLoss("checkpoint file missing: " + directory + "/" +
+                              fields[1]);
+    }
+    if (Crc32(data.value()) != want) {
+      return Status::DataLoss("checkpoint file corrupt (crc mismatch): " +
+                              directory + "/" + fields[1]);
+    }
+    if (fields[1] == kWalPosFile) {
+      saw_wal_pos = true;
+      wal_pos_text = std::move(data).value();
+    }
+  }
+  if (!saw_wal_pos) {
+    return Status::DataLoss("checkpoint " + directory + " lacks wal.pos");
+  }
+  return wal_pos_text;
+}
+
+}  // namespace
+
+std::string CheckpointDirName(uint64_t id) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%010" PRIu64, id);
+  return buf;
+}
+
+std::vector<uint64_t> ListCheckpoints(const std::string& root) {
+  std::vector<uint64_t> ids;
+  for (const std::string& name : ListDirectory(root)) {
+    if (!StartsWith(name, "checkpoint-") || EndsWith(name, ".tmp")) continue;
+    std::string digits = name.substr(11);
+    if (digits.empty() || !IsDigits(digits)) continue;
+    ids.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Result<CheckpointInfo> WriteCheckpoint(const KnowledgeBase& kb,
+                                       const std::string& root, uint64_t id,
+                                       WalPosition wal_start,
+                                       CrashInjector* crash) {
+  const std::string final_dir = root + "/" + CheckpointDirName(id);
+  const std::string tmp_dir = final_dir + ".tmp";
+  if (PathExists(final_dir)) {
+    return Status::AlreadyExists("checkpoint already exists: " + final_dir);
+  }
+  VADA_RETURN_IF_ERROR(RemoveRecursively(tmp_dir));
+
+  VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint image write"));
+  VADA_RETURN_IF_ERROR(SaveKnowledgeBase(kb, tmp_dir));
+  VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint wal.pos write"));
+  VADA_RETURN_IF_ERROR(
+      WriteFileText(tmp_dir + "/" + kWalPosFile, WalPosText(wal_start)));
+
+  // CRC every file written so far, then the manifest itself (unchecked —
+  // a torn manifest simply fails to parse, which is also kDataLoss).
+  std::string checksums;
+  for (const std::string& name : ListDirectory(tmp_dir)) {
+    if (name == kChecksumsFile) continue;
+    Result<std::string> data = ReadFileText(tmp_dir + "/" + name);
+    if (!data.ok()) return data.status();
+    checksums +=
+        std::to_string(Crc32(data.value())) + "\t" + name + "\n";
+  }
+  VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint checksums write"));
+  VADA_RETURN_IF_ERROR(
+      WriteFileText(tmp_dir + "/" + kChecksumsFile, checksums));
+
+  // Make the staged files durable, then publish with one atomic rename
+  // and make the rename itself durable.
+  for (const std::string& name : ListDirectory(tmp_dir)) {
+    VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint fsync"));
+    VADA_RETURN_IF_ERROR(SyncPath(tmp_dir + "/" + name));
+  }
+  VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint fsync"));
+  VADA_RETURN_IF_ERROR(SyncPath(tmp_dir));
+  VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint rename"));
+  VADA_RETURN_IF_ERROR(RenamePath(tmp_dir, final_dir));
+  VADA_RETURN_IF_ERROR(AdmitOrCrash(crash, "checkpoint root fsync"));
+  VADA_RETURN_IF_ERROR(SyncPath(root));
+
+  return CheckpointInfo{id, final_dir, wal_start};
+}
+
+Result<CheckpointInfo> ReadCheckpointInfo(const std::string& root,
+                                          uint64_t id) {
+  const std::string directory = root + "/" + CheckpointDirName(id);
+  Result<std::string> wal_pos_text = VerifyCheckpointFiles(directory);
+  if (!wal_pos_text.ok()) return wal_pos_text.status();
+  Result<WalPosition> pos = ParseWalPos(wal_pos_text.value());
+  if (!pos.ok()) return pos.status();
+  return CheckpointInfo{id, directory, pos.value()};
+}
+
+Result<KnowledgeBase> LoadCheckpoint(const std::string& root, uint64_t id) {
+  const std::string directory = root + "/" + CheckpointDirName(id);
+  Result<std::string> wal_pos_text = VerifyCheckpointFiles(directory);
+  if (!wal_pos_text.ok()) return wal_pos_text.status();
+  Result<KnowledgeBase> kb = LoadKnowledgeBase(directory);
+  if (!kb.ok()) {
+    // The files passed their CRCs but still failed to parse — corrupt
+    // by this build's reckoning either way.
+    return Status::DataLoss("checkpoint " + directory +
+                            " unloadable: " + kb.status().message());
+  }
+  return kb;
+}
+
+Status RemoveCheckpoint(const std::string& root, uint64_t id) {
+  return RemoveRecursively(root + "/" + CheckpointDirName(id));
+}
+
+Status RemoveStaleCheckpointTmp(const std::string& root) {
+  for (const std::string& name : ListDirectory(root)) {
+    if (StartsWith(name, "checkpoint-") && EndsWith(name, ".tmp")) {
+      VADA_RETURN_IF_ERROR(RemoveRecursively(root + "/" + name));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t CheckpointBytes(const std::string& root, uint64_t id) {
+  const std::string directory = root + "/" + CheckpointDirName(id);
+  uint64_t total = 0;
+  for (const std::string& name : ListDirectory(directory)) {
+    total += FileSizeBytes(directory + "/" + name);
+  }
+  return total;
+}
+
+}  // namespace vada

@@ -1,0 +1,71 @@
+#ifndef VADA_KB_CHECKPOINT_H_
+#define VADA_KB_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+#include "kb/wal.h"
+
+namespace vada {
+
+/// Atomic knowledge-base checkpoints (DESIGN.md §5i), layered on the
+/// SaveKnowledgeBase directory format. A checkpoint is a directory
+/// `checkpoint-<id>` under the durability root containing
+///
+///   manifest.tsv, <relation>.csv   the persistence-format KB image
+///   wal.pos                        WAL position replay resumes from
+///   checksums                      crc32 of every other file
+///
+/// written via a `.tmp` staging directory, fsync'd, and renamed into
+/// place — so a checkpoint either exists completely and verifiably or
+/// not at all. A crash mid-checkpoint leaves only a `.tmp` directory,
+/// which recovery ignores and the next checkpoint sweeps away. The
+/// per-file CRCs catch silent corruption (bit flips) at load time, so
+/// recovery can fall back to an older retained checkpoint with
+/// kDataLoss precision instead of loading garbage.
+
+/// One on-disk checkpoint.
+struct CheckpointInfo {
+  uint64_t id = 0;
+  std::string directory;  ///< full path of the checkpoint directory
+  WalPosition wal_start;  ///< replay the WAL from here (inclusive)
+};
+
+/// Name of the (final) directory of checkpoint `id` under the root.
+std::string CheckpointDirName(uint64_t id);
+
+/// Sorted ids of the complete (non-.tmp) checkpoints under `root`.
+std::vector<uint64_t> ListCheckpoints(const std::string& root);
+
+/// Writes checkpoint `id` of `kb` under `root` atomically. `wal_start`
+/// is the log position already rotated to for post-checkpoint traffic.
+/// `crash` (tests only) simulates dying between protocol steps.
+Result<CheckpointInfo> WriteCheckpoint(const KnowledgeBase& kb,
+                                       const std::string& root, uint64_t id,
+                                       WalPosition wal_start,
+                                       CrashInjector* crash = nullptr);
+
+/// Reads checkpoint `id`'s metadata (wal.pos), verifying its checksum.
+Result<CheckpointInfo> ReadCheckpointInfo(const std::string& root,
+                                          uint64_t id);
+
+/// Loads checkpoint `id` after verifying every file against the
+/// `checksums` manifest; kDataLoss on any mismatch, missing file, or
+/// missing/invalid manifest.
+Result<KnowledgeBase> LoadCheckpoint(const std::string& root, uint64_t id);
+
+/// Deletes checkpoint `id` (no-op when absent).
+Status RemoveCheckpoint(const std::string& root, uint64_t id);
+
+/// Deletes every leftover `checkpoint-*.tmp` staging directory.
+Status RemoveStaleCheckpointTmp(const std::string& root);
+
+/// Total bytes across the files of checkpoint `id` (0 when absent).
+uint64_t CheckpointBytes(const std::string& root, uint64_t id);
+
+}  // namespace vada
+
+#endif  // VADA_KB_CHECKPOINT_H_

@@ -1,0 +1,441 @@
+#include "kb/durability.h"
+
+#include <chrono>
+
+#include "kb/checkpoint.h"
+#include "kb/fs_util.h"
+#include "kb/write_guard.h"
+#include "obs/metrics.h"
+
+namespace vada {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status ApplyWalRecord(KnowledgeBase* kb, const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      return Status::OK();  // handled by the replay driver
+    case WalRecordType::kCreateRelation:
+      return kb->CreateRelation(record.schema);
+    case WalRecordType::kInsert:
+      return kb->Insert(record.relation, record.tuple);
+    case WalRecordType::kRetract:
+      return kb->Retract(record.relation, record.tuple);
+    case WalRecordType::kClear:
+      return kb->ClearRelation(record.relation);
+    case WalRecordType::kDrop:
+      return kb->DropRelation(record.relation);
+    case WalRecordType::kCatalogRole:
+      if (record.role_removed) {
+        kb->catalog().Remove(record.relation);
+      } else {
+        kb->catalog().SetRole(record.relation, record.role);
+      }
+      return Status::OK();
+  }
+  return Status::DataLoss("unknown WAL record type in replay");
+}
+
+}  // namespace
+
+std::string RecoveryStats::ToString() const {
+  if (!recovered) return "fresh (no durable state found)";
+  std::string out = "recovered from ";
+  out += checkpoint_id != 0
+             ? "checkpoint " + std::to_string(checkpoint_id)
+             : "WAL only";
+  if (checkpoint_fallback) out += " (newest checkpoint corrupt, fell back)";
+  out += ": " + std::to_string(replayed_records) + " records / " +
+         std::to_string(replayed_commits) + " commits replayed";
+  if (discarded_records > 0) {
+    out += ", " + std::to_string(discarded_records) +
+           " uncommitted trailing records discarded";
+  }
+  if (torn_tail) out += ", torn tail truncated (" + torn_reason + ")";
+  return out;
+}
+
+DurabilityManager::DurabilityManager(const DurabilityOptions& options,
+                                     KnowledgeBase* kb)
+    : options_(options), kb_(kb) {}
+
+DurabilityManager::~DurabilityManager() {
+  if (kb_ != nullptr) {
+    kb_->AttachDurability(nullptr);
+    kb_->catalog().SetListener(nullptr);
+  }
+}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    const DurabilityOptions& options, KnowledgeBase* kb,
+    obs::MetricsRegistry* metrics) {
+  double t0 = NowSeconds();
+  VADA_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  VADA_RETURN_IF_ERROR(RemoveStaleCheckpointTmp(options.directory));
+
+  std::unique_ptr<DurabilityManager> mgr(
+      new DurabilityManager(options, kb));
+
+  // Newest verifiable checkpoint wins; a corrupt one falls back to the
+  // next-older retained checkpoint rather than failing recovery.
+  std::vector<uint64_t> checkpoint_ids = ListCheckpoints(options.directory);
+  WalPosition replay_from;
+  bool have_checkpoint = false;
+  for (size_t i = checkpoint_ids.size(); i-- > 0;) {
+    uint64_t id = checkpoint_ids[i];
+    Result<CheckpointInfo> info = ReadCheckpointInfo(options.directory, id);
+    Result<KnowledgeBase> loaded =
+        info.ok() ? LoadCheckpoint(options.directory, id)
+                  : Result<KnowledgeBase>(info.status());
+    if (!loaded.ok()) {
+      if (loaded.status().code() == StatusCode::kDataLoss) {
+        mgr->recovery_.checkpoint_fallback = true;
+        continue;
+      }
+      return loaded.status();
+    }
+    *kb = std::move(loaded).value();
+    replay_from = info.value().wal_start;
+    mgr->recovery_.checkpoint_id = id;
+    mgr->last_checkpoint_id_ = id;
+    have_checkpoint = true;
+    break;
+  }
+  if (!have_checkpoint && !checkpoint_ids.empty()) {
+    return Status::DataLoss(
+        "every retained checkpoint in " + options.directory +
+        " failed verification; durable state is unrecoverable");
+  }
+  if (!have_checkpoint) {
+    mgr->recovery_.checkpoint_fallback = false;
+    std::vector<uint64_t> segments = ListWalSegments(options.directory);
+    replay_from = {segments.empty() ? 1 : segments.front(), 0};
+  }
+
+  // Replay: committed work is applied; a trailing transaction with no
+  // commit record — interrupted mid-flight — rolls back through the
+  // same WriteGuard machinery that rolled back live failures.
+  std::unique_ptr<WriteGuard> open_txn;
+  uint64_t open_txn_id = 0;
+  uint64_t open_txn_records = 0;
+  // Position after the last record that completed a commit boundary —
+  // where the log must physically end before we append again, so a
+  // discarded trailing transaction can never resurface on a later
+  // replay as an open transaction swallowing standalone records.
+  WalPosition last_committed = replay_from;
+  WalReadStats scan;
+  Status replay_status = ScanWal(
+      options.directory, replay_from,
+      [&](const WalRecord& record, const WalPosition& pos) -> Status {
+        ++mgr->recovery_.replayed_records;
+        if (record.type == WalRecordType::kTxnBegin) {
+          if (open_txn != nullptr) {
+            return Status::DataLoss("nested txn_begin in WAL");
+          }
+          open_txn = std::make_unique<WriteGuard>(kb);
+          open_txn_id = record.txn_id;
+          open_txn_records = 0;
+          return Status::OK();
+        }
+        if (record.txn_id != 0) {
+          if (open_txn == nullptr || record.txn_id != open_txn_id) {
+            return Status::DataLoss("WAL record for unknown transaction " +
+                                    std::to_string(record.txn_id));
+          }
+          if (record.type == WalRecordType::kCommit) {
+            open_txn->Commit();
+            open_txn.reset();
+            ++mgr->recovery_.replayed_commits;
+            last_committed = pos;
+            return Status::OK();
+          }
+          if (record.type == WalRecordType::kAbort) {
+            open_txn->Rollback();
+            open_txn.reset();
+            last_committed = pos;
+            return Status::OK();
+          }
+          ++open_txn_records;
+          return ApplyWalRecord(kb, record);
+        }
+        if (open_txn != nullptr) {
+          return Status::DataLoss(
+              "standalone WAL record inside open transaction");
+        }
+        ++mgr->recovery_.replayed_commits;
+        VADA_RETURN_IF_ERROR(ApplyWalRecord(kb, record));
+        last_committed = pos;
+        return Status::OK();
+      },
+      &scan);
+  if (!replay_status.ok()) {
+    // A record that passed its CRC but does not apply cleanly means the
+    // log and checkpoint disagree — surface as data loss, not a replay
+    // of garbage.
+    if (open_txn != nullptr) open_txn->Rollback();
+    return replay_status.code() == StatusCode::kDataLoss
+               ? replay_status
+               : Status::DataLoss("WAL replay failed: " +
+                                  replay_status.message());
+  }
+  if (open_txn != nullptr) {
+    open_txn->Rollback();
+    open_txn.reset();
+    mgr->recovery_.discarded_records = open_txn_records + 1;  // + txn_begin
+    mgr->recovery_.replayed_records -= mgr->recovery_.discarded_records;
+  }
+  mgr->recovery_.torn_tail = scan.torn_tail;
+  mgr->recovery_.torn_reason = scan.torn_reason;
+  mgr->recovery_.recovered = have_checkpoint || scan.records > 0;
+
+  // Drop the torn tail AND any discarded trailing-transaction records
+  // so the next scan ends cleanly at the last commit boundary, then
+  // append to a fresh segment (never into a file a dying process
+  // half-wrote).
+  WalReadStats repaired = scan;
+  repaired.end = last_committed;
+  VADA_RETURN_IF_ERROR(TruncateWalAfter(options.directory, repaired));
+  std::vector<uint64_t> segments = ListWalSegments(options.directory);
+  uint64_t first_segment =
+      !segments.empty() ? segments.back() + 1
+      : have_checkpoint ? replay_from.segment + 1
+                        : 1;
+
+  WalOptions wal_options;
+  wal_options.directory = options.directory;
+  wal_options.fsync = options.fsync;
+  wal_options.fsync_interval_ms = options.fsync_interval_ms;
+  wal_options.segment_bytes = options.segment_bytes;
+  wal_options.crash = options.crash;
+  Result<std::unique_ptr<WalWriter>> writer =
+      WalWriter::Open(std::move(wal_options), first_segment);
+  if (!writer.ok()) return writer.status();
+  mgr->wal_ = std::move(writer).value();
+  mgr->appended_at_last_checkpoint_ = 0;
+
+  mgr->recovery_.seconds = NowSeconds() - t0;
+  if (metrics != nullptr) {
+    // Register the full §5b family set up front so a metrics snapshot
+    // names them even before the first checkpoint or fsync.
+    mgr->wal_->SetMetrics(
+        metrics->GetCounter("vada_wal_records_total",
+                            "WAL records appended"),
+        metrics->GetCounter("vada_wal_bytes_total",
+                            "WAL bytes appended (frame headers included)"),
+        metrics->GetHistogram("vada_wal_fsync_seconds",
+                              "WAL fsync latency",
+                              obs::Histogram::DefaultLatencyBucketsSeconds()));
+    mgr->checkpoint_seconds_ = metrics->GetHistogram(
+        "vada_checkpoint_seconds", "KB checkpoint wall time",
+        obs::Histogram::DefaultLatencyBucketsSeconds());
+    metrics
+        ->GetHistogram("vada_recovery_seconds",
+                       "durable-state recovery wall time at session open",
+                       obs::Histogram::DefaultLatencyBucketsSeconds())
+        ->Observe(mgr->recovery_.seconds);
+    mgr->wal_live_bytes_gauge_ = metrics->GetGauge(
+        "vada_wal_live_bytes", "bytes across live WAL segments");
+    mgr->checkpoint_bytes_gauge_ = metrics->GetGauge(
+        "vada_checkpoint_bytes", "bytes in the newest retained checkpoint");
+    mgr->PublishGauges();
+  }
+
+  kb->AttachDurability(mgr.get());
+  kb->catalog().SetListener(mgr.get());
+  return mgr;
+}
+
+void DurabilityManager::Log(WalRecord record) {
+  if (!status_.ok() || wal_ == nullptr) return;
+  record.txn_id = txn_id_;
+  if (txn_id_ != 0 && !txn_began_) {
+    // Lazy transaction begin: read-only guards never reach the log.
+    WalRecord begin;
+    begin.type = WalRecordType::kTxnBegin;
+    begin.txn_id = txn_id_;
+    status_ = wal_->Append(begin);
+    if (!status_.ok()) return;
+    txn_began_ = true;
+  }
+  status_ = wal_->Append(record);
+  if (status_.ok() && txn_id_ == 0) MaybeAutoCheckpoint();
+}
+
+void DurabilityManager::LogCreateRelation(const Schema& schema) {
+  WalRecord record;
+  record.type = WalRecordType::kCreateRelation;
+  record.schema = schema;
+  Log(std::move(record));
+}
+
+void DurabilityManager::LogInsert(const std::string& relation,
+                                  const Tuple& tuple) {
+  WalRecord record;
+  record.type = WalRecordType::kInsert;
+  record.relation = relation;
+  record.tuple = tuple;
+  Log(std::move(record));
+}
+
+void DurabilityManager::LogRetract(const std::string& relation,
+                                   const Tuple& tuple) {
+  WalRecord record;
+  record.type = WalRecordType::kRetract;
+  record.relation = relation;
+  record.tuple = tuple;
+  Log(std::move(record));
+}
+
+void DurabilityManager::LogClear(const std::string& relation) {
+  WalRecord record;
+  record.type = WalRecordType::kClear;
+  record.relation = relation;
+  Log(std::move(record));
+}
+
+void DurabilityManager::LogDrop(const std::string& relation) {
+  WalRecord record;
+  record.type = WalRecordType::kDrop;
+  record.relation = relation;
+  Log(std::move(record));
+}
+
+void DurabilityManager::OnRoleSet(const std::string& relation_name,
+                                  RelationRole role) {
+  WalRecord record;
+  record.type = WalRecordType::kCatalogRole;
+  record.relation = relation_name;
+  record.role = role;
+  Log(std::move(record));
+}
+
+void DurabilityManager::OnRoleRemoved(const std::string& relation_name) {
+  WalRecord record;
+  record.type = WalRecordType::kCatalogRole;
+  record.relation = relation_name;
+  record.role_removed = true;
+  Log(std::move(record));
+}
+
+void DurabilityManager::OnTxnBegin() {
+  txn_id_ = next_txn_id_++;
+  txn_began_ = false;
+}
+
+void DurabilityManager::OnTxnCommit() {
+  uint64_t id = txn_id_;
+  bool began = txn_began_;
+  txn_id_ = 0;
+  txn_began_ = false;
+  if (!began || !status_.ok() || wal_ == nullptr) return;
+  WalRecord record;
+  record.type = WalRecordType::kCommit;
+  record.txn_id = id;
+  status_ = wal_->Append(record);  // fsync policy applies inside
+  if (status_.ok()) MaybeAutoCheckpoint();
+}
+
+void DurabilityManager::OnTxnAbort() {
+  uint64_t id = txn_id_;
+  bool began = txn_began_;
+  txn_id_ = 0;
+  txn_began_ = false;
+  if (!began || !status_.ok() || wal_ == nullptr) return;
+  WalRecord record;
+  record.type = WalRecordType::kAbort;
+  record.txn_id = id;
+  status_ = wal_->Append(record);
+}
+
+Status DurabilityManager::Sync() {
+  VADA_RETURN_IF_ERROR(status_);
+  status_ = wal_->Sync();
+  return status_;
+}
+
+void DurabilityManager::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_every_bytes == 0) return;
+  if (wal_->appended_bytes() - appended_at_last_checkpoint_ <
+      options_.checkpoint_every_bytes) {
+    return;
+  }
+  status_ = Checkpoint();
+}
+
+Status DurabilityManager::Checkpoint() {
+  VADA_RETURN_IF_ERROR(status_);
+  if (kb_->HasActiveGuard()) {
+    // Not poisoning: the caller simply has to retry outside the guard.
+    return Status::FailedPrecondition(
+        "cannot checkpoint while a WriteGuard is active");
+  }
+  double t0 = NowSeconds();
+
+  // Rotate first: the checkpoint's replay position is then a clean
+  // segment boundary, and truncation later works on whole segments.
+  Result<WalPosition> rotated = wal_->Rotate();
+  if (!rotated.ok()) {
+    status_ = rotated.status();
+    return status_;
+  }
+  uint64_t id = last_checkpoint_id_ + 1;
+  Result<CheckpointInfo> written = WriteCheckpoint(
+      *kb_, options_.directory, id, rotated.value(), options_.crash);
+  if (!written.ok()) {
+    status_ = written.status();
+    return status_;
+  }
+  last_checkpoint_id_ = id;
+  appended_at_last_checkpoint_ = wal_->appended_bytes();
+
+  // Prune checkpoints beyond the retention window, then drop the WAL
+  // segments that only pre-date the oldest checkpoint we still keep.
+  std::vector<uint64_t> ids = ListCheckpoints(options_.directory);
+  size_t keep = options_.checkpoints_to_keep < 1
+                    ? 1
+                    : static_cast<size_t>(options_.checkpoints_to_keep);
+  while (ids.size() > keep) {
+    Status removed = RemoveCheckpoint(options_.directory, ids.front());
+    if (!removed.ok()) {
+      status_ = removed;
+      return status_;
+    }
+    ids.erase(ids.begin());
+  }
+  Result<CheckpointInfo> oldest =
+      ReadCheckpointInfo(options_.directory, ids.front());
+  if (oldest.ok()) {
+    Status truncated =
+        wal_->DeleteSegmentsBefore(oldest.value().wal_start.segment);
+    if (!truncated.ok()) {
+      status_ = truncated;
+      return status_;
+    }
+  }
+
+  if (checkpoint_seconds_ != nullptr) {
+    checkpoint_seconds_->Observe(NowSeconds() - t0);
+  }
+  PublishGauges();
+  return Status::OK();
+}
+
+void DurabilityManager::PublishGauges() {
+  if (wal_live_bytes_gauge_ != nullptr && wal_ != nullptr) {
+    wal_live_bytes_gauge_->Set(static_cast<int64_t>(wal_->live_bytes()));
+  }
+  if (checkpoint_bytes_gauge_ != nullptr && last_checkpoint_id_ != 0) {
+    checkpoint_bytes_gauge_->Set(static_cast<int64_t>(
+        CheckpointBytes(options_.directory, last_checkpoint_id_)));
+  }
+}
+
+}  // namespace vada

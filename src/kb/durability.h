@@ -1,0 +1,153 @@
+#ifndef VADA_KB_DURABILITY_H_
+#define VADA_KB_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "kb/knowledge_base.h"
+#include "kb/wal.h"
+
+namespace vada::obs {
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace vada::obs
+
+namespace vada {
+
+/// Configuration of the KB durability subsystem (DESIGN.md §5i).
+struct DurabilityOptions {
+  /// Master switch; when false the session never opens a WAL and the
+  /// commit path is byte-for-byte the in-memory one.
+  bool enabled = false;
+  /// Root directory for WAL segments and checkpoints. Created if absent.
+  std::string directory;
+  FsyncPolicy fsync = FsyncPolicy::kEveryCommit;
+  double fsync_interval_ms = 50.0;  ///< FsyncPolicy::kInterval only
+  size_t segment_bytes = 4u << 20;     ///< WAL segment rotation threshold
+  /// Take an automatic checkpoint once this many WAL bytes accumulate
+  /// past the previous checkpoint; 0 = only explicit Checkpoint() calls.
+  uint64_t checkpoint_every_bytes = 0;
+  /// Checkpoints retained on disk. Keeping >= 2 lets recovery fall back
+  /// when the newest checkpoint is corrupt (bit flip, torn rename).
+  int checkpoints_to_keep = 2;
+  CrashInjector* crash = nullptr;  ///< tests only; simulated kill points
+};
+
+/// What DurabilityManager::Open found and did.
+struct RecoveryStats {
+  bool recovered = false;        ///< pre-existing durable state was found
+  uint64_t checkpoint_id = 0;    ///< checkpoint loaded (0 = none)
+  bool checkpoint_fallback = false;  ///< newest checkpoint corrupt, older used
+  uint64_t replayed_records = 0;     ///< WAL records applied
+  uint64_t replayed_commits = 0;     ///< commit boundaries replayed
+  uint64_t discarded_records = 0;    ///< trailing uncommitted txn records
+  bool torn_tail = false;            ///< WAL ended in an invalid frame
+  std::string torn_reason;
+  double seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Ties the WAL and checkpoints to one KnowledgeBase: Open() recovers
+/// durable state into the KB, then attaches to it so every effective
+/// mutation is logged (records are written *after* the in-memory
+/// mutation succeeded, so no-op mutations never reach the log and
+/// replaying the log reproduces the KB exactly). WriteGuard commit /
+/// rollback boundaries become WAL transaction boundaries via the
+/// OnTxn* hooks; mutations outside any guard are logged as standalone
+/// auto-committed records (txn id 0).
+///
+/// IO failures (and simulated crashes) are sticky: the first failing
+/// append poisons the manager, later mutations are not logged, and
+/// status() reports the original error — the in-memory KB stays usable,
+/// but the caller must treat the durable trail as ended.
+class DurabilityManager : public CatalogListener {
+ public:
+  /// Recovers from `options.directory` (latest valid checkpoint, then
+  /// WAL replay, discarding a torn tail and any trailing uncommitted
+  /// transaction) into `*kb`, which must be freshly constructed, then
+  /// attaches. On success the KB equals some committed prefix of the
+  /// pre-crash history. Returns kDataLoss when every retained
+  /// checkpoint fails verification. `metrics` (optional) registers the
+  /// vada_wal_* / vada_checkpoint_* / vada_recovery_* families.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const DurabilityOptions& options, KnowledgeBase* kb,
+      obs::MetricsRegistry* metrics = nullptr);
+
+  ~DurabilityManager() override;
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  const RecoveryStats& recovery() const { return recovery_; }
+
+  /// Sticky durability health: OK until the first logging/checkpoint
+  /// failure, that failure's status afterwards.
+  Status status() const { return status_; }
+
+  /// Takes a checkpoint now: rotates the WAL, writes an atomic
+  /// checkpoint at the rotation point, prunes checkpoints beyond
+  /// `checkpoints_to_keep` and deletes WAL segments the oldest kept
+  /// checkpoint no longer needs. Fails (without poisoning) when a
+  /// WriteGuard is active.
+  Status Checkpoint();
+
+  /// Forces an fsync of the current WAL segment regardless of policy.
+  Status Sync();
+
+  /// Refreshes the vada_wal_live_bytes / vada_checkpoint_bytes gauges.
+  void PublishGauges();
+
+  uint64_t last_checkpoint_id() const { return last_checkpoint_id_; }
+  const WalWriter* wal() const { return wal_.get(); }
+
+  /// KB hooks — called by KnowledgeBase right after an effective
+  /// mutation (no-ops never log). Not part of the public API surface.
+  void LogCreateRelation(const Schema& schema);
+  void LogInsert(const std::string& relation, const Tuple& tuple);
+  void LogRetract(const std::string& relation, const Tuple& tuple);
+  void LogClear(const std::string& relation);
+  void LogDrop(const std::string& relation);
+
+  /// CatalogListener — role changes are logged like any other mutation.
+  void OnRoleSet(const std::string& relation_name,
+                 RelationRole role) override;
+  void OnRoleRemoved(const std::string& relation_name) override;
+
+  /// WriteGuard hooks. Begin is lazy: kTxnBegin is only written when
+  /// the transaction logs its first record, so read-only guards leave
+  /// no trace. Commit of a record-less transaction writes nothing.
+  void OnTxnBegin();
+  void OnTxnCommit();
+  void OnTxnAbort();
+
+ private:
+  DurabilityManager(const DurabilityOptions& options, KnowledgeBase* kb);
+
+  void Log(WalRecord record);
+  void MaybeAutoCheckpoint();
+
+  DurabilityOptions options_;
+  KnowledgeBase* kb_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryStats recovery_;
+  Status status_;
+
+  uint64_t next_txn_id_ = 1;
+  uint64_t txn_id_ = 0;      ///< active guard's txn id; 0 = no guard
+  bool txn_began_ = false;   ///< kTxnBegin written for txn_id_
+
+  uint64_t last_checkpoint_id_ = 0;
+  uint64_t appended_at_last_checkpoint_ = 0;
+
+  obs::Histogram* checkpoint_seconds_ = nullptr;
+  obs::Gauge* wal_live_bytes_gauge_ = nullptr;
+  obs::Gauge* checkpoint_bytes_gauge_ = nullptr;
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_DURABILITY_H_

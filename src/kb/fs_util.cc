@@ -1,0 +1,124 @@
+#include "kb/fs_util.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace vada {
+
+Result<std::string> ReadFileText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string text;
+  char buf[1 << 14];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+Status WriteFileText(const std::string& path, const std::string& text,
+                     bool sync) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot write " + path);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  if (written == text.size() && std::fflush(f) != 0) written = 0;
+  if (written == text.size() && sync && ::fsync(::fileno(f)) != 0) {
+    written = 0;
+  }
+  std::fclose(f);
+  if (written != text.size()) return Status::Internal("short write " + path);
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create directory " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+uint64_t FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<uint64_t>(st.st_size);
+}
+
+std::vector<std::string> ListDirectory(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveRecursively(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    return errno == ENOENT
+               ? Status::OK()
+               : Status::Internal("cannot stat " + path + ": " +
+                                  std::strerror(errno));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    for (const std::string& name : ListDirectory(path)) {
+      VADA_RETURN_IF_ERROR(RemoveRecursively(path + "/" + name));
+    }
+    if (::rmdir(path.c_str()) != 0) {
+      return Status::Internal("cannot rmdir " + path + ": " +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+  if (::unlink(path.c_str()) != 0) {
+    return Status::Internal("cannot unlink " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open for fsync " + path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed on " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status RenamePath(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("cannot rename " + from + " -> " + to + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace vada

@@ -1,0 +1,49 @@
+#ifndef VADA_KB_FS_UTIL_H_
+#define VADA_KB_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vada {
+
+/// Small POSIX filesystem helpers shared by the KB persistence stack
+/// (persistence.cc, wal.cc, checkpoint.cc). All paths are plain
+/// std::string; errors carry the failing path in the message.
+
+/// Whole-file read; kNotFound when the file cannot be opened.
+Result<std::string> ReadFileText(const std::string& path);
+
+/// Whole-file write (truncating). With `sync`, fsyncs before closing so
+/// the bytes survive a crash once the call returns.
+Status WriteFileText(const std::string& path, const std::string& text,
+                     bool sync = false);
+
+/// mkdir -p for one level (parent must exist); EEXIST is success.
+Status EnsureDirectory(const std::string& path);
+
+bool PathExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+
+/// Size in bytes; 0 when the file does not exist.
+uint64_t FileSizeBytes(const std::string& path);
+
+/// Entry names (not paths) of a directory, sorted; "." and ".." omitted.
+/// Empty when the directory cannot be read.
+std::vector<std::string> ListDirectory(const std::string& path);
+
+/// rm -rf. Succeeds when the path does not exist.
+Status RemoveRecursively(const std::string& path);
+
+/// fsync on a file or directory (directory fsync makes renames/creates
+/// inside it durable). kNotFound when the path cannot be opened.
+Status SyncPath(const std::string& path);
+
+/// rename(2) wrapper with path-carrying error message.
+Status RenamePath(const std::string& from, const std::string& to);
+
+}  // namespace vada
+
+#endif  // VADA_KB_FS_UTIL_H_

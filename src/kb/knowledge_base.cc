@@ -1,5 +1,6 @@
 #include "kb/knowledge_base.h"
 
+#include "kb/durability.h"
 #include "kb/write_guard.h"
 
 namespace vada {
@@ -26,8 +27,11 @@ Status KnowledgeBase::CreateRelation(Schema schema) {
     return Status::AlreadyExists("relation " + name + " already exists");
   }
   WillMutate(name);
-  relations_.emplace(name, Relation(std::move(schema)));
+  auto emplaced = relations_.emplace(name, Relation(std::move(schema)));
   Bump(name);
+  if (durability_ != nullptr) {
+    durability_->LogCreateRelation(emplaced.first->second.schema());
+  }
   return Status::OK();
 }
 
@@ -68,11 +72,15 @@ Status KnowledgeBase::Insert(const std::string& relation_name, Tuple tuple) {
                             " not in knowledge base");
   }
   WillMutate(relation_name);
+  // The insert consumes `tuple`; keep a copy only when it must be logged.
+  Tuple logged;
+  if (durability_ != nullptr) logged = tuple;
   bool added = false;
   VADA_RETURN_IF_ERROR(it->second.Insert(std::move(tuple), &added));
   if (added) {
     ++facts_added_;
     Bump(relation_name);
+    if (durability_ != nullptr) durability_->LogInsert(relation_name, logged);
   }
   return Status::OK();
 }
@@ -90,7 +98,10 @@ Status KnowledgeBase::InsertAll(const Relation& relation) {
   for (const Tuple& row : relation.rows()) {
     bool added = false;
     VADA_RETURN_IF_ERROR(it->second.Insert(row, &added));
-    if (added) ++facts_added_;
+    if (added) {
+      ++facts_added_;
+      if (durability_ != nullptr) durability_->LogInsert(relation.name(), row);
+    }
     any = any || added;
   }
   if (any) Bump(relation.name());
@@ -108,6 +119,7 @@ Status KnowledgeBase::Retract(const std::string& relation_name,
   if (it->second.Erase(tuple)) {
     ++facts_removed_;
     Bump(relation_name);
+    if (durability_ != nullptr) durability_->LogRetract(relation_name, tuple);
   }
   return Status::OK();
 }
@@ -123,6 +135,7 @@ Status KnowledgeBase::ClearRelation(const std::string& relation_name) {
     facts_removed_ += it->second.size();
     it->second.Clear();
     Bump(relation_name);
+    if (durability_ != nullptr) durability_->LogClear(relation_name);
   }
   return Status::OK();
 }
@@ -136,8 +149,11 @@ Status KnowledgeBase::DropRelation(const std::string& name) {
   facts_removed_ += it->second.size();
   relations_.erase(it);
   versions_.erase(name);
+  // Catalog.Remove notifies the durability listener itself (a
+  // kCatalogRole tombstone), then the drop record follows it.
   catalog_.Remove(name);
   ++global_version_;
+  if (durability_ != nullptr) durability_->LogDrop(name);
   return Status::OK();
 }
 
@@ -155,6 +171,15 @@ Status KnowledgeBase::ReplaceRelation(const Relation& relation) {
   facts_added_ += relation.size();
   it->second = relation;
   Bump(relation.name());
+  if (durability_ != nullptr) {
+    // Logical form of a replace: clear, then the new row set. The
+    // relation's creation (when it was absent) was logged above by
+    // CreateRelation.
+    durability_->LogClear(relation.name());
+    for (const Tuple& row : relation.rows()) {
+      durability_->LogInsert(relation.name(), row);
+    }
+  }
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 
 namespace vada {
 
+class DurabilityManager;
 class WriteGuard;
 
 /// The VADA Knowledge Base (paper §2): the repository for all data of
@@ -107,6 +108,15 @@ class KnowledgeBase {
   /// snapshotted for possible rollback).
   bool HasActiveGuard() const { return guard_ != nullptr; }
 
+  /// Attaches (nullptr: detaches) the durability manager that write-ahead
+  /// logs this KB's mutations (kb/durability.h). Not owned; the manager
+  /// detaches itself on destruction. Effective mutations notify it right
+  /// after they succeed, so the log holds exactly the applied changes.
+  void AttachDurability(DurabilityManager* durability) {
+    durability_ = durability;
+  }
+  DurabilityManager* durability() const { return durability_; }
+
  private:
   friend class WriteGuard;
 
@@ -124,6 +134,7 @@ class KnowledgeBase {
   uint64_t facts_removed_ = 0;
   Catalog catalog_;
   WriteGuard* guard_ = nullptr;  // active transaction guard; not owned
+  DurabilityManager* durability_ = nullptr;  // WAL hook; not owned
 };
 
 }  // namespace vada

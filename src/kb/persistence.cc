@@ -1,37 +1,14 @@
 #include "kb/persistence.h"
 
-#include <sys/stat.h>
-#include <sys/types.h>
-
-#include <cerrno>
 #include <cstdio>
 
 #include "common/strings.h"
 #include "kb/csv.h"
+#include "kb/fs_util.h"
 
 namespace vada {
 
 namespace {
-
-Result<std::string> ReadFileText(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::string text;
-  char buf[1 << 14];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  return text;
-}
-
-Status WriteFileText(const std::string& path, const std::string& text) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot write " + path);
-  size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
-  if (written != text.size()) return Status::Internal("short write " + path);
-  return Status::OK();
-}
 
 Result<AttributeType> AttributeTypeFromName(const std::string& name) {
   if (name == "any") return AttributeType::kAny;
@@ -100,9 +77,15 @@ Result<Value> DecodeCell(const std::string& text) {
 
 Status SaveKnowledgeBase(const KnowledgeBase& kb,
                          const std::string& directory) {
-  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::Internal("cannot create directory " + directory);
-  }
+  // Stage the whole image in a sibling directory, then swap it into
+  // place with renames: a crash mid-save leaves the previous image
+  // intact (or, between the two renames, as `<dir>.old`, which
+  // LoadKnowledgeBase falls back to). As a bonus the swap cannot leak
+  // stale `<relation>.csv` files of since-dropped relations, which
+  // overwriting in place did.
+  const std::string tmp_dir = directory + ".tmp-save";
+  VADA_RETURN_IF_ERROR(RemoveRecursively(tmp_dir));
+  VADA_RETURN_IF_ERROR(EnsureDirectory(tmp_dir));
 
   std::string manifest = "vada-kb\tv1\n";
   for (const std::string& name : kb.RelationNames()) {
@@ -129,14 +112,29 @@ Status SaveKnowledgeBase(const KnowledgeBase& kb,
       VADA_RETURN_IF_ERROR(encoded.InsertUnchecked(Tuple(std::move(cells))));
     }
     VADA_RETURN_IF_ERROR(
-        WriteFileText(directory + "/" + name + ".csv", ToCsv(encoded)));
+        WriteFileText(tmp_dir + "/" + name + ".csv", ToCsv(encoded)));
   }
-  return WriteFileText(directory + "/manifest.tsv", manifest);
+  VADA_RETURN_IF_ERROR(WriteFileText(tmp_dir + "/manifest.tsv", manifest));
+
+  if (!PathExists(directory)) return RenamePath(tmp_dir, directory);
+  const std::string old_dir = directory + ".old";
+  VADA_RETURN_IF_ERROR(RemoveRecursively(old_dir));
+  VADA_RETURN_IF_ERROR(RenamePath(directory, old_dir));
+  VADA_RETURN_IF_ERROR(RenamePath(tmp_dir, directory));
+  return RemoveRecursively(old_dir);
 }
 
 Result<KnowledgeBase> LoadKnowledgeBase(const std::string& directory) {
   Result<std::string> manifest = ReadFileText(directory + "/manifest.tsv");
-  if (!manifest.ok()) return manifest.status();
+  if (!manifest.ok()) {
+    // A crash between SaveKnowledgeBase's two renames leaves the
+    // previous (complete) image parked at `<dir>.old`.
+    if (!EndsWith(directory, ".old") &&
+        PathExists(directory + ".old/manifest.tsv")) {
+      return LoadKnowledgeBase(directory + ".old");
+    }
+    return manifest.status();
+  }
 
   KnowledgeBase kb;
   std::vector<std::string> lines = Split(manifest.value(), '\n');

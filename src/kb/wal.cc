@@ -1,0 +1,692 @@
+#include "kb/wal.h"
+
+#include <unistd.h>
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "kb/fs_util.h"
+#include "obs/metrics.h"
+
+namespace vada {
+
+namespace {
+
+// Segment header: magic (8) + format version (4) + sequence number (8).
+constexpr char kMagic[8] = {'V', 'A', 'D', 'A', 'W', 'A', 'L', '\x01'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kSegmentHeaderBytes = sizeof(kMagic) + 4 + 8;
+// Frame: payload length (4) + payload crc32 (4).
+constexpr size_t kFrameHeaderBytes = 8;
+// Anything larger is a corrupt length field, not a real record.
+constexpr uint32_t kMaxPayloadBytes = 256u << 20;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->push_back(v.bool_value() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = v.double_value();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutString(out, v.string_value());
+      break;
+  }
+}
+
+/// Bounds-checked little-endian reader over one payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool GetString(std::string* v) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool GetValue(Value* v) {
+    uint8_t tag = 0;
+    if (!GetU8(&tag)) return false;
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        *v = Value::Null();
+        return true;
+      case ValueType::kBool: {
+        uint8_t b = 0;
+        if (!GetU8(&b)) return false;
+        *v = Value::Bool(b != 0);
+        return true;
+      }
+      case ValueType::kInt: {
+        uint64_t bits = 0;
+        if (!GetU64(&bits)) return false;
+        *v = Value::Int(static_cast<int64_t>(bits));
+        return true;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits = 0;
+        if (!GetU64(&bits)) return false;
+        double d;
+        std::memcpy(&d, &bits, 8);
+        *v = Value::Double(d);
+        return true;
+      }
+      case ValueType::kString: {
+        std::string s;
+        if (!GetString(&s)) return false;
+        *v = Value::String(std::move(s));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+std::string SegmentFileName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%010llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string SegmentHeader(uint64_t seq) {
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kFormatVersion);
+  PutU64(&header, seq);
+  return header;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kEveryCommit:
+      return "every_commit";
+    case FsyncPolicy::kInterval:
+      return "interval";
+  }
+  return "unknown";
+}
+
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kTxnBegin:
+      return "txn_begin";
+    case WalRecordType::kCommit:
+      return "commit";
+    case WalRecordType::kAbort:
+      return "abort";
+    case WalRecordType::kCreateRelation:
+      return "create_relation";
+    case WalRecordType::kInsert:
+      return "insert";
+    case WalRecordType::kRetract:
+      return "retract";
+    case WalRecordType::kClear:
+      return "clear";
+    case WalRecordType::kDrop:
+      return "drop";
+    case WalRecordType::kCatalogRole:
+      return "catalog_role";
+  }
+  return "unknown";
+}
+
+std::string WalRecord::ToString() const {
+  std::string out = "[txn " + std::to_string(txn_id) + "] ";
+  out += WalRecordTypeName(type);
+  switch (type) {
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateRelation:
+      out += " " + schema.ToString();
+      break;
+    case WalRecordType::kInsert:
+    case WalRecordType::kRetract:
+      out += " " + relation + " " + tuple.ToString();
+      break;
+    case WalRecordType::kClear:
+    case WalRecordType::kDrop:
+      out += " " + relation;
+      break;
+    case WalRecordType::kCatalogRole:
+      out += " " + relation + " -> " +
+             (role_removed ? "(removed)" : RelationRoleName(role));
+      break;
+  }
+  return out;
+}
+
+std::string WalPosition::ToString() const {
+  return "segment " + std::to_string(segment) + " offset " +
+         std::to_string(offset);
+}
+
+size_t CrashInjector::AdmitWrite(size_t want) {
+  if (crashed_) return 0;
+  if (++ops_ == schedule_.kill_after_ops) {
+    crashed_ = true;
+    double f = schedule_.torn_fraction;
+    if (f < 0.0) f = 0.0;
+    if (f > 1.0) f = 1.0;
+    return static_cast<size_t>(static_cast<double>(want) * f);
+  }
+  return want;
+}
+
+bool CrashInjector::AdmitOp() {
+  if (crashed_) return false;
+  if (++ops_ == schedule_.kill_after_ops) {
+    crashed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  PutU64(&payload, record.txn_id);
+  switch (record.type) {
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateRelation: {
+      PutString(&payload, record.schema.relation_name());
+      PutU32(&payload,
+             static_cast<uint32_t>(record.schema.attributes().size()));
+      for (const Attribute& a : record.schema.attributes()) {
+        PutString(&payload, a.name);
+        payload.push_back(static_cast<char>(a.type));
+      }
+      break;
+    }
+    case WalRecordType::kInsert:
+    case WalRecordType::kRetract: {
+      PutString(&payload, record.relation);
+      PutU32(&payload, static_cast<uint32_t>(record.tuple.size()));
+      for (const Value& v : record.tuple.values()) PutValue(&payload, v);
+      break;
+    }
+    case WalRecordType::kClear:
+    case WalRecordType::kDrop:
+      PutString(&payload, record.relation);
+      break;
+    case WalRecordType::kCatalogRole:
+      PutString(&payload, record.relation);
+      payload.push_back(record.role_removed
+                            ? '\xFF'
+                            : static_cast<char>(record.role));
+      break;
+  }
+  return payload;
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  PayloadReader reader(payload);
+  WalRecord record;
+  uint8_t type = 0;
+  if (!reader.GetU8(&type) || !reader.GetU64(&record.txn_id)) {
+    return Status::DataLoss("WAL record payload truncated");
+  }
+  record.type = static_cast<WalRecordType>(type);
+  switch (record.type) {
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateRelation: {
+      std::string name;
+      uint32_t nattrs = 0;
+      if (!reader.GetString(&name) || !reader.GetU32(&nattrs)) {
+        return Status::DataLoss("WAL create_relation record truncated");
+      }
+      std::vector<Attribute> attrs;
+      attrs.reserve(nattrs);
+      for (uint32_t i = 0; i < nattrs; ++i) {
+        Attribute a;
+        uint8_t attr_type = 0;
+        if (!reader.GetString(&a.name) || !reader.GetU8(&attr_type)) {
+          return Status::DataLoss("WAL create_relation record truncated");
+        }
+        a.type = static_cast<AttributeType>(attr_type);
+        attrs.push_back(std::move(a));
+      }
+      record.schema = Schema(std::move(name), std::move(attrs));
+      break;
+    }
+    case WalRecordType::kInsert:
+    case WalRecordType::kRetract: {
+      uint32_t arity = 0;
+      if (!reader.GetString(&record.relation) || !reader.GetU32(&arity)) {
+        return Status::DataLoss("WAL tuple record truncated");
+      }
+      std::vector<Value> values;
+      values.reserve(arity);
+      for (uint32_t i = 0; i < arity; ++i) {
+        Value v;
+        if (!reader.GetValue(&v)) {
+          return Status::DataLoss("WAL tuple record truncated");
+        }
+        values.push_back(std::move(v));
+      }
+      record.tuple = Tuple(std::move(values));
+      break;
+    }
+    case WalRecordType::kClear:
+    case WalRecordType::kDrop:
+      if (!reader.GetString(&record.relation)) {
+        return Status::DataLoss("WAL relation record truncated");
+      }
+      break;
+    case WalRecordType::kCatalogRole: {
+      uint8_t role = 0;
+      if (!reader.GetString(&record.relation) || !reader.GetU8(&role)) {
+        return Status::DataLoss("WAL catalog_role record truncated");
+      }
+      record.role_removed = role == 0xFF;
+      if (!record.role_removed) record.role = static_cast<RelationRole>(role);
+      break;
+    }
+    default:
+      return Status::DataLoss("unknown WAL record type " +
+                              std::to_string(type));
+  }
+  if (!reader.exhausted()) {
+    return Status::DataLoss("trailing bytes in WAL record payload");
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+WalWriter::WalWriter(WalOptions options, uint64_t first_segment)
+    : options_(std::move(options)),
+      segment_seq_(first_segment),
+      oldest_segment_(first_segment),
+      last_sync_ms_(NowMs()) {
+  // Segments surviving from earlier processes still count as live bytes.
+  for (uint64_t seq : ListWalSegments(options_.directory)) {
+    if (seq < oldest_segment_) oldest_segment_ = seq;
+    live_bytes_ +=
+        FileSizeBytes(options_.directory + "/" + SegmentFileName(seq));
+  }
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(WalOptions options,
+                                                   uint64_t first_segment) {
+  for (uint64_t seq : ListWalSegments(options.directory)) {
+    if (seq >= first_segment) {
+      return Status::InvalidArgument(
+          "WAL segment " + std::to_string(seq) +
+          " already exists at or past requested start segment " +
+          std::to_string(first_segment));
+    }
+  }
+  std::unique_ptr<WalWriter> writer(
+      new WalWriter(std::move(options), first_segment));
+  VADA_RETURN_IF_ERROR(writer->OpenSegment(first_segment));
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    // Best-effort flush; durability of the tail follows the fsync policy.
+    (void)CloseSegment();
+  }
+}
+
+std::string WalWriter::SegmentPath(uint64_t seq) const {
+  return options_.directory + "/" + SegmentFileName(seq);
+}
+
+Status WalWriter::WriteRaw(const char* data, size_t size) {
+  size_t allowed = size;
+  if (options_.crash != nullptr) {
+    allowed = options_.crash->AdmitWrite(size);
+  }
+  size_t written =
+      allowed == 0 ? 0 : std::fwrite(data, 1, allowed, file_);
+  if (written > 0) {
+    segment_offset_ += written;
+    live_bytes_ += written;
+  }
+  if (allowed < size) {
+    // The simulated process died mid-write; flush what landed so the
+    // test's recovery pass sees exactly the torn prefix.
+    std::fflush(file_);
+    sticky_error_ = Status::DataLoss("simulated crash during WAL write");
+    return sticky_error_;
+  }
+  if (written != size) {
+    sticky_error_ = Status::DataLoss("short write to " +
+                                     SegmentPath(segment_seq_));
+    return sticky_error_;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::OpenSegment(uint64_t seq) {
+  if (options_.crash != nullptr && !options_.crash->AdmitOp()) {
+    sticky_error_ = Status::DataLoss("simulated crash creating WAL segment");
+    return sticky_error_;
+  }
+  file_ = std::fopen(SegmentPath(seq).c_str(), "wb");
+  if (file_ == nullptr) {
+    sticky_error_ = Status::Internal("cannot create " + SegmentPath(seq));
+    return sticky_error_;
+  }
+  segment_seq_ = seq;
+  segment_offset_ = 0;
+  std::string header = SegmentHeader(seq);
+  return WriteRaw(header.data(), header.size());
+}
+
+Status WalWriter::CloseSegment() {
+  if (file_ == nullptr) return Status::OK();
+  std::fflush(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  VADA_RETURN_IF_ERROR(sticky_error_);
+  std::string payload = EncodeWalRecord(record);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame += payload;
+
+  if (segment_offset_ + frame.size() > options_.segment_bytes &&
+      segment_offset_ > kSegmentHeaderBytes) {
+    Result<WalPosition> rotated = Rotate();
+    if (!rotated.ok()) return rotated.status();
+  }
+  VADA_RETURN_IF_ERROR(WriteRaw(frame.data(), frame.size()));
+  ++appended_records_;
+  appended_bytes_ += frame.size();
+  if (records_metric_ != nullptr) records_metric_->Increment();
+  if (bytes_metric_ != nullptr) bytes_metric_->Increment(frame.size());
+
+  if (record.IsCommitBoundary()) {
+    switch (options_.fsync) {
+      case FsyncPolicy::kNone:
+        break;
+      case FsyncPolicy::kEveryCommit:
+        return Sync();
+      case FsyncPolicy::kInterval:
+        if (NowMs() - last_sync_ms_ >= options_.fsync_interval_ms) {
+          return Sync();
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  VADA_RETURN_IF_ERROR(sticky_error_);
+  if (file_ == nullptr) return Status::OK();
+  if (options_.crash != nullptr && !options_.crash->AdmitOp()) {
+    sticky_error_ = Status::DataLoss("simulated crash during WAL fsync");
+    return sticky_error_;
+  }
+  double t0 = NowMs();
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    sticky_error_ =
+        Status::Internal("fsync failed on " + SegmentPath(segment_seq_));
+    return sticky_error_;
+  }
+  last_sync_ms_ = NowMs();
+  if (fsync_metric_ != nullptr) {
+    fsync_metric_->Observe((last_sync_ms_ - t0) * 1e-3);
+  }
+  return Status::OK();
+}
+
+Result<WalPosition> WalWriter::Rotate() {
+  VADA_RETURN_IF_ERROR(sticky_error_);
+  // The outgoing segment must be durable before the log moves past it:
+  // a checkpoint manifest may reference the new segment as its replay
+  // start, implying everything before it is settled.
+  if (options_.fsync != FsyncPolicy::kNone) {
+    VADA_RETURN_IF_ERROR(Sync());
+  }
+  VADA_RETURN_IF_ERROR(CloseSegment());
+  VADA_RETURN_IF_ERROR(OpenSegment(segment_seq_ + 1));
+  return position();
+}
+
+Status WalWriter::DeleteSegmentsBefore(uint64_t segment) {
+  VADA_RETURN_IF_ERROR(sticky_error_);
+  for (uint64_t seq : ListWalSegments(options_.directory)) {
+    if (seq >= segment || seq == segment_seq_) continue;
+    std::string path = SegmentPath(seq);
+    uint64_t bytes = FileSizeBytes(path);
+    if (options_.crash != nullptr && !options_.crash->AdmitOp()) {
+      sticky_error_ =
+          Status::DataLoss("simulated crash during WAL truncation");
+      return sticky_error_;
+    }
+    VADA_RETURN_IF_ERROR(RemoveRecursively(path));
+    live_bytes_ -= bytes < live_bytes_ ? bytes : live_bytes_;
+  }
+  if (segment > oldest_segment_) oldest_segment_ = segment;
+  return Status::OK();
+}
+
+void WalWriter::SetMetrics(obs::Counter* records_total,
+                           obs::Counter* bytes_total,
+                           obs::Histogram* fsync_seconds) {
+  records_metric_ = records_total;
+  bytes_metric_ = bytes_total;
+  fsync_metric_ = fsync_seconds;
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+
+std::vector<uint64_t> ListWalSegments(const std::string& directory) {
+  std::vector<uint64_t> segments;
+  for (const std::string& name : ListDirectory(directory)) {
+    if (!StartsWith(name, "wal-") || !EndsWith(name, ".log")) continue;
+    std::string digits = name.substr(4, name.size() - 8);
+    if (digits.empty() || !IsDigits(digits)) continue;
+    segments.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+Status ScanWal(const std::string& directory, WalPosition from,
+               const std::function<Status(const WalRecord&,
+                                          const WalPosition&)>& fn,
+               WalReadStats* stats) {
+  WalReadStats local;
+  WalReadStats* st = stats != nullptr ? stats : &local;
+  *st = WalReadStats();
+  st->end = from;
+
+  std::vector<uint64_t> segments = ListWalSegments(directory);
+  auto torn = [st](std::string reason, WalPosition at) {
+    st->torn_tail = true;
+    st->torn_reason = std::move(reason);
+    st->end = at;
+  };
+
+  uint64_t expected_next = from.segment;
+  bool first = true;
+  for (uint64_t seq : segments) {
+    if (seq < from.segment) continue;
+    if (!first && seq != expected_next) {
+      // A gap in the sequence: everything past the gap is unreachable
+      // (its predecessor was lost), so treat the log as ending here.
+      torn("missing WAL segment " + std::to_string(expected_next),
+           st->end);
+      return Status::OK();
+    }
+    Result<std::string> data =
+        ReadFileText(directory + "/" + SegmentFileName(seq));
+    if (!data.ok()) {
+      torn("unreadable WAL segment " + std::to_string(seq),
+           {seq, 0});
+      return Status::OK();
+    }
+    const std::string& text = data.value();
+    std::string expected_header = SegmentHeader(seq);
+    if (text.size() < expected_header.size() ||
+        text.compare(0, expected_header.size(), expected_header) != 0) {
+      torn("bad header in WAL segment " + std::to_string(seq), {seq, 0});
+      return Status::OK();
+    }
+    size_t pos = expected_header.size();
+    if (first && from.segment == seq && from.offset > pos) {
+      if (from.offset > text.size()) {
+        torn("WAL start position past end of segment " + std::to_string(seq),
+             {seq, pos});
+        return Status::OK();
+      }
+      pos = from.offset;
+    }
+    first = false;
+    expected_next = seq + 1;
+    st->end = {seq, pos};
+
+    while (pos < text.size()) {
+      if (pos + kFrameHeaderBytes > text.size()) {
+        torn("short frame header", {seq, pos});
+        return Status::OK();
+      }
+      uint32_t len = 0, crc = 0;
+      std::memcpy(&len, text.data() + pos, 4);
+      std::memcpy(&crc, text.data() + pos + 4, 4);
+      if (len > kMaxPayloadBytes) {
+        torn("implausible record length", {seq, pos});
+        return Status::OK();
+      }
+      if (pos + kFrameHeaderBytes + len > text.size()) {
+        torn("short record payload", {seq, pos});
+        return Status::OK();
+      }
+      std::string_view payload(text.data() + pos + kFrameHeaderBytes, len);
+      if (Crc32(payload) != crc) {
+        torn("record CRC mismatch", {seq, pos});
+        return Status::OK();
+      }
+      Result<WalRecord> record = DecodeWalRecord(payload);
+      if (!record.ok()) {
+        torn(record.status().message(), {seq, pos});
+        return Status::OK();
+      }
+      pos += kFrameHeaderBytes + len;
+      ++st->records;
+      st->bytes += kFrameHeaderBytes + len;
+      if (record.value().type == WalRecordType::kCommit) ++st->commits;
+      if (record.value().type == WalRecordType::kAbort) ++st->aborts;
+      st->end = {seq, pos};
+      if (fn) {
+        VADA_RETURN_IF_ERROR(fn(record.value(), st->end));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TruncateWalAfter(const std::string& directory,
+                        const WalReadStats& stats) {
+  for (uint64_t seq : ListWalSegments(directory)) {
+    std::string path = directory + "/" + SegmentFileName(seq);
+    if (seq > stats.end.segment) {
+      VADA_RETURN_IF_ERROR(RemoveRecursively(path));
+      continue;
+    }
+    if (seq == stats.end.segment &&
+        FileSizeBytes(path) > stats.end.offset) {
+      // An end offset inside the segment header means the header itself
+      // never became valid; a truncated remnant would still scan as
+      // torn, so remove the whole segment.
+      if (stats.end.offset < kSegmentHeaderBytes) {
+        VADA_RETURN_IF_ERROR(RemoveRecursively(path));
+        continue;
+      }
+      if (::truncate(path.c_str(),
+                     static_cast<off_t>(stats.end.offset)) != 0) {
+        return Status::Internal("cannot truncate " + path);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vada

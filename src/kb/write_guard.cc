@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "kb/durability.h"
+
 namespace vada {
 
 WriteGuard::WriteGuard(KnowledgeBase* kb) : kb_(kb) {
@@ -14,6 +16,8 @@ WriteGuard::WriteGuard(KnowledgeBase* kb) : kb_(kb) {
   versions_ = kb_->versions_;
   roles_ = kb_->catalog_.Snapshot();
   kb_->guard_ = this;
+  // Guard boundaries are WAL transaction boundaries (kb/durability.h).
+  if (kb_->durability_ != nullptr) kb_->durability_->OnTxnBegin();
 }
 
 WriteGuard::~WriteGuard() {
@@ -43,6 +47,7 @@ void WriteGuard::Commit() {
   done_ = true;
   kb_->guard_ = nullptr;
   touched_.clear();
+  if (kb_->durability_ != nullptr) kb_->durability_->OnTxnCommit();
 }
 
 void WriteGuard::Rollback() {
@@ -62,6 +67,7 @@ void WriteGuard::Rollback() {
   kb_->facts_removed_ = facts_removed_;
   kb_->catalog_.Restore(std::move(roles_));
   touched_.clear();
+  if (kb_->durability_ != nullptr) kb_->durability_->OnTxnAbort();
 }
 
 }  // namespace vada

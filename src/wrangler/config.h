@@ -11,6 +11,7 @@
 #include "feedback/feedback.h"
 #include "fusion/dedup.h"
 #include "feedback/propagation.h"
+#include "kb/durability.h"
 #include "mapping/generator.h"
 #include "mapping/selector.h"
 #include "match/combiner.h"
@@ -111,6 +112,14 @@ struct WranglerConfig {
   /// no longer be derived into its scratch database. See README
   /// "Performance & tuning".
   datalog::PlannerOptions planner;
+  /// Knowledge-base durability: write-ahead logging of every KB
+  /// mutation, atomic checkpoints and crash recovery at session open
+  /// (kb/durability.h, DESIGN.md §5i). Off by default — the commit path
+  /// is then identical to the purely in-memory one. With `enabled`,
+  /// `directory` must name a writable location; the session recovers
+  /// whatever committed state that directory holds before the first
+  /// Run().
+  DurabilityOptions durability;
   /// Applied to every transducer registered through the session
   /// (standard suite and custom). Used by the fault-injection soak
   /// harness (fault_injection.h); nullptr means no wrapping.

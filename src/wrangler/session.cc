@@ -47,6 +47,25 @@ WranglingSession::WranglingSession(WranglerConfig config) {
     session_handle_ =
         obs_->sessions()->Register(state_->config.session_name);
   }
+  if (state_->config.durability.enabled) {
+    // Recover committed durable state into the (still empty) KB before
+    // any input is registered; failures are surfaced by Run(), since
+    // constructors cannot return a Status.
+    Result<std::unique_ptr<DurabilityManager>> opened =
+        DurabilityManager::Open(state_->config.durability, &kb_,
+                                obs_->metrics());
+    if (opened.ok()) {
+      durability_ = std::move(opened).value();
+      if (durability_->recovery().recovered) {
+        VADA_LOG(kInfo, "wrangler")
+            << "durability: " << durability_->recovery().ToString();
+      }
+    } else {
+      durability_open_status_ = opened.status();
+      VADA_LOG(kWarning, "wrangler")
+          << "durability open failed: " << opened.status().ToString();
+    }
+  }
   registry_.SetDecorator(state_->config.transducer_decorator);
   const ParallelismOptions& par = state_->config.parallelism;
   if (par.threads > 1) {
@@ -84,7 +103,10 @@ Status WranglingSession::SetTargetSchema(const Schema& target) {
     return Status::FailedPrecondition("target schema already set to " +
                                       state_->target_relation);
   }
-  VADA_RETURN_IF_ERROR(kb_.CreateRelation(target));
+  // EnsureRelation, not CreateRelation: with durability on, recovery may
+  // have restored this relation (with rows) before the caller re-declares
+  // the same target.
+  VADA_RETURN_IF_ERROR(kb_.EnsureRelation(target));
   kb_.catalog().SetRole(target.relation_name(), RelationRole::kTarget);
   state_->target_relation = target.relation_name();
   if (!transducers_registered_) {
@@ -176,6 +198,7 @@ Status WranglingSession::ValidateTransducer(const Transducer& transducer) const 
 }
 
 Status WranglingSession::Run(OrchestrationStats* stats) {
+  VADA_RETURN_IF_ERROR(durability_open_status_);
   if (state_->target_relation.empty()) {
     return Status::FailedPrecondition(
         "no target schema: call SetTargetSchema first");
@@ -198,7 +221,19 @@ Status WranglingSession::Run(OrchestrationStats* stats) {
         ->Increment();
     PublishKbGauges();
   }
+  // A wrangle that succeeded in memory but whose WAL trail died is not a
+  // durable success; report the sticky durability failure.
+  if (status.ok() && durability_ != nullptr) status = durability_->status();
   return status;
+}
+
+Status WranglingSession::Checkpoint() {
+  VADA_RETURN_IF_ERROR(durability_open_status_);
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "durability is disabled for this session");
+  }
+  return durability_->Checkpoint();
 }
 
 void WranglingSession::PublishKbGauges() const {
@@ -238,6 +273,7 @@ void WranglingSession::PublishKbGauges() const {
               "Approximate resident bytes of composite join indexes on "
               "cached relation snapshots")
       ->Set(static_cast<int64_t>(index_bytes));
+  if (durability_ != nullptr) durability_->PublishGauges();
   obs::PublishProcessMetrics(m);
 
   if (session_handle_.valid()) {

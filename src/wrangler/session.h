@@ -82,8 +82,24 @@ class WranglingSession {
   Status AddTransducer(std::unique_ptr<Transducer> transducer);
 
   /// Orchestrates to fixpoint. Callable repeatedly; each call picks up
-  /// whatever inputs changed since the last one.
+  /// whatever inputs changed since the last one. With durability
+  /// enabled, a sticky durability failure (failed WAL append or
+  /// checkpoint) is surfaced here even when orchestration succeeded.
   Status Run(OrchestrationStats* stats = nullptr);
+
+  /// Takes a durability checkpoint now: atomic KB image plus WAL
+  /// truncation (kb/durability.h). kFailedPrecondition when the session
+  /// runs without durability.
+  Status Checkpoint();
+
+  /// The durability manager (nullptr when config.durability.enabled is
+  /// false or recovery failed at construction).
+  const DurabilityManager* durability() const { return durability_.get(); }
+
+  /// Outcome of crash recovery at construction. OK when durability is
+  /// off; kDataLoss when the durable state was unrecoverable. Run()
+  /// refuses to proceed on a non-OK open status.
+  Status durability_open_status() const { return durability_open_status_; }
 
   /// The wrangled result (nullptr before the first successful Run).
   const Relation* result() const;
@@ -149,6 +165,10 @@ class WranglingSession {
   Status ValidateTransducer(const Transducer& transducer) const;
 
   KnowledgeBase kb_;
+  /// Declared right after kb_ (and destroyed before it) because the
+  /// manager detaches from the KB in its destructor.
+  std::unique_ptr<DurabilityManager> durability_;
+  Status durability_open_status_;
   std::unique_ptr<WranglingState> state_;
   std::unique_ptr<obs::ObsContext> obs_;
   /// Registration in the observability session registry; inert when

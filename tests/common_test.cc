@@ -26,6 +26,7 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "not_found");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse_error");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
 }
 
 TEST(ResultTest, HoldsValue) {

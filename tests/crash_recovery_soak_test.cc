@@ -1,0 +1,486 @@
+// Deterministic crash-injection soak for the durability subsystem
+// (DESIGN.md §5i): a seeded workload of standalone mutations, guarded
+// transactions, catalog changes and checkpoints runs against a
+// durability-attached KnowledgeBase while a shadow in-memory oracle
+// records the digest of every committed state. A CrashInjector kills
+// the run at a seeded physical-IO operation (optionally leaving a torn
+// write); recovery must then reconstruct a KB byte-identical to *some*
+// committed prefix the oracle saw — never a torn or uncommitted state.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kb/checkpoint.h"
+#include "kb/durability.h"
+#include "kb/fs_util.h"
+#include "kb/wal.h"
+#include "kb/write_guard.h"
+#include "kb_digest_test_util.h"
+
+namespace vada {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/vada_soak_" + name;
+  EXPECT_TRUE(RemoveRecursively(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+struct Op {
+  enum Kind {
+    kCreate,
+    kInsert,
+    kRetract,
+    kClear,
+    kDrop,
+    kSetRole,
+    kRemoveRole,
+    kGuardStart,
+    kGuardEnd,
+    kCheckpoint,
+  };
+  Kind kind;
+  std::string relation;
+  Tuple tuple;
+  RelationRole role = RelationRole::kMetadata;
+  bool commit = false;  // kGuardEnd: commit vs rollback
+};
+
+// Values from a small domain so retracts and duplicate inserts actually
+// hit, covering the no-op-never-logged paths too.
+Value RandomValue(Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return Value::Int(rng->UniformInt(-3, 3));
+    case 1:
+      return Value::Double(static_cast<double>(rng->UniformInt(0, 3)) * 0.5);
+    case 2: {
+      static const std::vector<std::string> kStrings = {
+          "", "plain", "with \"quotes\"", "tab\tand\nnewline", "h\xc3\xa9llo"};
+      return Value::String(kStrings[rng->Index(kStrings.size())]);
+    }
+    case 3:
+      return Value::Bool(rng->Bernoulli(0.5));
+    default:
+      return Value::Null();
+  }
+}
+
+Tuple RandomTuple(Rng* rng) {
+  return Tuple({RandomValue(rng), RandomValue(rng)});
+}
+
+RelationRole RandomRole(Rng* rng) {
+  return static_cast<RelationRole>(rng->UniformInt(0, 6));
+}
+
+// A fully deterministic workload: creates, inserts, retracts, clears,
+// drops, role changes, guarded transactions (committed and rolled back)
+// and explicit checkpoints. Guards contain only mutations of existing
+// relations so the generator can track the live set without replaying.
+std::vector<Op> MakeScript(uint64_t seed, size_t steps) {
+  Rng rng(seed);
+  std::vector<Op> script;
+  std::vector<std::string> live;
+  int next_id = 0;
+  auto create = [&] {
+    std::string name = "rel" + std::to_string(next_id++);
+    live.push_back(name);
+    script.push_back({Op::kCreate, name});
+  };
+  create();
+  for (size_t i = 0; i < steps; ++i) {
+    double draw = rng.UniformDouble();
+    if (draw < 0.08) {
+      create();
+    } else if (draw < 0.40) {
+      script.push_back({Op::kInsert, rng.Choice(live), RandomTuple(&rng)});
+    } else if (draw < 0.50) {
+      script.push_back({Op::kRetract, rng.Choice(live), RandomTuple(&rng)});
+    } else if (draw < 0.55) {
+      script.push_back({Op::kClear, rng.Choice(live)});
+    } else if (draw < 0.59) {
+      if (live.size() > 1) {
+        size_t victim = rng.Index(live.size());
+        script.push_back({Op::kDrop, live[victim]});
+        live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      }
+    } else if (draw < 0.68) {
+      Op op{Op::kSetRole, rng.Choice(live)};
+      op.role = RandomRole(&rng);
+      script.push_back(op);
+    } else if (draw < 0.72) {
+      script.push_back({Op::kRemoveRole, rng.Choice(live)});
+    } else if (draw < 0.92) {
+      script.push_back({Op::kGuardStart});
+      size_t inner_ops = static_cast<size_t>(rng.UniformInt(1, 4));
+      for (size_t k = 0; k < inner_ops; ++k) {
+        double inner = rng.UniformDouble();
+        if (inner < 0.7) {
+          script.push_back({Op::kInsert, rng.Choice(live), RandomTuple(&rng)});
+        } else if (inner < 0.85) {
+          script.push_back({Op::kClear, rng.Choice(live)});
+        } else {
+          Op op{Op::kSetRole, rng.Choice(live)};
+          op.role = RandomRole(&rng);
+          script.push_back(op);
+        }
+      }
+      Op end{Op::kGuardEnd};
+      end.commit = rng.Bernoulli(0.7);
+      script.push_back(end);
+    } else {
+      script.push_back({Op::kCheckpoint});
+    }
+  }
+  return script;
+}
+
+Status ApplyOp(KnowledgeBase* kb, const Op& op) {
+  switch (op.kind) {
+    case Op::kCreate:
+      return kb->CreateRelation(Schema::Untyped(op.relation, {"a", "b"}));
+    case Op::kInsert:
+      return kb->Insert(op.relation, op.tuple);
+    case Op::kRetract:
+      return kb->Retract(op.relation, op.tuple);
+    case Op::kClear:
+      return kb->ClearRelation(op.relation);
+    case Op::kDrop:
+      return kb->DropRelation(op.relation);
+    case Op::kSetRole:
+      kb->catalog().SetRole(op.relation, op.role);
+      return Status::OK();
+    case Op::kRemoveRole:
+      kb->catalog().Remove(op.relation);
+      return Status::OK();
+    default:
+      return Status::Internal("not a plain mutation op");
+  }
+}
+
+struct SoakResult {
+  /// Digest of every committed state, in order; [0] is the empty KB.
+  std::vector<std::string> digests;
+  bool crashed = false;
+};
+
+// Runs `script` against `kb`, mirroring every committed effect onto a
+// shadow in-memory KB and recording its digest at each commit boundary.
+// Stops as soon as the durability manager reports the (simulated) crash.
+SoakResult Execute(const std::vector<Op>& script, KnowledgeBase* kb,
+                   DurabilityManager* mgr) {
+  KnowledgeBase shadow;
+  SoakResult out;
+  out.digests.push_back(KbDigest(shadow));
+  std::unique_ptr<WriteGuard> guard;
+  std::vector<const Op*> pending;
+  for (const Op& op : script) {
+    if (mgr != nullptr && !mgr->status().ok()) {
+      out.crashed = true;
+      break;
+    }
+    switch (op.kind) {
+      case Op::kGuardStart:
+        guard = std::make_unique<WriteGuard>(kb);
+        pending.clear();
+        break;
+      case Op::kGuardEnd:
+        if (op.commit) {
+          guard->Commit();
+          for (const Op* inner : pending) {
+            Status applied = ApplyOp(&shadow, *inner);
+            EXPECT_TRUE(applied.ok()) << applied.ToString();
+          }
+          out.digests.push_back(KbDigest(shadow));
+        } else {
+          guard->Rollback();
+        }
+        guard.reset();
+        break;
+      case Op::kCheckpoint:
+        // May die mid-protocol under injection; the sticky status stops
+        // the workload on the next iteration, like any other crash.
+        if (mgr != nullptr) mgr->Checkpoint();
+        break;
+      default: {
+        Status applied = ApplyOp(kb, op);
+        EXPECT_TRUE(applied.ok()) << applied.ToString();
+        if (guard != nullptr) {
+          pending.push_back(&op);
+        } else {
+          // Each standalone record is its own commit boundary. A drop of
+          // a role-carrying relation writes two (role tombstone, then
+          // drop), so the state between them is a legal recovery point.
+          if (op.kind == Op::kDrop &&
+              shadow.catalog().GetRole(op.relation).has_value()) {
+            shadow.catalog().Remove(op.relation);
+            out.digests.push_back(KbDigest(shadow));
+          }
+          Status mirrored = ApplyOp(&shadow, op);
+          EXPECT_TRUE(mirrored.ok()) << mirrored.ToString();
+          out.digests.push_back(KbDigest(shadow));
+        }
+        break;
+      }
+    }
+  }
+  // Crash mid-guard: the destructor rolls the in-memory KB back; the
+  // poisoned WAL records nothing further.
+  guard.reset();
+  return out;
+}
+
+DurabilityOptions SoakOptions(const std::string& dir, CrashInjector* crash) {
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  options.segment_bytes = 2048;  // rotate often: exercise multi-segment replay
+  options.crash = crash;
+  return options;
+}
+
+void ExpectRecoversToCommittedPrefix(const std::string& dir,
+                                     const SoakResult& run,
+                                     uint64_t seed) {
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(SoakOptions(dir, nullptr), &kb);
+  ASSERT_TRUE(mgr.ok()) << "seed " << seed << ": " << mgr.status().ToString();
+  std::string digest = KbDigest(kb);
+  EXPECT_NE(std::find(run.digests.begin(), run.digests.end(), digest),
+            run.digests.end())
+      << "seed " << seed
+      << ": recovered state is not a committed prefix:\n" << digest
+      << "\nrecovery: " << mgr.value()->recovery().ToString();
+
+  // Life goes on after recovery: new mutations are durable in turn.
+  ASSERT_TRUE(kb.EnsureRelation(Schema::Untyped("post_recovery", {"a", "b"}))
+                  .ok());
+  ASSERT_TRUE(kb.Assert("post_recovery", {Value::Int(1), Value::Null()}).ok());
+  ASSERT_TRUE(mgr.value()->status().ok())
+      << mgr.value()->status().ToString();
+  std::string post = KbDigest(kb);
+  mgr.value().reset();
+
+  KnowledgeBase kb2;
+  Result<std::unique_ptr<DurabilityManager>> again =
+      DurabilityManager::Open(SoakOptions(dir, nullptr), &kb2);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(KbDigest(kb2), post) << "seed " << seed;
+}
+
+TEST(CrashRecoverySoakTest, TwentyFiveSeededKillPointSchedules) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::vector<Op> script = MakeScript(seed, 80);
+
+    // Pass 1 (clean): count the physical durable-IO ops of the workload
+    // so the kill point can be placed anywhere inside it.
+    uint64_t total_ops = 0;
+    {
+      std::string dir = TempDir("count" + std::to_string(seed));
+      CrashInjector counter;
+      KnowledgeBase kb;
+      Result<std::unique_ptr<DurabilityManager>> mgr =
+          DurabilityManager::Open(SoakOptions(dir, &counter), &kb);
+      ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+      SoakResult clean = Execute(script, &kb, mgr.value().get());
+      EXPECT_FALSE(clean.crashed);
+      EXPECT_TRUE(mgr.value()->status().ok())
+          << mgr.value()->status().ToString();
+      mgr.value().reset();
+      total_ops = counter.ops();
+      RemoveRecursively(dir);
+    }
+    ASSERT_GT(total_ops, 0u);
+
+    // Pass 2: the same script killed at a seed-chosen operation, with a
+    // seed-chosen fraction of the dying write left behind (torn write).
+    Rng schedule_rng(seed * 7919);
+    CrashInjector::Schedule schedule;
+    schedule.kill_after_ops = 1 + schedule_rng.Index(total_ops);
+    static const double kTornFractions[] = {0.0, 0.25, 0.5, 1.0};
+    schedule.torn_fraction = kTornFractions[schedule_rng.Index(4)];
+    CrashInjector crash(schedule);
+
+    std::string dir = TempDir("soak" + std::to_string(seed));
+    SoakResult run;
+    {
+      KnowledgeBase kb;
+      Result<std::unique_ptr<DurabilityManager>> mgr =
+          DurabilityManager::Open(SoakOptions(dir, &crash), &kb);
+      if (mgr.ok()) {
+        run = Execute(script, &kb, mgr.value().get());
+      } else {
+        // Killed writing the very first segment header: nothing durable
+        // ever existed, recovery must yield the empty KB.
+        ASSERT_EQ(mgr.status().code(), StatusCode::kDataLoss)
+            << mgr.status().ToString();
+        KnowledgeBase empty;
+        run.digests.push_back(KbDigest(empty));
+        run.crashed = true;
+      }
+    }
+    EXPECT_TRUE(crash.crashed())
+        << "kill op " << schedule.kill_after_ops << " of " << total_ops;
+
+    ExpectRecoversToCommittedPrefix(dir, run, seed);
+    RemoveRecursively(dir);
+  }
+}
+
+TEST(CrashRecoverySoakTest, CorruptionMatrix) {
+  enum Mode {
+    kTruncateTail = 0,
+    kBitFlipWal,
+    kBitFlipCheckpoint,
+    kDeleteNewestCheckpoint,
+    kModeCount,
+  };
+  static const char* kModeNames[] = {"truncate_tail", "bitflip_wal",
+                                     "bitflip_checkpoint",
+                                     "delete_newest_checkpoint"};
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    // A clean run with two forced trailing checkpoints and live WAL both
+    // between and after them, so every corruption mode has a target.
+    std::vector<Op> script = MakeScript(seed + 100, 60);
+    script.push_back({Op::kCheckpoint});
+    script.push_back({Op::kCreate, "zz_late"});
+    script.push_back(
+        {Op::kInsert, "zz_late", Tuple({Value::Int(1), Value::Int(2)})});
+    script.push_back({Op::kCheckpoint});
+    script.push_back(
+        {Op::kInsert, "zz_late", Tuple({Value::Int(3), Value::Int(4)})});
+
+    for (int mode = 0; mode < kModeCount; ++mode) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " mode " +
+                   kModeNames[mode]);
+      std::string dir = TempDir("matrix" + std::to_string(seed) + "_" +
+                                std::to_string(mode));
+      SoakResult run;
+      {
+        KnowledgeBase kb;
+        Result<std::unique_ptr<DurabilityManager>> mgr =
+            DurabilityManager::Open(SoakOptions(dir, nullptr), &kb);
+        ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+        run = Execute(script, &kb, mgr.value().get());
+        EXPECT_FALSE(run.crashed);
+        ASSERT_TRUE(mgr.value()->status().ok())
+            << mgr.value()->status().ToString();
+      }
+
+      std::vector<uint64_t> checkpoints = ListCheckpoints(dir);
+      ASSERT_GE(checkpoints.size(), 2u);
+      std::vector<uint64_t> segments = ListWalSegments(dir);
+      ASSERT_FALSE(segments.empty());
+      std::string last_segment =
+          dir + "/wal-" + [&] {
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%010llu",
+                          static_cast<unsigned long long>(segments.back()));
+            return std::string(buf);
+          }() + ".log";
+      Rng rng(seed * 31 + static_cast<uint64_t>(mode));
+
+      switch (mode) {
+        case kTruncateTail: {
+          uint64_t size = FileSizeBytes(last_segment);
+          ASSERT_GT(size, 23u);  // header + at least a partial frame
+          ASSERT_EQ(::truncate(last_segment.c_str(),
+                               static_cast<off_t>(size - 3)),
+                    0);
+          break;
+        }
+        case kBitFlipWal: {
+          Result<std::string> data = ReadFileText(last_segment);
+          ASSERT_TRUE(data.ok());
+          ASSERT_GT(data.value().size(), 20u);
+          std::string flipped = data.value();
+          size_t at = 20 + rng.Index(flipped.size() - 20);
+          flipped[at] ^= static_cast<char>(1 << rng.Index(8));
+          ASSERT_TRUE(WriteFileText(last_segment, flipped).ok());
+          break;
+        }
+        case kBitFlipCheckpoint: {
+          std::string manifest = dir + "/" +
+                                 CheckpointDirName(checkpoints.back()) +
+                                 "/manifest.tsv";
+          Result<std::string> data = ReadFileText(manifest);
+          ASSERT_TRUE(data.ok());
+          std::string flipped = data.value();
+          flipped[rng.Index(flipped.size())] ^=
+              static_cast<char>(1 << rng.Index(8));
+          ASSERT_TRUE(WriteFileText(manifest, flipped).ok());
+          break;
+        }
+        case kDeleteNewestCheckpoint:
+          ASSERT_TRUE(RemoveCheckpoint(dir, checkpoints.back()).ok());
+          break;
+      }
+
+      KnowledgeBase kb;
+      Result<std::unique_ptr<DurabilityManager>> mgr =
+          DurabilityManager::Open(SoakOptions(dir, nullptr), &kb);
+      ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+      std::string digest = KbDigest(kb);
+      if (mode == kBitFlipCheckpoint || mode == kDeleteNewestCheckpoint) {
+        // The WAL survives intact, so falling back to the older
+        // checkpoint loses nothing: recovery lands on the final state.
+        EXPECT_EQ(digest, run.digests.back());
+        if (mode == kBitFlipCheckpoint) {
+          EXPECT_TRUE(mgr.value()->recovery().checkpoint_fallback);
+        }
+      } else {
+        EXPECT_TRUE(mgr.value()->recovery().torn_tail);
+        EXPECT_NE(std::find(run.digests.begin(), run.digests.end(), digest),
+                  run.digests.end())
+            << "recovered state is not a committed prefix:\n" << digest;
+      }
+      mgr.value().reset();
+      RemoveRecursively(dir);
+    }
+  }
+}
+
+TEST(CrashRecoverySoakTest, FsyncPoliciesAllRecover) {
+  // The fsync policy affects durability timing guarantees, not replay
+  // correctness; the full workload must round-trip under each policy.
+  for (FsyncPolicy policy : {FsyncPolicy::kNone, FsyncPolicy::kEveryCommit,
+                             FsyncPolicy::kInterval}) {
+    SCOPED_TRACE(FsyncPolicyName(policy));
+    std::string dir = TempDir(std::string("fsync_") + FsyncPolicyName(policy));
+    std::vector<Op> script = MakeScript(4242, 40);
+    SoakResult run;
+    {
+      KnowledgeBase kb;
+      DurabilityOptions options = SoakOptions(dir, nullptr);
+      options.fsync = policy;
+      Result<std::unique_ptr<DurabilityManager>> mgr =
+          DurabilityManager::Open(options, &kb);
+      ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+      run = Execute(script, &kb, mgr.value().get());
+      ASSERT_TRUE(mgr.value()->status().ok());
+    }
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(SoakOptions(dir, nullptr), &kb);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    EXPECT_EQ(KbDigest(kb), run.digests.back());
+    mgr.value().reset();
+    RemoveRecursively(dir);
+  }
+}
+
+}  // namespace
+}  // namespace vada

@@ -1,0 +1,148 @@
+// End-to-end durability at the session layer: a wrangling session with
+// `WranglerConfig::durability` enabled write-ahead-logs every KB commit;
+// a new session on the same directory recovers the full knowledge base —
+// sources, metadata, result — before any input is re-registered.
+
+#include <gtest/gtest.h>
+
+#include "extract/real_estate.h"
+#include "kb/checkpoint.h"
+#include "kb/fs_util.h"
+#include "wrangler/session.h"
+#include "kb_digest_test_util.h"
+
+namespace vada {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/vada_dsess_" + name;
+  EXPECT_TRUE(RemoveRecursively(dir).ok());
+  return dir;  // DurabilityManager::Open creates it
+}
+
+Schema TargetSchema() {
+  return Schema::Untyped("target",
+                         {"type", "street", "postcode", "bedrooms", "price"});
+}
+
+WranglerConfig DurableConfig(const std::string& dir) {
+  WranglerConfig config;
+  config.durability.enabled = true;
+  config.durability.directory = dir;
+  config.durability.fsync = FsyncPolicy::kNone;  // tests: speed over safety
+  return config;
+}
+
+class DurabilitySessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PropertyUniverseOptions uopts;
+    uopts.num_properties = 40;
+    uopts.num_postcodes = 8;
+    uopts.seed = 11;
+    truth_ = GeneratePropertyUniverse(uopts);
+    ExtractionErrorOptions rm;
+    rm.seed = 7;
+    rightmove_ = ExtractRightmove(truth_, rm);
+  }
+
+  Status Bootstrap(WranglingSession* session) {
+    VADA_RETURN_IF_ERROR(session->SetTargetSchema(TargetSchema()));
+    return session->AddSource(rightmove_);
+  }
+
+  GroundTruth truth_;
+  Relation rightmove_{Schema()};
+};
+
+TEST_F(DurabilitySessionTest, SessionStateSurvivesRestart) {
+  std::string dir = TempDir("restart");
+  std::string digest;
+  {
+    WranglingSession session(DurableConfig(dir));
+    ASSERT_TRUE(session.durability_open_status().ok())
+        << session.durability_open_status().ToString();
+    ASSERT_TRUE(Bootstrap(&session).ok());
+    Status s = session.Run();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    ASSERT_NE(session.result(), nullptr);
+    EXPECT_GT(session.result()->size(), 0u);
+    digest = KbDigest(session.kb());
+  }
+  {
+    WranglingSession session(DurableConfig(dir));
+    ASSERT_NE(session.durability(), nullptr);
+    EXPECT_TRUE(session.durability()->recovery().recovered);
+    EXPECT_EQ(KbDigest(session.kb()), digest);
+    // The recovered KB is at the orchestration fixpoint: re-declaring the
+    // same inputs and re-running is effect-free.
+    ASSERT_TRUE(Bootstrap(&session).ok());
+    OrchestrationStats stats;
+    ASSERT_TRUE(session.Run(&stats).ok());
+    EXPECT_EQ(stats.effective_steps, 0u);
+    EXPECT_EQ(KbDigest(session.kb()), digest);
+  }
+}
+
+TEST_F(DurabilitySessionTest, CheckpointApiAndRecoveryFromCheckpoint) {
+  std::string dir = TempDir("checkpoint");
+  std::string digest;
+  {
+    WranglingSession session(DurableConfig(dir));
+    ASSERT_TRUE(Bootstrap(&session).ok());
+    ASSERT_TRUE(session.Run().ok());
+    Status ckpt = session.Checkpoint();
+    ASSERT_TRUE(ckpt.ok()) << ckpt.ToString();
+    EXPECT_FALSE(ListCheckpoints(dir).empty());
+    digest = KbDigest(session.kb());
+  }
+  {
+    WranglingSession session(DurableConfig(dir));
+    ASSERT_NE(session.durability(), nullptr);
+    EXPECT_GT(session.durability()->recovery().checkpoint_id, 0u);
+    EXPECT_EQ(KbDigest(session.kb()), digest);
+  }
+}
+
+TEST_F(DurabilitySessionTest, CheckpointRequiresDurability) {
+  WranglingSession session;
+  EXPECT_EQ(session.Checkpoint().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DurabilitySessionTest, OpenFailureSurfacesThroughRun) {
+  // A durability directory that cannot be created: its parent is a file.
+  std::string parent = testing::TempDir() + "/vada_dsess_not_a_dir";
+  ASSERT_TRUE(RemoveRecursively(parent).ok());
+  ASSERT_TRUE(WriteFileText(parent, "occupied").ok());
+  WranglerConfig config = DurableConfig(parent + "/wal");
+  WranglingSession session(config);
+  EXPECT_FALSE(session.durability_open_status().ok());
+  ASSERT_TRUE(session.SetTargetSchema(TargetSchema()).ok());
+  EXPECT_FALSE(session.Run().ok());
+  EXPECT_FALSE(session.Checkpoint().ok());
+}
+
+TEST_F(DurabilitySessionTest, MetricsExposeDurabilityFamilies) {
+  std::string dir = TempDir("metrics");
+  WranglingSession session(DurableConfig(dir));
+  ASSERT_TRUE(Bootstrap(&session).ok());
+  ASSERT_TRUE(session.Run().ok());
+  ASSERT_TRUE(session.Checkpoint().ok());
+  SessionMetricsReport report = session.MetricsReport();
+  ASSERT_FALSE(report.empty());
+  EXPECT_GT(report.snapshot.Value("vada_wal_records_total"), 0.0);
+  EXPECT_GT(report.snapshot.Value("vada_wal_bytes_total"), 0.0);
+  EXPECT_GT(report.snapshot.Value("vada_wal_live_bytes"), 0.0);
+  EXPECT_GT(report.snapshot.Value("vada_checkpoint_bytes"), 0.0);
+  const obs::MetricSample* ckpt =
+      report.snapshot.Find("vada_checkpoint_seconds", {});
+  ASSERT_NE(ckpt, nullptr);
+  EXPECT_EQ(ckpt->count, 1u);
+  const obs::MetricSample* rec =
+      report.snapshot.Find("vada_recovery_seconds", {});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->count, 1u);
+}
+
+}  // namespace
+}  // namespace vada

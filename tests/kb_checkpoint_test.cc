@@ -1,0 +1,449 @@
+#include "kb/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/durability.h"
+#include "kb/fs_util.h"
+#include "kb/wal.h"
+#include "kb/write_guard.h"
+#include "kb_digest_test_util.h"
+
+namespace vada {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/vada_ckpt_" + name;
+  EXPECT_TRUE(RemoveRecursively(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+KnowledgeBase SampleKb() {
+  KnowledgeBase kb;
+  EXPECT_TRUE(kb.CreateRelation(Schema("listing", {{"street", AttributeType::kString},
+                                                   {"price", AttributeType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(kb.Assert("listing", {Value::String("High St"), Value::Int(100)}).ok());
+  EXPECT_TRUE(kb.Assert("listing", {Value::String("Low \"St\""), Value::Int(-3)}).ok());
+  EXPECT_TRUE(kb.CreateRelation(Schema::Untyped("ref_prices", {"price"})).ok());
+  EXPECT_TRUE(kb.Assert("ref_prices", {Value::Double(1.5)}).ok());
+  kb.catalog().SetRole("listing", RelationRole::kSource);
+  kb.catalog().SetRole("ref_prices", RelationRole::kReference);
+  return kb;
+}
+
+TEST(CheckpointTest, WriteReadLoadRoundTrip) {
+  std::string root = TempDir("roundtrip");
+  KnowledgeBase kb = SampleKb();
+  WalPosition start{3, 0};
+  Result<CheckpointInfo> written = WriteCheckpoint(kb, root, 7, start);
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(written.value().id, 7u);
+  EXPECT_EQ(written.value().wal_start, start);
+
+  EXPECT_EQ(ListCheckpoints(root), std::vector<uint64_t>{7});
+
+  Result<CheckpointInfo> info = ReadCheckpointInfo(root, 7);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().wal_start, start);
+
+  Result<KnowledgeBase> loaded = LoadCheckpoint(root, 7);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(KbDigest(loaded.value()), KbDigest(kb));
+  EXPECT_GT(CheckpointBytes(root, 7), 0u);
+}
+
+TEST(CheckpointTest, RefusesToOverwriteExistingId) {
+  std::string root = TempDir("overwrite");
+  KnowledgeBase kb = SampleKb();
+  ASSERT_TRUE(WriteCheckpoint(kb, root, 1, {1, 0}).ok());
+  Result<CheckpointInfo> again = WriteCheckpoint(kb, root, 1, {2, 0});
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CheckpointTest, StaleTmpDirectoriesAreIgnoredAndSwept) {
+  std::string root = TempDir("tmp");
+  ASSERT_TRUE(EnsureDirectory(root + "/" + CheckpointDirName(9) + ".tmp").ok());
+  ASSERT_TRUE(WriteFileText(root + "/" + CheckpointDirName(9) + ".tmp/junk", "x").ok());
+  EXPECT_TRUE(ListCheckpoints(root).empty());
+  ASSERT_TRUE(RemoveStaleCheckpointTmp(root).ok());
+  EXPECT_FALSE(PathExists(root + "/" + CheckpointDirName(9) + ".tmp"));
+}
+
+TEST(CheckpointTest, BitFlipIsDataLoss) {
+  std::string root = TempDir("bitflip");
+  KnowledgeBase kb = SampleKb();
+  ASSERT_TRUE(WriteCheckpoint(kb, root, 1, {1, 0}).ok());
+  std::string csv = root + "/" + CheckpointDirName(1) + "/listing.csv";
+  Result<std::string> data = ReadFileText(csv);
+  ASSERT_TRUE(data.ok());
+  std::string flipped = data.value();
+  flipped[flipped.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileText(csv, flipped).ok());
+
+  Result<KnowledgeBase> loaded = LoadCheckpoint(root, 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, MissingFileIsDataLoss) {
+  std::string root = TempDir("missing");
+  KnowledgeBase kb = SampleKb();
+  ASSERT_TRUE(WriteCheckpoint(kb, root, 1, {1, 0}).ok());
+  ASSERT_TRUE(
+      RemoveRecursively(root + "/" + CheckpointDirName(1) + "/listing.csv").ok());
+  Result<KnowledgeBase> loaded = LoadCheckpoint(root, 1);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, CrashMidWriteLeavesNoFinalCheckpoint) {
+  std::string root = TempDir("crash");
+  KnowledgeBase kb = SampleKb();
+  // Count a clean write's physical ops, then kill at every single one.
+  uint64_t clean_ops;
+  {
+    CrashInjector counter;
+    ASSERT_TRUE(WriteCheckpoint(kb, root, 1, {1, 0}, &counter).ok());
+    clean_ops = counter.ops();
+    ASSERT_TRUE(RemoveCheckpoint(root, 1).ok());
+  }
+  ASSERT_GT(clean_ops, 2u);
+  for (uint64_t kill = 1; kill <= clean_ops; ++kill) {
+    CrashInjector::Schedule schedule;
+    schedule.kill_after_ops = kill;
+    CrashInjector crash(schedule);
+    Result<CheckpointInfo> written = WriteCheckpoint(kb, root, 1, {1, 0}, &crash);
+    if (!written.ok()) {
+      EXPECT_EQ(written.status().code(), StatusCode::kDataLoss);
+      // Atomicity: either the crash hit before the rename and no final
+      // directory exists (only possibly a .tmp staging dir), or it hit
+      // after (the post-rename root fsync) and the checkpoint is
+      // complete — in which case it must verify. Never a torn final dir.
+      if (!ListCheckpoints(root).empty()) {
+        EXPECT_TRUE(LoadCheckpoint(root, 1).ok()) << "kill at op " << kill;
+        ASSERT_TRUE(RemoveCheckpoint(root, 1).ok());
+      }
+      ASSERT_TRUE(RemoveStaleCheckpointTmp(root).ok());
+    } else {
+      // The kill point fell after the rename: the checkpoint is complete
+      // and must verify.
+      EXPECT_TRUE(LoadCheckpoint(root, 1).ok());
+      ASSERT_TRUE(RemoveCheckpoint(root, 1).ok());
+    }
+  }
+}
+
+TEST(DurabilityManagerTest, FreshOpenRecoversNothing) {
+  std::string root = TempDir("fresh");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(options, &kb);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_FALSE(mgr.value()->recovery().recovered);
+  EXPECT_TRUE(mgr.value()->status().ok());
+  EXPECT_EQ(kb.durability(), mgr.value().get());
+}
+
+TEST(DurabilityManagerTest, ReopenReplaysWal) {
+  std::string root = TempDir("replay");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  std::string digest;
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE(kb.CreateRelation(Schema("listing",
+                                         {{"street", AttributeType::kString},
+                                          {"price", AttributeType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(
+        kb.Assert("listing", {Value::String("High St"), Value::Int(100)}).ok());
+    kb.catalog().SetRole("listing", RelationRole::kSource);
+    ASSERT_TRUE(kb.Retract("listing",
+                           Tuple({Value::String("High St"), Value::Int(100)}))
+                    .ok());
+    ASSERT_TRUE(
+        kb.Assert("listing", {Value::String("Low St"), Value::Int(5)}).ok());
+    ASSERT_TRUE(mgr.value()->status().ok()) << mgr.value()->status().ToString();
+    digest = KbDigest(kb);
+  }
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    EXPECT_TRUE(mgr.value()->recovery().recovered);
+    EXPECT_GT(mgr.value()->recovery().replayed_records, 0u);
+    EXPECT_EQ(KbDigest(kb), digest);
+  }
+}
+
+TEST(DurabilityManagerTest, CommittedGuardReplaysRolledBackGuardDoesNot) {
+  std::string root = TempDir("txn");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  std::string digest;
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+    {
+      WriteGuard guard(&kb);
+      ASSERT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+      guard.Commit();
+    }
+    {
+      WriteGuard guard(&kb);
+      ASSERT_TRUE(kb.Assert("r", {Value::Int(2)}).ok());
+      // destructor rolls back
+    }
+    {
+      WriteGuard read_only(&kb);
+      read_only.Commit();  // record-less: must leave no WAL trace
+    }
+    digest = KbDigest(kb);
+    EXPECT_EQ(kb.FindRelation("r")->size(), 1u);
+  }
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    EXPECT_EQ(KbDigest(kb), digest);
+    ASSERT_NE(kb.FindRelation("r"), nullptr);
+    EXPECT_EQ(kb.FindRelation("r")->size(), 1u);
+  }
+}
+
+TEST(DurabilityManagerTest, TrailingUncommittedTxnIsDiscarded) {
+  std::string root = TempDir("trailing");
+  // Hand-build a WAL whose tail is an unfinished transaction.
+  {
+    WalOptions wal_options;
+    wal_options.directory = root;
+    wal_options.fsync = FsyncPolicy::kNone;
+    Result<std::unique_ptr<WalWriter>> wal = WalWriter::Open(wal_options, 1);
+    ASSERT_TRUE(wal.ok());
+    WalRecord create;
+    create.type = WalRecordType::kCreateRelation;
+    create.schema = Schema::Untyped("r", {"a"});
+    ASSERT_TRUE(wal.value()->Append(create).ok());
+    WalRecord insert;
+    insert.type = WalRecordType::kInsert;
+    insert.relation = "r";
+    insert.tuple = Tuple({Value::Int(1)});
+    ASSERT_TRUE(wal.value()->Append(insert).ok());
+    WalRecord begin;
+    begin.type = WalRecordType::kTxnBegin;
+    begin.txn_id = 5;
+    ASSERT_TRUE(wal.value()->Append(begin).ok());
+    insert.txn_id = 5;
+    insert.tuple = Tuple({Value::Int(2)});
+    ASSERT_TRUE(wal.value()->Append(insert).ok());
+    // no commit: the process "died" here
+  }
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(options, &kb);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ(mgr.value()->recovery().discarded_records, 2u);  // begin + insert
+  ASSERT_NE(kb.FindRelation("r"), nullptr);
+  EXPECT_EQ(kb.FindRelation("r")->size(), 1u);
+  EXPECT_TRUE(kb.FindRelation("r")->Contains(Tuple({Value::Int(1)})));
+}
+
+TEST(DurabilityManagerTest, CheckpointTruncatesWalAndRetainsTwo) {
+  std::string root = TempDir("retention");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  options.checkpoints_to_keep = 2;
+  std::string digest;
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+    for (int round = 0; round < 4; ++round) {
+      ASSERT_TRUE(kb.Assert("r", {Value::Int(round)}).ok());
+      ASSERT_TRUE(mgr.value()->Checkpoint().ok())
+          << mgr.value()->status().ToString();
+    }
+    EXPECT_EQ(mgr.value()->last_checkpoint_id(), 4u);
+    // Retention: exactly the last two checkpoints remain.
+    EXPECT_EQ(ListCheckpoints(root), (std::vector<uint64_t>{3, 4}));
+    // WAL segments before the oldest kept checkpoint are gone.
+    Result<CheckpointInfo> oldest = ReadCheckpointInfo(root, 3);
+    ASSERT_TRUE(oldest.ok());
+    std::vector<uint64_t> segments = ListWalSegments(root);
+    ASSERT_FALSE(segments.empty());
+    EXPECT_GE(segments.front(), oldest.value().wal_start.segment);
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(99)}).ok());
+    digest = KbDigest(kb);
+  }
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    EXPECT_EQ(mgr.value()->recovery().checkpoint_id, 4u);
+    EXPECT_EQ(KbDigest(kb), digest);
+  }
+}
+
+TEST(DurabilityManagerTest, CheckpointRefusedWhileGuardActive) {
+  std::string root = TempDir("guarded");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(options, &kb);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  WriteGuard guard(&kb);
+  Status refused = mgr.value()->Checkpoint();
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(mgr.value()->status().ok());  // refusal does not poison
+  guard.Commit();
+  EXPECT_TRUE(mgr.value()->Checkpoint().ok());
+}
+
+TEST(DurabilityManagerTest, FallsBackToOlderCheckpointOnCorruption) {
+  std::string root = TempDir("fallback");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  std::string digest_at_first_checkpoint;
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+    ASSERT_TRUE(mgr.value()->Checkpoint().ok());
+    digest_at_first_checkpoint = KbDigest(kb);
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(2)}).ok());
+    ASSERT_TRUE(mgr.value()->Checkpoint().ok());
+  }
+  // Corrupt the newest checkpoint.
+  {
+    std::string manifest = root + "/" + CheckpointDirName(2) + "/manifest.tsv";
+    Result<std::string> data = ReadFileText(manifest);
+    ASSERT_TRUE(data.ok());
+    std::string flipped = data.value();
+    flipped[0] ^= 0x02;
+    ASSERT_TRUE(WriteFileText(manifest, flipped).ok());
+  }
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    EXPECT_TRUE(mgr.value()->recovery().checkpoint_fallback);
+    EXPECT_EQ(mgr.value()->recovery().checkpoint_id, 1u);
+    // Replay from checkpoint 1's WAL start reconstructs the Int(2) insert
+    // that checkpoint 2 had absorbed.
+    ASSERT_NE(kb.FindRelation("r"), nullptr);
+    EXPECT_EQ(kb.FindRelation("r")->size(), 2u);
+  }
+}
+
+TEST(DurabilityManagerTest, AllCheckpointsCorruptAndNoWalCoverageIsFatal) {
+  std::string root = TempDir("fatal");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  options.checkpoints_to_keep = 1;  // WAL truncated up to the only checkpoint
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(1)}).ok());
+    ASSERT_TRUE(mgr.value()->Checkpoint().ok());
+  }
+  std::string checksums = root + "/" + CheckpointDirName(1) + "/checksums";
+  ASSERT_TRUE(WriteFileText(checksums, "0\tmanifest.tsv\n").ok());
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(options, &kb);
+  ASSERT_FALSE(mgr.ok());
+  EXPECT_EQ(mgr.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DurabilityManagerTest, AutoCheckpointTriggersOnByteThreshold) {
+  std::string root = TempDir("auto");
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  options.checkpoint_every_bytes = 512;
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(options, &kb);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a", "b"})).ok());
+  for (int i = 0; i < 200 && mgr.value()->last_checkpoint_id() == 0; ++i) {
+    ASSERT_TRUE(
+        kb.Assert("r", {Value::Int(i), Value::String("padding-padding")}).ok());
+  }
+  EXPECT_GT(mgr.value()->last_checkpoint_id(), 0u);
+  EXPECT_FALSE(ListCheckpoints(root).empty());
+}
+
+TEST(DurabilityManagerTest, StickyFailureKeepsKbUsable) {
+  std::string root = TempDir("sticky");
+  CrashInjector::Schedule schedule;
+  schedule.kill_after_ops = 6;
+  CrashInjector crash(schedule);
+  DurabilityOptions options;
+  options.enabled = true;
+  options.directory = root;
+  options.fsync = FsyncPolicy::kNone;
+  options.crash = &crash;
+  KnowledgeBase kb;
+  Result<std::unique_ptr<DurabilityManager>> mgr =
+      DurabilityManager::Open(options, &kb);
+  ASSERT_TRUE(mgr.ok());
+  ASSERT_TRUE(kb.CreateRelation(Schema::Untyped("r", {"a"})).ok());
+  int i = 0;
+  while (mgr.value()->status().ok()) {
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(i++)}).ok());
+    ASSERT_LT(i, 100);
+  }
+  EXPECT_EQ(mgr.value()->status().code(), StatusCode::kDataLoss);
+  // The in-memory KB keeps accepting mutations after the durable trail
+  // ended; the sticky status is the only signal.
+  EXPECT_TRUE(kb.Assert("r", {Value::Int(1000)}).ok());
+  EXPECT_TRUE(kb.FindRelation("r")->Contains(Tuple({Value::Int(1000)})));
+  EXPECT_EQ(mgr.value()->status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace vada

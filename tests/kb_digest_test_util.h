@@ -1,0 +1,35 @@
+#ifndef VADA_TESTS_KB_DIGEST_TEST_UTIL_H_
+#define VADA_TESTS_KB_DIGEST_TEST_UTIL_H_
+
+#include <string>
+
+#include "kb/knowledge_base.h"
+
+namespace vada {
+
+/// Canonical rendering of a knowledge base's full logical state —
+/// relation schemas, sorted rows, and catalog roles — so durability
+/// tests can assert byte-identical recovery: two KBs are equivalent iff
+/// their digests are equal.
+inline std::string KbDigest(const KnowledgeBase& kb) {
+  std::string out;
+  for (const std::string& name : kb.RelationNames()) {
+    const Relation* relation = kb.FindRelation(name);
+    out += relation->schema().ToString();
+    out += "\n";
+    for (const Tuple& row : relation->SortedRows()) {
+      out += "  ";
+      out += row.ToString();
+      out += "\n";
+    }
+    std::optional<RelationRole> role = kb.catalog().GetRole(name);
+    out += "  role=";
+    out += role.has_value() ? RelationRoleName(*role) : "(none)";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vada
+
+#endif  // VADA_TESTS_KB_DIGEST_TEST_UTIL_H_

@@ -17,6 +17,7 @@
 
 #include "extract/open_government.h"
 #include "extract/real_estate.h"
+#include "kb/fs_util.h"
 #include "obs/metrics.h"
 #include "transducer/fault_injection.h"
 #include "wrangler/session.h"
@@ -122,18 +123,27 @@ TEST(MetricInventoryTest, RuntimeAndDesignDocAgreeBothWays) {
   obs::MetricsRegistry registry;
 
   // 1. A full-featured wrangle: shared registry, worker pool, snapshot
-  //    cache and the introspection server (one scrape registers the
-  //    server's own request counter). MetricsReport refreshes the KB and
-  //    process gauges.
+  //    cache, durability (WAL + checkpoint + recovery families, §5i) and
+  //    the introspection server (one scrape registers the server's own
+  //    request counter). MetricsReport refreshes the KB and process
+  //    gauges.
   {
+    std::string wal_dir = testing::TempDir() + "/vada_metric_inventory_wal";
+    ASSERT_TRUE(RemoveRecursively(wal_dir).ok());  // fresh durable state
     WranglerConfig config;
     config.obs.registry = &registry;
     config.obs.http_port = 0;
     config.parallelism.threads = 2;
     config.parallelism.snapshot_cache = true;
+    config.durability.enabled = true;
+    config.durability.directory = wal_dir;
+    config.durability.fsync = FsyncPolicy::kEveryCommit;
     WranglingSession session(config);
+    ASSERT_TRUE(session.durability_open_status().ok())
+        << session.durability_open_status().ToString();
     ASSERT_TRUE(Bootstrap(&session).ok());
     ASSERT_TRUE(session.Run().ok());
+    ASSERT_TRUE(session.Checkpoint().ok());
     ASSERT_NE(session.obs().http_server(), nullptr);
     Touch(session.obs().http_port(), "/metrics");
     (void)session.MetricsReport();

@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include "common/rng.h"
+#include "kb/fs_util.h"
 #include "kb/persistence.h"
 
 namespace vada {
@@ -113,6 +115,98 @@ TEST(PersistenceTest, NonManifestDirectoryFails) {
   fputs("something else\n", f);
   fclose(f);
   EXPECT_FALSE(LoadKnowledgeBase(dir).ok());
+}
+
+TEST(CellCodecTest, SeededPropertyRoundTrip) {
+  // Random values across every type, biased toward encoding hazards:
+  // embedded quotes, newlines, tabs, commas, empty strings vs nulls,
+  // number-like and bool-like strings, negative and large magnitudes.
+  Rng rng(987654321);
+  static const std::vector<std::string> kHazards = {
+      "", " ", ",", "\"", "\"\"", "a,b", "line1\nline2", "tab\there",
+      "42", "-17", "2.5", "true", "false", "null", "\\", "trail\\\"",
+      "\r\n", "héllo wörld"};
+  for (int i = 0; i < 2000; ++i) {
+    Value v;
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        v = Value::Null();
+        break;
+      case 1:
+        v = Value::Bool(rng.Bernoulli(0.5));
+        break;
+      case 2:
+        // Full signed range, including INT64_MIN/MAX edges.
+        v = rng.Bernoulli(0.1)
+                ? Value::Int(rng.Bernoulli(0.5)
+                                 ? std::numeric_limits<int64_t>::max()
+                                 : std::numeric_limits<int64_t>::min())
+                : Value::Int(rng.UniformInt(-1000000000000, 1000000000000));
+        break;
+      case 3:
+        v = Value::Double((rng.UniformDouble() - 0.5) * 1e12);
+        break;
+      default:
+        if (rng.Bernoulli(0.5)) {
+          v = Value::String(rng.Choice(kHazards));
+        } else {
+          std::string s;
+          size_t len = rng.Index(12);
+          for (size_t k = 0; k < len; ++k) {
+            s += static_cast<char>(rng.UniformInt(32, 126));
+          }
+          v = Value::String(s);
+        }
+    }
+    std::string cell = EncodeCell(v);
+    Result<Value> back = DecodeCell(cell);
+    ASSERT_TRUE(back.ok()) << "iteration " << i << ": " << cell << ": "
+                           << back.status().ToString();
+    EXPECT_EQ(back.value(), v) << "iteration " << i << ": " << cell;
+  }
+}
+
+TEST(PersistenceTest, ResaveDropsStaleRelationFiles) {
+  KnowledgeBase kb = SampleKb();
+  std::string dir = TempDir("stale");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  ASSERT_TRUE(PathExists(dir + "/notes.csv"));
+
+  ASSERT_TRUE(kb.DropRelation("notes").ok());
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  // The dropped relation's CSV must not linger from the previous save.
+  EXPECT_FALSE(PathExists(dir + "/notes.csv"));
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded.value().HasRelation("notes"));
+}
+
+TEST(PersistenceTest, SaveStagesThenRenamesAtomically) {
+  KnowledgeBase kb = SampleKb();
+  std::string dir = TempDir("atomic");
+  ASSERT_TRUE(RemoveRecursively(dir).ok());
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  // No staging or parked-old residue after a clean save.
+  EXPECT_FALSE(PathExists(dir + ".tmp-save"));
+  EXPECT_FALSE(PathExists(dir + ".old"));
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  EXPECT_FALSE(PathExists(dir + ".tmp-save"));
+  EXPECT_FALSE(PathExists(dir + ".old"));
+}
+
+TEST(PersistenceTest, LoadFallsBackToParkedOldImage) {
+  // A crash between "park the old image" and "rename the new one in"
+  // leaves only `<dir>.old`; the loader must fall back to it.
+  KnowledgeBase kb = SampleKb();
+  std::string dir = TempDir("fallback");
+  ASSERT_TRUE(RemoveRecursively(dir).ok());
+  ASSERT_TRUE(RemoveRecursively(dir + ".old").ok());
+  ASSERT_TRUE(SaveKnowledgeBase(kb, dir).ok());
+  ASSERT_TRUE(RenamePath(dir, dir + ".old").ok());
+
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().RelationNames(), kb.RelationNames());
 }
 
 TEST(PersistenceTest, EmptyRelationsSurvive) {

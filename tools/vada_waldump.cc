@@ -1,0 +1,228 @@
+// vada_waldump: inspect and verify VADA knowledge-base durability state.
+//
+//   vada_waldump [options] <durability-dir>
+//
+// Walks the write-ahead log (and checkpoint inventory) of a durability
+// directory produced by a session running with durability enabled
+// (DESIGN.md §5i). By default prints one human-readable line per WAL
+// record plus a trailer with totals; --json emits one machine-readable
+// document instead. --verify prints only the trailer and exits nonzero
+// when the log has a torn tail or a checkpoint fails its checksums —
+// suitable for backup validation cron jobs.
+
+#include <cinttypes>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "kb/checkpoint.h"
+#include "kb/fs_util.h"
+#include "kb/wal.h"
+
+namespace {
+
+using vada::CheckpointInfo;
+using vada::ListCheckpoints;
+using vada::ListWalSegments;
+using vada::ReadCheckpointInfo;
+using vada::ScanWal;
+using vada::Status;
+using vada::WalPosition;
+using vada::WalReadStats;
+using vada::WalRecord;
+using vada::WalRecordType;
+using vada::WalRecordTypeName;
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] <durability-dir>\n"
+      << "\n"
+      << "Dump and verify a VADA knowledge-base WAL + checkpoint directory.\n"
+      << "\n"
+      << "options:\n"
+      << "  --verify   no record listing; verify every checkpoint's\n"
+      << "             checksums and the whole WAL, exit 1 on corruption\n"
+      << "             (a torn tail, which recovery tolerates, exits 1 so\n"
+      << "             operators notice; everything intact exits 0)\n"
+      << "  --json     one JSON document: checkpoints, records, trailer\n"
+      << "  -h, --help this message\n";
+  return 2;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RecordJson(const WalRecord& r, const WalPosition& at) {
+  std::string out = "{\"segment\":" + std::to_string(at.segment) +
+                    ",\"end_offset\":" + std::to_string(at.offset) +
+                    ",\"type\":\"" + WalRecordTypeName(r.type) +
+                    "\",\"txn\":" + std::to_string(r.txn_id);
+  switch (r.type) {
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kCreateRelation:
+      out += ",\"schema\":\"" + JsonEscape(r.schema.ToString()) + "\"";
+      break;
+    case WalRecordType::kInsert:
+    case WalRecordType::kRetract:
+      out += ",\"relation\":\"" + JsonEscape(r.relation) +
+             "\",\"tuple\":\"" + JsonEscape(r.tuple.ToString()) + "\"";
+      break;
+    case WalRecordType::kClear:
+    case WalRecordType::kDrop:
+      out += ",\"relation\":\"" + JsonEscape(r.relation) + "\"";
+      break;
+    case WalRecordType::kCatalogRole:
+      out += ",\"relation\":\"" + JsonEscape(r.relation) + "\",\"role\":\"";
+      out += r.role_removed ? "(removed)" : vada::RelationRoleName(r.role);
+      out += "\"";
+      break;
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool verify = false;
+  bool json = false;
+  std::string directory;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      return Usage(argv[0]);
+    } else if (argv[i][0] == '-') {
+      std::cerr << "unknown option: " << argv[i] << "\n";
+      return Usage(argv[0]);
+    } else if (directory.empty()) {
+      directory = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (directory.empty()) return Usage(argv[0]);
+  if (!vada::IsDirectory(directory)) {
+    std::cerr << argv[0] << ": " << directory << " is not a directory\n";
+    return 2;
+  }
+
+  bool corrupt = false;
+
+  // Checkpoints first: id, WAL start and checksum verdict for each.
+  struct CheckpointLine {
+    uint64_t id;
+    bool ok;
+    std::string detail;  // wal start or failure reason
+  };
+  std::vector<CheckpointLine> checkpoints;
+  for (uint64_t id : ListCheckpoints(directory)) {
+    vada::Result<CheckpointInfo> info = ReadCheckpointInfo(directory, id);
+    if (info.ok()) {
+      checkpoints.push_back(
+          {id, true, "wal start " + info.value().wal_start.ToString()});
+    } else {
+      corrupt = true;
+      checkpoints.push_back({id, false, info.status().message()});
+    }
+  }
+
+  std::string records_json;
+  WalReadStats stats;
+  WalPosition from{0, 0};
+  std::vector<uint64_t> segments = ListWalSegments(directory);
+  if (!segments.empty()) from.segment = segments.front();
+  Status scan = ScanWal(
+      directory, from,
+      [&](const WalRecord& r, const WalPosition& at) -> Status {
+        if (!verify) {
+          if (json) {
+            if (!records_json.empty()) records_json += ",\n  ";
+            records_json += RecordJson(r, at);
+          } else {
+            std::printf("%010" PRIu64 ":%08" PRIu64 " %s\n", at.segment,
+                        at.offset, r.ToString().c_str());
+          }
+        }
+        return Status::OK();
+      },
+      &stats);
+  if (!scan.ok()) {
+    std::cerr << argv[0] << ": " << scan.ToString() << "\n";
+    return 2;
+  }
+  if (stats.torn_tail) corrupt = true;
+
+  if (json) {
+    std::string out = "{\n  \"directory\": \"" + JsonEscape(directory) +
+                      "\",\n  \"checkpoints\": [";
+    for (size_t i = 0; i < checkpoints.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"id\":" + std::to_string(checkpoints[i].id) +
+             ",\"valid\":" + (checkpoints[i].ok ? "true" : "false") +
+             ",\"detail\":\"" + JsonEscape(checkpoints[i].detail) + "\"}";
+    }
+    out += "],\n  \"records\": [";
+    if (!records_json.empty()) out += "\n  " + records_json + "\n  ";
+    out += "],\n";
+    out += "  \"record_count\": " + std::to_string(stats.records) + ",\n";
+    out += "  \"commits\": " + std::to_string(stats.commits) + ",\n";
+    out += "  \"aborts\": " + std::to_string(stats.aborts) + ",\n";
+    out += "  \"bytes\": " + std::to_string(stats.bytes) + ",\n";
+    out += std::string("  \"torn_tail\": ") +
+           (stats.torn_tail ? "true" : "false") + ",\n";
+    out += "  \"torn_reason\": \"" + JsonEscape(stats.torn_reason) + "\",\n";
+    out += "  \"end\": \"" + stats.end.ToString() + "\"\n}";
+    std::cout << out << "\n";
+  } else {
+    for (const CheckpointLine& c : checkpoints) {
+      std::printf("checkpoint %" PRIu64 ": %s%s\n", c.id,
+                  c.ok ? "" : "CORRUPT: ", c.detail.c_str());
+    }
+    std::printf(
+        "%" PRIu64 " records (%" PRIu64 " commits, %" PRIu64
+        " aborts), %" PRIu64 " bytes, end at %s\n",
+        stats.records, stats.commits, stats.aborts, stats.bytes,
+        stats.end.ToString().c_str());
+    if (stats.torn_tail) {
+      std::printf("TORN TAIL: %s\n", stats.torn_reason.c_str());
+    }
+  }
+  return corrupt ? 1 : 0;
+}
