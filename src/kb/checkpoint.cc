@@ -175,7 +175,11 @@ Status RemoveCheckpoint(const std::string& root, uint64_t id) {
 
 Status RemoveStaleCheckpointTmp(const std::string& root) {
   for (const std::string& name : ListDirectory(root)) {
-    if (StartsWith(name, "checkpoint-") && EndsWith(name, ".tmp")) {
+    // Matches both `checkpoint-<id>.tmp` and deeper staging remnants a
+    // crash can strand next to it (`checkpoint-<id>.tmp.tmp-save` from
+    // SaveKnowledgeBase's own staging inside WriteCheckpoint).
+    if (StartsWith(name, "checkpoint-") &&
+        name.find(".tmp") != std::string::npos) {
       VADA_RETURN_IF_ERROR(RemoveRecursively(root + "/" + name));
     }
   }

@@ -107,6 +107,14 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
     mgr->recovery_.checkpoint_id = id;
     mgr->last_checkpoint_id_ = id;
     have_checkpoint = true;
+    // Corrupt newer checkpoints must not outlive the fallback: left on
+    // disk, the next Checkpoint() would pick id last_checkpoint_id_ + 1
+    // and collide with one of them (AlreadyExists), permanently
+    // poisoning the manager.
+    for (size_t j = i + 1; j < checkpoint_ids.size(); ++j) {
+      VADA_RETURN_IF_ERROR(
+          RemoveCheckpoint(options.directory, checkpoint_ids[j]));
+    }
     break;
   }
   if (!have_checkpoint && !checkpoint_ids.empty()) {
@@ -204,10 +212,13 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
   repaired.end = last_committed;
   VADA_RETURN_IF_ERROR(TruncateWalAfter(options.directory, repaired));
   std::vector<uint64_t> segments = ListWalSegments(options.directory);
-  uint64_t first_segment =
-      !segments.empty() ? segments.back() + 1
-      : have_checkpoint ? replay_from.segment + 1
-                        : 1;
+  uint64_t first_segment = segments.empty() ? 1 : segments.back() + 1;
+  if (have_checkpoint && first_segment <= replay_from.segment) {
+    // Only pre-checkpoint segments survive (the start segment itself is
+    // gone): a writer at or below the checkpoint's replay position
+    // would append records the next replay skips, so jump past it.
+    first_segment = replay_from.segment + 1;
+  }
 
   WalOptions wal_options;
   wal_options.directory = options.directory;

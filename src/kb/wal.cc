@@ -445,6 +445,15 @@ Status WalWriter::OpenSegment(uint64_t seq) {
     sticky_error_ = Status::Internal("cannot create " + SegmentPath(seq));
     return sticky_error_;
   }
+  if (options_.fsync != FsyncPolicy::kNone) {
+    // The segment's directory entry must survive power loss too — an
+    // fsync'd record in a file the directory forgot is still lost.
+    Status synced = SyncPath(options_.directory);
+    if (!synced.ok()) {
+      sticky_error_ = synced;
+      return sticky_error_;
+    }
+  }
   segment_seq_ = seq;
   segment_offset_ = 0;
   std::string header = SegmentHeader(seq);
@@ -530,6 +539,7 @@ Result<WalPosition> WalWriter::Rotate() {
 
 Status WalWriter::DeleteSegmentsBefore(uint64_t segment) {
   VADA_RETURN_IF_ERROR(sticky_error_);
+  bool deleted = false;
   for (uint64_t seq : ListWalSegments(options_.directory)) {
     if (seq >= segment || seq == segment_seq_) continue;
     std::string path = SegmentPath(seq);
@@ -541,6 +551,10 @@ Status WalWriter::DeleteSegmentsBefore(uint64_t segment) {
     }
     VADA_RETURN_IF_ERROR(RemoveRecursively(path));
     live_bytes_ -= bytes < live_bytes_ ? bytes : live_bytes_;
+    deleted = true;
+  }
+  if (deleted && options_.fsync != FsyncPolicy::kNone) {
+    VADA_RETURN_IF_ERROR(SyncPath(options_.directory));
   }
   if (segment > oldest_segment_) oldest_segment_ = segment;
   return Status::OK();
@@ -589,6 +603,17 @@ Status ScanWal(const std::string& directory, WalPosition from,
   bool first = true;
   for (uint64_t seq : segments) {
     if (seq < from.segment) continue;
+    if (first && seq != from.segment && from.offset > 0) {
+      // A non-zero start offset is a checkpoint resume position, so the
+      // start segment once existed. Its absence while later segments
+      // survive means committed history between the checkpoint and
+      // `seq` is gone — report torn rather than silently replaying the
+      // disconnected suffix on top of an incomplete prefix.
+      torn("missing WAL segment " + std::to_string(from.segment) +
+               " at replay start",
+           st->end);
+      return Status::OK();
+    }
     if (!first && seq != expected_next) {
       // A gap in the sequence: everything past the gap is unreachable
       // (its predecessor was lost), so treat the log as ending here.
@@ -665,10 +690,12 @@ Status ScanWal(const std::string& directory, WalPosition from,
 
 Status TruncateWalAfter(const std::string& directory,
                         const WalReadStats& stats) {
+  bool modified = false;
   for (uint64_t seq : ListWalSegments(directory)) {
     std::string path = directory + "/" + SegmentFileName(seq);
     if (seq > stats.end.segment) {
       VADA_RETURN_IF_ERROR(RemoveRecursively(path));
+      modified = true;
       continue;
     }
     if (seq == stats.end.segment &&
@@ -678,13 +705,21 @@ Status TruncateWalAfter(const std::string& directory,
       // torn, so remove the whole segment.
       if (stats.end.offset < kSegmentHeaderBytes) {
         VADA_RETURN_IF_ERROR(RemoveRecursively(path));
+        modified = true;
         continue;
       }
       if (::truncate(path.c_str(),
                      static_cast<off_t>(stats.end.offset)) != 0) {
         return Status::Internal("cannot truncate " + path);
       }
+      VADA_RETURN_IF_ERROR(SyncPath(path));
+      modified = true;
     }
+  }
+  // Repair happens once per recovery; make it durable unconditionally
+  // so a discarded tail cannot reappear after power loss.
+  if (modified) {
+    VADA_RETURN_IF_ERROR(SyncPath(directory));
   }
   return Status::OK();
 }

@@ -66,9 +66,15 @@ TEST(CheckpointTest, StaleTmpDirectoriesAreIgnoredAndSwept) {
   std::string root = TempDir("tmp");
   ASSERT_TRUE(EnsureDirectory(root + "/" + CheckpointDirName(9) + ".tmp").ok());
   ASSERT_TRUE(WriteFileText(root + "/" + CheckpointDirName(9) + ".tmp/junk", "x").ok());
+  // A crash inside SaveKnowledgeBase's staging strands this sibling of
+  // the checkpoint tmp dir; it must be swept too, not leak forever.
+  std::string save_stage = root + "/" + CheckpointDirName(7) + ".tmp.tmp-save";
+  ASSERT_TRUE(EnsureDirectory(save_stage).ok());
+  ASSERT_TRUE(WriteFileText(save_stage + "/junk", "x").ok());
   EXPECT_TRUE(ListCheckpoints(root).empty());
   ASSERT_TRUE(RemoveStaleCheckpointTmp(root).ok());
   EXPECT_FALSE(PathExists(root + "/" + CheckpointDirName(9) + ".tmp"));
+  EXPECT_FALSE(PathExists(save_stage));
 }
 
 TEST(CheckpointTest, BitFlipIsDataLoss) {
@@ -358,6 +364,7 @@ TEST(DurabilityManagerTest, FallsBackToOlderCheckpointOnCorruption) {
     flipped[0] ^= 0x02;
     ASSERT_TRUE(WriteFileText(manifest, flipped).ok());
   }
+  std::string digest_after_fallback;
   {
     KnowledgeBase kb;
     Result<std::unique_ptr<DurabilityManager>> mgr =
@@ -369,6 +376,25 @@ TEST(DurabilityManagerTest, FallsBackToOlderCheckpointOnCorruption) {
     // that checkpoint 2 had absorbed.
     ASSERT_NE(kb.FindRelation("r"), nullptr);
     EXPECT_EQ(kb.FindRelation("r")->size(), 2u);
+    // The corrupt checkpoint 2 was discarded during recovery, so a new
+    // checkpoint (which reuses id 2) must not collide with its remains.
+    EXPECT_EQ(ListCheckpoints(root), (std::vector<uint64_t>{1}));
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(3)}).ok());
+    ASSERT_TRUE(mgr.value()->Checkpoint().ok())
+        << mgr.value()->status().ToString();
+    EXPECT_EQ(mgr.value()->last_checkpoint_id(), 2u);
+    ASSERT_TRUE(kb.Assert("r", {Value::Int(4)}).ok());
+    EXPECT_TRUE(mgr.value()->status().ok());  // WAL still logging
+    digest_after_fallback = KbDigest(kb);
+  }
+  {
+    KnowledgeBase kb;
+    Result<std::unique_ptr<DurabilityManager>> mgr =
+        DurabilityManager::Open(options, &kb);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    EXPECT_FALSE(mgr.value()->recovery().checkpoint_fallback);
+    EXPECT_EQ(mgr.value()->recovery().checkpoint_id, 2u);
+    EXPECT_EQ(KbDigest(kb), digest_after_fallback);
   }
 }
 

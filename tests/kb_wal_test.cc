@@ -350,6 +350,52 @@ TEST(WalScanTest, StopsAtSegmentGap) {
   EXPECT_EQ(stats.end.segment, segments[0]);
 }
 
+TEST(WalScanTest, MissingReplayStartSegmentIsTornNotSilentlySkipped) {
+  std::string dir = TempDir("missing_start");
+  WalOptions options;
+  options.directory = dir;
+  options.fsync = FsyncPolicy::kNone;
+  WalPosition resume;
+  {
+    Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(options, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(
+        writer.value()->Append(InsertRecord("rel", Tuple({Value::Int(1)}))).ok());
+    // A checkpoint-style resume position: segment 2, past its header.
+    Result<WalPosition> rotated = writer.value()->Rotate();
+    ASSERT_TRUE(rotated.ok());
+    resume = rotated.value();
+    ASSERT_GT(resume.offset, 0u);
+    ASSERT_TRUE(
+        writer.value()->Append(InsertRecord("rel", Tuple({Value::Int(2)}))).ok());
+    ASSERT_TRUE(writer.value()->Rotate().ok());
+    ASSERT_TRUE(
+        writer.value()->Append(InsertRecord("rel", Tuple({Value::Int(3)}))).ok());
+  }
+  // Lose the resume-position segment while a later one survives: the
+  // scan must flag the gap, not replay the disconnected suffix.
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s/wal-%010llu.log", dir.c_str(),
+                static_cast<unsigned long long>(resume.segment));
+  ASSERT_TRUE(RemoveRecursively(name).ok());
+
+  WalReadStats stats;
+  std::vector<WalRecord> records;
+  Status s = ScanWal(
+      dir, resume,
+      [&](const WalRecord& r, const WalPosition&) -> Status {
+        records.push_back(r);
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(stats.torn_tail);
+  EXPECT_NE(stats.torn_reason.find("missing"), std::string::npos)
+      << stats.torn_reason;
+  EXPECT_EQ(stats.end, resume);
+}
+
 TEST(CrashInjectorTest, KillsAtScheduledOpAndStaysDead) {
   CrashInjector::Schedule schedule;
   schedule.kill_after_ops = 3;
