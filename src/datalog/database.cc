@@ -1,19 +1,57 @@
 #include "datalog/database.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace vada::datalog {
-
 namespace {
-const std::vector<Tuple>& EmptyFacts() {
-  static const std::vector<Tuple>* empty = new std::vector<Tuple>();
-  return *empty;
+
+/// Approximate heap bytes of one unordered_map from a POD key to a
+/// row-index posting vector (the dedup table and the eager per-column
+/// indexes share this shape): node overhead, key/value pair, and each
+/// posting vector's payload.
+template <typename Map>
+size_t MapApproxBytes(const Map& map) {
+  size_t bytes = map.bucket_count() * sizeof(void*);
+  for (const auto& [key, postings] : map) {
+    bytes += sizeof(key) + sizeof(postings) + 2 * sizeof(void*);
+    bytes += postings.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
 }
 
-size_t PostingListBytes(const std::vector<size_t>& postings) {
-  return sizeof(postings) + postings.capacity() * sizeof(size_t);
-}
 }  // namespace
+
+size_t Database::View::rows() const {
+  return static_cast<const PredicateStore*>(store_)->rows;
+}
+
+size_t Database::View::arity() const {
+  return static_cast<const PredicateStore*>(store_)->arity;
+}
+
+const SymbolId* Database::View::column(size_t pos) const {
+  return static_cast<const PredicateStore*>(store_)->columns[pos].data();
+}
+
+const std::vector<uint32_t>* Database::View::LookupId(size_t position,
+                                                      SymbolId id) const {
+  const auto* store = static_cast<const PredicateStore*>(store_);
+  if (position >= store->indexes.size()) return nullptr;
+  auto it = store->indexes[position].find(id);
+  if (it == store->indexes[position].end()) return nullptr;
+  return &it->second;
+}
+
+bool Database::View::ContainsIds(const SymbolId* ids) const {
+  const auto* store = static_cast<const PredicateStore*>(store_);
+  auto it = store->dedup.find(RowHash(ids, store->arity));
+  if (it == store->dedup.end()) return false;
+  for (uint32_t row : it->second) {
+    if (store->RowEquals(row, ids)) return true;
+  }
+  return false;
+}
 
 Database::Database() : index_cache_(std::make_unique<IndexCache>()) {}
 
@@ -39,30 +77,51 @@ const Database::PredicateStore* Database::Find(
   return nullptr;
 }
 
-bool Database::Insert(const std::string& predicate, Tuple t) {
+bool Database::Insert(const std::string& predicate, const Tuple& t) {
+  SymbolTable& table = SymbolTable::Global();
+  SymbolId local[8];
+  std::vector<SymbolId> heap;
+  SymbolId* ids = local;
+  if (t.size() > 8) {
+    heap.resize(t.size());
+    ids = heap.data();
+  }
+  for (size_t i = 0; i < t.size(); ++i) ids[i] = table.Intern(t.at(i));
+  return InsertIds(predicate, ids, t.size());
+}
+
+bool Database::InsertIds(const std::string& predicate, const SymbolId* ids,
+                         size_t n) {
   if (!shared_.empty()) {
     auto sit = shared_.find(predicate);
     if (sit != shared_.end() && stores_.count(predicate) == 0) {
       // Copy-on-write: detach the borrowed predicate before mutating.
+      // Columnar detach copies flat id vectors — no string traffic.
       stores_[predicate] = *sit->second.store;
       shared_.erase(sit);
     }
   }
   PredicateStore& store = stores_[predicate];
   if (!store.arity_set) {
-    store.arity = t.size();
+    store.arity = n;
     store.arity_set = true;
-    store.indexes.resize(store.arity);
-  } else if (t.size() != store.arity) {
+    store.columns.resize(n);
+    store.indexes.resize(n);
+  } else if (n != store.arity) {
     return false;
   }
-  auto [it, added] = store.set.insert(t);
-  if (!added) return false;
-  size_t idx = store.facts.size();
-  for (size_t pos = 0; pos < store.arity; ++pos) {
-    store.indexes[pos][t.at(pos)].push_back(idx);
+  uint64_t hash = RowHash(ids, n);
+  std::vector<uint32_t>& chain = store.dedup[hash];
+  for (uint32_t row : chain) {
+    if (store.RowEquals(row, ids)) return false;
   }
-  store.facts.push_back(std::move(t));
+  uint32_t row = static_cast<uint32_t>(store.rows);
+  for (size_t pos = 0; pos < n; ++pos) {
+    store.columns[pos].push_back(ids[pos]);
+    store.indexes[pos][ids[pos]].push_back(row);
+  }
+  chain.push_back(row);
+  ++store.rows;
   // Composite indexes over this predicate are stale now; they rebuild
   // lazily on the next probe. (A moved-from database has no cache.)
   if (index_cache_ != nullptr) {
@@ -94,17 +153,20 @@ const BoundIndex* Database::EnsureBoundIndex(
   auto iit = per_predicate.find(positions);
   if (iit == per_predicate.end()) {
     BoundIndex index;
-    index.buckets.reserve(store.facts.size());
-    for (size_t i = 0; i < store.facts.size(); ++i) {
-      std::vector<Value> key;
-      key.reserve(positions.size());
-      for (size_t pos : positions) key.push_back(store.facts[i].at(pos));
-      index.buckets[Tuple(std::move(key))].push_back(i);
+    index.buckets.reserve(store.rows);
+    std::vector<SymbolId> key(positions.size());
+    for (size_t row = 0; row < store.rows; ++row) {
+      for (size_t k = 0; k < positions.size(); ++k) {
+        key[k] = store.columns[positions[k]][row];
+      }
+      index.buckets[key].push_back(static_cast<uint32_t>(row));
     }
     size_t bytes = sizeof(BoundIndex) +
                    index.buckets.bucket_count() * sizeof(void*);
-    for (const auto& [key, postings] : index.buckets) {
-      bytes += key.ApproxBytes() + PostingListBytes(postings);
+    for (const auto& [bucket_key, postings] : index.buckets) {
+      bytes += sizeof(bucket_key) + bucket_key.capacity() * sizeof(SymbolId) +
+               sizeof(postings) + postings.capacity() * sizeof(uint32_t) +
+               2 * sizeof(void*);
     }
     index.approx_bytes = bytes;
     iit = per_predicate.emplace(positions, std::move(index)).first;
@@ -118,15 +180,11 @@ size_t Database::ApproxBytes(const std::string& predicate) const {
   if (it == stores_.end()) return 0;
   const PredicateStore& store = it->second;
   size_t bytes = sizeof(PredicateStore);
-  for (const Tuple& t : store.facts) bytes += t.ApproxBytes();
-  for (const Tuple& t : store.set) bytes += t.ApproxBytes();
-  bytes += store.set.bucket_count() * sizeof(void*);
-  for (const auto& column : store.indexes) {
-    bytes += column.bucket_count() * sizeof(void*);
-    for (const auto& [value, postings] : column) {
-      bytes += value.ApproxBytes() + PostingListBytes(postings);
-    }
+  for (const auto& column : store.columns) {
+    bytes += column.capacity() * sizeof(SymbolId);
   }
+  bytes += MapApproxBytes(store.dedup);
+  for (const auto& index : store.indexes) bytes += MapApproxBytes(index);
   return bytes;
 }
 
@@ -170,35 +228,56 @@ void Database::AttachShared(std::shared_ptr<const Database> base) {
 
 bool Database::Contains(const std::string& predicate, const Tuple& t) const {
   const PredicateStore* store = Find(predicate);
-  return store != nullptr && store->set.count(t) > 0;
+  if (store == nullptr || !store->arity_set || store->arity != t.size()) {
+    return false;
+  }
+  // Find, not Intern: a Value nobody ever interned cannot be stored
+  // anywhere, and containment checks must not grow the global table.
+  SymbolTable& table = SymbolTable::Global();
+  SymbolId local[8];
+  std::vector<SymbolId> heap;
+  SymbolId* ids = local;
+  if (t.size() > 8) {
+    heap.resize(t.size());
+    ids = heap.data();
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    std::optional<SymbolId> id = table.Find(t.at(i));
+    if (!id.has_value()) return false;
+    ids[i] = *id;
+  }
+  return View(store).ContainsIds(ids);
 }
 
-const std::vector<Tuple>& Database::facts(const std::string& predicate) const {
+std::vector<Tuple> Database::facts(const std::string& predicate) const {
+  std::vector<Tuple> out;
   const PredicateStore* store = Find(predicate);
-  if (store == nullptr) return EmptyFacts();
-  return store->facts;
+  if (store == nullptr) return out;
+  const SymbolTable& table = SymbolTable::Global();
+  out.reserve(store->rows);
+  std::vector<Value> values(store->arity);
+  for (size_t row = 0; row < store->rows; ++row) {
+    for (size_t pos = 0; pos < store->arity; ++pos) {
+      values[pos] = table.value(store->columns[pos][row]);
+    }
+    out.emplace_back(values);
+  }
+  return out;
 }
 
-const std::vector<size_t>* Database::Lookup(const std::string& predicate,
-                                            size_t position,
-                                            const Value& value) const {
-  const PredicateStore* store = Find(predicate);
-  if (store == nullptr) return nullptr;
-  if (position >= store->indexes.size()) return nullptr;
-  auto vit = store->indexes[position].find(value);
-  if (vit == store->indexes[position].end()) return nullptr;
-  return &vit->second;
+Database::View Database::view(const std::string& predicate) const {
+  return View(Find(predicate));
 }
 
 size_t Database::FactCount(const std::string& predicate) const {
   const PredicateStore* store = Find(predicate);
-  return store == nullptr ? 0 : store->facts.size();
+  return store == nullptr ? 0 : store->rows;
 }
 
 size_t Database::TotalFacts() const {
   size_t total = 0;
-  for (const auto& [name, store] : stores_) total += store.facts.size();
-  for (const auto& [name, view] : shared_) total += view.store->facts.size();
+  for (const auto& [name, store] : stores_) total += store.rows;
+  for (const auto& [name, view] : shared_) total += view.store->rows;
   return total;
 }
 

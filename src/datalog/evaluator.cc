@@ -9,6 +9,7 @@
 
 #include "datalog/analysis/dataflow/optimizer.h"
 #include "datalog/explain.h"
+#include "datalog/symbol_table.h"
 #include "obs/span.h"
 
 namespace vada::datalog {
@@ -74,18 +75,49 @@ bool EvalComparison(CompareOp op, const Value& a, const Value& b) {
 
 // ---------------------------------------------------------------------------
 // Rule compilation: variables become dense slots; literals are put into a
-// bind-aware execution order once, not per tuple.
+// bind-aware execution order once, not per tuple. Constants are interned
+// once here, so the execution hot path never hashes a Value — join
+// equality is uint32 symbol-id equality throughout (DESIGN.md §5j).
+// Value-semantics operations (comparisons, arithmetic, aggregation) are
+// the one place ids are materialized back into Values, because they need
+// numeric coercion that id identity cannot express.
 // ---------------------------------------------------------------------------
 
 struct CompiledTerm {
   bool is_var = false;
-  int slot = -1;   // when is_var
-  Value constant;  // when !is_var
+  int slot = -1;            // when is_var
+  Value constant;           // when !is_var
+  SymbolId const_id = kNoSymbol;  // interned `constant` (when !is_var)
 };
 
 struct CompiledAtom {
   std::string predicate;
   std::vector<CompiledTerm> terms;
+};
+
+/// The per-row match plan of one positive atom, fixed at compile time.
+/// Because execution follows the compiled order (atoms bind every
+/// variable they mention, assignments always bind theirs), the static
+/// bound/unbound split below equals the runtime binding state at literal
+/// entry, so the inner candidate loop is branch-free over these lists:
+/// pure id comparisons, then slot writes.
+struct AtomMatchPlan {
+  struct PosId {
+    uint32_t pos;
+    SymbolId id;
+  };
+  struct PosSlot {
+    uint32_t pos;
+    int slot;
+  };
+  struct PosPos {
+    uint32_t pos;    // this column...
+    uint32_t other;  // ...must equal this earlier column (repeated var)
+  };
+  std::vector<PosId> const_checks;    // column == interned constant
+  std::vector<PosSlot> bound_checks;  // column == already-bound slot id
+  std::vector<PosPos> self_checks;    // within-atom repeated variable
+  std::vector<PosSlot> binds;         // first occurrence: bind slot
 };
 
 struct CompiledLiteral {
@@ -103,6 +135,8 @@ struct CompiledLiteral {
   /// the order is fixed at compile time; this is the key set the
   /// composite index probe uses. Sorted ascending.
   std::vector<size_t> bound_positions;
+  /// For positive atoms: the vectorized probe-loop plan (see above).
+  AtomMatchPlan match;
   /// Position of this literal in the rule's *declared* body (the
   /// compiled body is in execution order) — EXPLAIN reports both.
   size_t body_index = 0;
@@ -152,7 +186,8 @@ class RuleCompiler {
 
     // Compile in execution order, tracking which slots are bound when
     // each literal starts — that static set is exactly the runtime
-    // binding state at literal entry, so it names the index key columns.
+    // binding state at literal entry, so it names the index key columns
+    // and splits the match plan into checks vs. binds.
     std::set<int> bound_slots;
     for (size_t oi = 0; oi < order.size(); ++oi) {
       size_t body_index = order[oi];
@@ -162,10 +197,22 @@ class RuleCompiler {
       cl.estimated_cost = plan[oi].estimated_cost;
       cl.static_prior = plan[oi].static_prior;
       if (cl.kind == Literal::Kind::kAtom) {
+        std::map<int, uint32_t> first_pos;  // slot -> binding column
         for (size_t i = 0; i < cl.atom.terms.size(); ++i) {
           const CompiledTerm& t = cl.atom.terms[i];
-          if (!t.is_var || bound_slots.count(t.slot) > 0) {
+          uint32_t pos = static_cast<uint32_t>(i);
+          if (!t.is_var) {
             cl.bound_positions.push_back(i);
+            cl.match.const_checks.push_back({pos, t.const_id});
+          } else if (bound_slots.count(t.slot) > 0) {
+            cl.bound_positions.push_back(i);
+            cl.match.bound_checks.push_back({pos, t.slot});
+          } else if (auto fit = first_pos.find(t.slot);
+                     fit != first_pos.end()) {
+            cl.match.self_checks.push_back({pos, fit->second});
+          } else {
+            first_pos.emplace(t.slot, pos);
+            cl.match.binds.push_back({pos, t.slot});
           }
         }
       }
@@ -199,6 +246,7 @@ class RuleCompiler {
         CompiledTerm ct;
         ct.is_var = false;
         ct.constant = Value::Null();  // placeholder, overwritten per group
+        ct.const_id = SymbolTable::Global().Intern(ct.constant);
         out.head.terms.push_back(ct);
       } else {
         out.head.terms.push_back(CompileTerm(t));
@@ -226,6 +274,10 @@ class RuleCompiler {
     } else {
       ct.is_var = false;
       ct.constant = t.value();
+      // Interning here (not per probe) is what keeps constants off the
+      // hot path; the id is canonical, so if the constant matches any
+      // stored fact they share this id.
+      ct.const_id = SymbolTable::Global().Intern(ct.constant);
     }
     return ct;
   }
@@ -268,18 +320,21 @@ class RuleCompiler {
 // Rule execution.
 // ---------------------------------------------------------------------------
 
-/// Mutable binding environment with a trail for backtracking.
+/// Mutable binding environment with a trail for backtracking. Slots hold
+/// symbol ids, never Values — materialization happens only in the
+/// Value-semantics literals (comparisons, arithmetic) and at the
+/// provenance/aggregation boundary.
 class BindingEnv {
  public:
   explicit BindingEnv(int num_slots)
-      : values_(num_slots), bound_(num_slots, false) {}
+      : ids_(num_slots, kNoSymbol), bound_(num_slots, 0) {}
 
-  bool is_bound(int slot) const { return bound_[slot]; }
-  const Value& value(int slot) const { return values_[slot]; }
+  bool is_bound(int slot) const { return bound_[slot] != 0; }
+  SymbolId id(int slot) const { return ids_[slot]; }
 
-  void Bind(int slot, Value v) {
-    values_[slot] = std::move(v);
-    bound_[slot] = true;
+  void Bind(int slot, SymbolId id) {
+    ids_[slot] = id;
+    bound_[slot] = 1;
     trail_.push_back(slot);
   }
 
@@ -287,14 +342,14 @@ class BindingEnv {
 
   void UnwindTo(size_t mark) {
     while (trail_.size() > mark) {
-      bound_[trail_.back()] = false;
+      bound_[trail_.back()] = 0;
       trail_.pop_back();
     }
   }
 
  private:
-  std::vector<Value> values_;
-  std::vector<bool> bound_;
+  std::vector<SymbolId> ids_;
+  std::vector<unsigned char> bound_;
   std::vector<int> trail_;
 };
 
@@ -334,6 +389,7 @@ class RuleExecutor {
         delta_(delta),
         delta_position_(delta_position),
         planner_(planner),
+        table_(SymbolTable::Global()),
         lit_index_(rule.body.size()),
         env_(rule.num_slots) {}
 
@@ -384,6 +440,7 @@ class RuleExecutor {
 
   /// Ground instances of the rule's positive body atoms under the current
   /// (complete) bindings — the premises of the derivation just emitted.
+  /// Materializes Values: provenance is a boundary consumer.
   std::vector<std::pair<std::string, Tuple>> GroundPositiveAtoms() const {
     std::vector<std::pair<std::string, Tuple>> out;
     for (const CompiledLiteral& lit : rule_.body) {
@@ -392,12 +449,12 @@ class RuleExecutor {
       values.reserve(lit.atom.terms.size());
       bool ok = true;
       for (const CompiledTerm& t : lit.atom.terms) {
-        std::optional<Value> v = TermValue(t);
-        if (!v.has_value()) {
+        const Value* v = TermValue(t);
+        if (v == nullptr) {
           ok = false;
           break;
         }
-        values.push_back(std::move(*v));
+        values.push_back(*v);
       }
       if (ok) out.push_back({lit.atom.predicate, Tuple(std::move(values))});
     }
@@ -405,10 +462,21 @@ class RuleExecutor {
   }
 
  private:
-  std::optional<Value> TermValue(const CompiledTerm& t) const {
-    if (!t.is_var) return t.constant;
-    if (!env_.is_bound(t.slot)) return std::nullopt;
-    return env_.value(t.slot);
+  /// The term's symbol id under the current bindings. Pre-condition:
+  /// the term is ground here (constant, or a slot the compiled order
+  /// proved bound) — callers only ask for bound_positions terms.
+  SymbolId TermId(const CompiledTerm& t) const {
+    return t.is_var ? env_.id(t.slot) : t.const_id;
+  }
+
+  /// The term's Value under the current bindings, or nullptr when an
+  /// unbound variable (unsafe literal; validated away — fail closed).
+  /// This is the id -> Value materialization point for the
+  /// Value-semantics literals.
+  const Value* TermValue(const CompiledTerm& t) const {
+    if (!t.is_var) return &t.constant;
+    if (!env_.is_bound(t.slot)) return nullptr;
+    return &table_.value(env_.id(t.slot));
   }
 
   template <typename Fn>
@@ -442,47 +510,63 @@ class RuleExecutor {
         return;
       }
       case Literal::Kind::kNegatedAtom: {
-        std::vector<Value> ground;
-        ground.reserve(lit.atom.terms.size());
-        for (const CompiledTerm& t : lit.atom.terms) {
-          std::optional<Value> v = TermValue(t);
-          if (!v.has_value()) return;  // unsafe (validated away); fail closed
-          ground.push_back(std::move(*v));
+        // Pure id containment check: every ground term resolves to an id
+        // (constants were interned at compile; a value nobody interned
+        // cannot be stored, so equal Values always share an id here).
+        SymbolId local[8];
+        std::vector<SymbolId> heap;
+        SymbolId* ids = local;
+        size_t n = lit.atom.terms.size();
+        if (n > 8) {
+          heap.resize(n);
+          ids = heap.data();
         }
-        if (!db_.Contains(lit.atom.predicate, Tuple(std::move(ground)))) {
-          Descend(index + 1, on_solution);
+        for (size_t i = 0; i < n; ++i) {
+          const CompiledTerm& t = lit.atom.terms[i];
+          if (t.is_var && !env_.is_bound(t.slot)) {
+            return;  // unsafe (validated away); fail closed
+          }
+          ids[i] = TermId(t);
         }
+        Database::View v = db_.view(lit.atom.predicate);
+        bool contained = v.valid() && v.arity() == n && v.ContainsIds(ids);
+        if (!contained) Descend(index + 1, on_solution);
         return;
       }
       case Literal::Kind::kComparison: {
-        std::optional<Value> a = TermValue(lit.lhs);
-        std::optional<Value> b = TermValue(lit.rhs);
-        if (!a.has_value() || !b.has_value()) return;
+        const Value* a = TermValue(lit.lhs);
+        const Value* b = TermValue(lit.rhs);
+        if (a == nullptr || b == nullptr) return;
         if (EvalComparison(lit.compare_op, *a, *b)) {
           Descend(index + 1, on_solution);
         }
         return;
       }
       case Literal::Kind::kAssignment: {
-        std::optional<Value> a = TermValue(lit.lhs);
-        if (!a.has_value()) return;
+        const Value* a = TermValue(lit.lhs);
+        if (a == nullptr) return;
         std::optional<Value> result;
         if (lit.arith_op == ArithOp::kNone) {
           result = *a;
         } else {
-          std::optional<Value> b = TermValue(lit.rhs);
-          if (!b.has_value()) return;
+          const Value* b = TermValue(lit.rhs);
+          if (b == nullptr) return;
           result = ApplyArith(lit.arith_op, *a, *b);
         }
         if (!result.has_value()) return;  // arithmetic failure: literal false
         if (env_.is_bound(lit.assign_slot)) {
-          std::optional<int> cmp = CompareValues(env_.value(lit.assign_slot),
-                                                 *result);
+          // Numeric coercion (Int(3) == Double(3.0)) — must compare
+          // Values, not ids.
+          std::optional<int> cmp =
+              CompareValues(table_.value(env_.id(lit.assign_slot)), *result);
           if (cmp.has_value() && *cmp == 0) Descend(index + 1, on_solution);
           return;
         }
         size_t mark = env_.Mark();
-        env_.Bind(lit.assign_slot, std::move(*result));
+        // Computed values (sums, concatenations of ids never seen
+        // before) enter the dictionary here — the only intern site on
+        // the execution path.
+        env_.Bind(lit.assign_slot, table_.Intern(*result));
         Descend(index + 1, on_solution);
         env_.UnwindTo(mark);
         return;
@@ -491,11 +575,12 @@ class RuleExecutor {
   }
 
   /// Resolved candidate list for one positive atom under the planner
-  /// options. `list == nullptr` means "scan all facts"; `miss` means the
+  /// options. `list == nullptr` means "scan all rows"; `miss` means the
   /// bound prefix matched nothing (zero candidates, distinct from an
   /// empty scan so callers can skip range bookkeeping).
   struct Candidates {
-    const std::vector<size_t>* list = nullptr;
+    Database::View view;
+    const std::vector<uint32_t>* list = nullptr;
     size_t count = 0;
     bool via_index = false;
     bool miss = false;
@@ -513,15 +598,16 @@ class RuleExecutor {
   Candidates SelectCandidates(const CompiledLiteral& lit, size_t index,
                               const Database& source) {
     Candidates out;
-    const std::vector<Tuple>& all = source.facts(lit.atom.predicate);
+    out.view = source.view(lit.atom.predicate);
+    size_t total = out.view.valid() ? out.view.rows() : 0;
     if (lit.bound_positions.empty() || !planner_.indexes) {
-      out.count = all.size();  // full scan (also the indexes=false oracle)
+      out.count = total;  // full scan (also the indexes=false oracle)
       return out;
     }
     LitIndex& cached = lit_index_[index];
     if (cached.state == LitIndex::kUnknown) {
       cached.state = LitIndex::kUnavailable;
-      if (all.size() >= planner_.min_index_size) {
+      if (total >= planner_.min_index_size) {
         cached.index = source.EnsureBoundIndex(
             lit.atom.predicate, lit.bound_positions, &work_.index_builds);
         if (cached.index != nullptr) cached.state = LitIndex::kReady;
@@ -529,12 +615,13 @@ class RuleExecutor {
     }
     if (cached.state == LitIndex::kReady) {
       out.via_index = true;
-      std::vector<Value> key;
-      key.reserve(lit.bound_positions.size());
+      // The probe key is a handful of uint32s — hashed without touching
+      // a single Value (the point of the columnar layout, DESIGN.md §5j).
+      key_scratch_.clear();
       for (size_t pos : lit.bound_positions) {
-        key.push_back(*TermValue(lit.atom.terms[pos]));
+        key_scratch_.push_back(TermId(lit.atom.terms[pos]));
       }
-      auto it = cached.index->buckets.find(Tuple(std::move(key)));
+      auto it = cached.index->buckets.find(key_scratch_);
       if (it == cached.index->buckets.end()) {
         out.miss = true;
         return out;
@@ -546,8 +633,9 @@ class RuleExecutor {
     // Small relation: the eager single-column index on the first bound
     // position is cheaper than building a composite index.
     size_t pos = lit.bound_positions[0];
-    out.list = source.Lookup(lit.atom.predicate, pos,
-                             *TermValue(lit.atom.terms[pos]));
+    out.list = out.view.valid()
+                   ? out.view.LookupId(pos, TermId(lit.atom.terms[pos]))
+                   : nullptr;
     if (out.list == nullptr) {
       out.miss = true;
       return out;
@@ -568,7 +656,6 @@ class RuleExecutor {
       if (lit_stats_ != nullptr) ++(*lit_stats_)[index].index_probes;
     }
     if (cand.miss) return;  // no fact matches the bound prefix
-    const std::vector<Tuple>& all = source.facts(lit.atom.predicate);
     size_t begin = 0;
     size_t end = cand.count;
     if (index == 0) {
@@ -585,23 +672,47 @@ class RuleExecutor {
       work_.scan_probes += end - begin;
       if (lit_stats_ != nullptr) (*lit_stats_)[index].scan_probes += end - begin;
     }
+    if (begin == end || !cand.view.valid()) return;
+    // All rows of a store share its arity, so the row engine's per-fact
+    // arity test hoists to one check per call (candidates above were
+    // already counted, matching the row engine's bookkeeping).
+    size_t n = lit.atom.terms.size();
+    if (cand.view.arity() != n) return;
+    // The vectorized probe loop: raw column pointers, id comparisons
+    // only. No Value is constructed, hashed or compared anywhere below.
+    const AtomMatchPlan& plan = lit.match;
     for (size_t ci = begin; ci < end; ++ci) {
-      const Tuple& fact =
-          (cand.list != nullptr) ? all[(*cand.list)[ci]] : all[ci];
-      if (fact.size() != lit.atom.terms.size()) continue;
-      size_t mark = env_.Mark();
+      uint32_t row = (cand.list != nullptr) ? (*cand.list)[ci]
+                                            : static_cast<uint32_t>(ci);
       bool ok = true;
-      for (size_t i = 0; i < lit.atom.terms.size() && ok; ++i) {
-        const CompiledTerm& t = lit.atom.terms[i];
-        if (!t.is_var) {
-          ok = (t.constant == fact.at(i));
-        } else if (env_.is_bound(t.slot)) {
-          ok = (env_.value(t.slot) == fact.at(i));
-        } else {
-          env_.Bind(t.slot, fact.at(i));
+      for (const AtomMatchPlan::PosId& c : plan.const_checks) {
+        if (cand.view.column(c.pos)[row] != c.id) {
+          ok = false;
+          break;
         }
       }
-      if (ok) Descend(index + 1, on_solution);
+      if (ok) {
+        for (const AtomMatchPlan::PosSlot& c : plan.bound_checks) {
+          if (cand.view.column(c.pos)[row] != env_.id(c.slot)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        for (const AtomMatchPlan::PosPos& c : plan.self_checks) {
+          if (cand.view.column(c.pos)[row] != cand.view.column(c.other)[row]) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      size_t mark = env_.Mark();
+      for (const AtomMatchPlan::PosSlot& b : plan.binds) {
+        env_.Bind(b.slot, cand.view.column(b.pos)[row]);
+      }
+      Descend(index + 1, on_solution);
       env_.UnwindTo(mark);
     }
   }
@@ -619,36 +730,66 @@ class RuleExecutor {
   const Database* delta_;
   size_t delta_position_;
   PlannerOptions planner_;
+  SymbolTable& table_;
   std::vector<LitIndex> lit_index_;
   size_t outer_begin_ = 0;
   size_t outer_end_ = static_cast<size_t>(-1);
   BindingEnv env_;
   JoinWork work_;
+  std::vector<SymbolId> key_scratch_;  // composite probe key, reused
   std::vector<LiteralRuntime>* lit_stats_ = nullptr;
 };
 
 constexpr size_t kNoDelta = static_cast<size_t>(-1);
 constexpr size_t kFullRange = static_cast<size_t>(-1);
 
-/// Builds the head tuple of a non-aggregate rule from a solution.
-Tuple BuildHead(const CompiledRule& rule, const BindingEnv& env) {
-  std::vector<Value> values;
-  values.reserve(rule.head.terms.size());
+/// Derived head rows of one rule evaluation: a flat row-major id buffer
+/// (rule.head.terms.size() ids per row) plus an explicit row count — the
+/// count cannot be derived from the buffer for zero-arity heads like
+/// `ready()`. Derived facts stay ids end to end: they re-enter the
+/// database through InsertIds without ever materializing a Value.
+struct ProducedRows {
+  std::vector<SymbolId> ids;
+  size_t rows = 0;
+};
+
+void AppendHeadIds(const CompiledRule& rule, const BindingEnv& env,
+                   ProducedRows* out) {
   for (const CompiledTerm& t : rule.head.terms) {
-    values.push_back(t.is_var ? env.value(t.slot) : t.constant);
+    out->ids.push_back(t.is_var ? env.id(t.slot) : t.const_id);
   }
+  ++out->rows;
+}
+
+/// Materializes one flat id row into a Tuple (boundary consumers only:
+/// provenance records).
+Tuple IdsToTuple(const SymbolId* ids, size_t n) {
+  const SymbolTable& table = SymbolTable::Global();
+  std::vector<Value> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(table.value(ids[i]));
   return Tuple(std::move(values));
 }
 
-/// Evaluates a non-aggregate rule and collects candidate head tuples.
-/// When `premises_out` is non-null it receives, parallel to `out`, the
-/// ground positive body atoms of each solution (for provenance).
+/// Id-level Contains against owned-or-borrowed storage (the provenance
+/// duplicate check; mirrors Database::Contains minus the Value->id
+/// translation, which the ids already are).
+bool DbContainsIds(const Database& db, const std::string& predicate,
+                   const SymbolId* ids, size_t n) {
+  Database::View v = db.view(predicate);
+  return v.valid() && v.arity() == n && v.ContainsIds(ids);
+}
+
+/// Evaluates a non-aggregate rule and collects candidate head rows as
+/// flat ids (head-arity ids per solution). When `premises_out` is
+/// non-null it receives, parallel to the produced rows, the ground
+/// positive body atoms of each solution (for provenance).
 /// `[outer_begin, outer_end)` restricts the outermost literal's candidate
 /// range (parallel chunking); pass 0/kFullRange for a full evaluation.
 void EvaluateRule(
     const CompiledRule& rule, const Database& db, const Database* delta,
     size_t delta_position, size_t outer_begin, size_t outer_end,
-    const PlannerOptions& planner, std::vector<Tuple>* out,
+    const PlannerOptions& planner, ProducedRows* out,
     std::vector<std::vector<std::pair<std::string, Tuple>>>* premises_out =
         nullptr,
     JoinWork* work = nullptr,
@@ -657,7 +798,7 @@ void EvaluateRule(
   exec.set_lit_stats(lit_stats);
   exec.RestrictOuterRange(outer_begin, outer_end);
   exec.ForEachSolution([&](const BindingEnv& env) {
-    out->push_back(BuildHead(rule, env));
+    AppendHeadIds(rule, env, out);
     if (premises_out != nullptr) {
       premises_out->push_back(exec.GroundPositiveAtoms());
     }
@@ -667,7 +808,9 @@ void EvaluateRule(
 
 /// Evaluates an aggregate rule: groups body solutions by the non-aggregate
 /// head terms; each aggregate ranges over the *distinct values* its
-/// variable takes within the group (set semantics).
+/// variable takes within the group (set semantics). Grouping and
+/// aggregation materialize Values — min/max/sum need Value ordering and
+/// arithmetic, which id identity cannot express.
 void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
                            const PlannerOptions& planner,
                            std::vector<Tuple>* out,
@@ -677,6 +820,7 @@ void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
     std::vector<std::set<Value>> distinct;  // one per aggregate
   };
   std::map<Tuple, GroupState> groups;
+  const SymbolTable& table = SymbolTable::Global();
 
   RuleExecutor exec(rule, db, nullptr, kNoDelta, planner);
   exec.set_lit_stats(lit_stats);
@@ -692,12 +836,12 @@ void EvaluateAggregateRule(const CompiledRule& rule, const Database& db,
       }
       if (is_agg) continue;
       const CompiledTerm& t = rule.head.terms[i];
-      key.push_back(t.is_var ? env.value(t.slot) : t.constant);
+      key.push_back(t.is_var ? table.value(env.id(t.slot)) : t.constant);
     }
     GroupState& state = groups[Tuple(std::move(key))];
     if (state.distinct.empty()) state.distinct.resize(rule.aggregates.size());
     for (size_t a = 0; a < rule.aggregates.size(); ++a) {
-      state.distinct[a].insert(env.value(rule.aggregates[a].slot));
+      state.distinct[a].insert(table.value(env.id(rule.aggregates[a].slot)));
     }
   });
 
@@ -954,7 +1098,7 @@ Status Evaluator::RunInternal(Database* db, EvalStats* stats,
           // Aggregates summarise whole groups; record the rule alone.
           provenance->Record(rule.head.predicate, t, Derivation{rule.text, {}});
         }
-        if (db->Insert(rule.head.predicate, std::move(t))) {
+        if (db->Insert(rule.head.predicate, t)) {
           ++st->facts_derived;
           if (rex != nullptr) ++rex->facts_derived;
         }
@@ -973,7 +1117,7 @@ Status Evaluator::RunInternal(Database* db, EvalStats* stats,
           RuleExplain* rex = normal_rex[ri];
           ++st->rule_applications;
           if (rex != nullptr) ++rex->applications;
-          std::vector<Tuple> produced;
+          ProducedRows produced;
           std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
           JoinWork naive_work;
           std::vector<LiteralRuntime> lit_rt;
@@ -989,14 +1133,16 @@ Status Evaluator::RunInternal(Database* db, EvalStats* stats,
               rex->literals[i].actual.Add(lit_rt[i]);
             }
           }
-          for (size_t i = 0; i < produced.size(); ++i) {
-            Tuple& t = produced[i];
+          size_t head_arity = rule.head.terms.size();
+          for (size_t i = 0; i < produced.rows; ++i) {
+            const SymbolId* row = produced.ids.data() + i * head_arity;
             if (provenance != nullptr &&
-                !db->Contains(rule.head.predicate, t)) {
-              provenance->Record(rule.head.predicate, t,
+                !DbContainsIds(*db, rule.head.predicate, row, head_arity)) {
+              provenance->Record(rule.head.predicate,
+                                 IdsToTuple(row, head_arity),
                                  Derivation{rule.text, premises[i]});
             }
-            if (db->Insert(rule.head.predicate, std::move(t))) {
+            if (db->InsertIds(rule.head.predicate, row, head_arity)) {
               ++st->facts_derived;
               any_new = true;
               if (rex != nullptr) ++rex->facts_derived;
@@ -1027,7 +1173,7 @@ Status Evaluator::RunInternal(Database* db, EvalStats* stats,
       size_t delta_position = kNoDelta;
       size_t outer_begin = 0;
       size_t outer_end = kFullRange;
-      std::vector<Tuple> produced;
+      ProducedRows produced;
       std::vector<std::vector<std::pair<std::string, Tuple>>> premises;
       JoinWork work;
       std::vector<LiteralRuntime> lit_stats;  // filled iff rex != nullptr
@@ -1104,17 +1250,19 @@ Status Evaluator::RunInternal(Database* db, EvalStats* stats,
           }
         }
         const CompiledRule& rule = *task.rule;
-        for (size_t i = 0; i < task.produced.size(); ++i) {
-          Tuple& t = task.produced[i];
+        size_t head_arity = rule.head.terms.size();
+        for (size_t i = 0; i < task.produced.rows; ++i) {
+          const SymbolId* row = task.produced.ids.data() + i * head_arity;
           if (provenance != nullptr &&
-              !db->Contains(rule.head.predicate, t)) {
-            provenance->Record(rule.head.predicate, t,
+              !DbContainsIds(*db, rule.head.predicate, row, head_arity)) {
+            provenance->Record(rule.head.predicate,
+                               IdsToTuple(row, head_arity),
                                Derivation{rule.text, task.premises[i]});
           }
-          if (db->Insert(rule.head.predicate, t)) {
+          if (db->InsertIds(rule.head.predicate, row, head_arity)) {
             ++st->facts_derived;
             if (task.rex != nullptr) ++task.rex->facts_derived;
-            delta_out->Insert(rule.head.predicate, std::move(t));
+            delta_out->InsertIds(rule.head.predicate, row, head_arity);
           }
         }
       }

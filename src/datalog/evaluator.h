@@ -81,7 +81,7 @@ struct EvalStats {
 ///   Evaluator eval(std::move(p).value());
 ///   Status s = eval.Prepare();   // validates + stratifies
 ///   s = eval.Run(&db);
-///   const std::vector<Tuple>& answers = db.facts("tc");
+///   std::vector<Tuple> answers = db.facts("tc");  // materialized copy
 class Evaluator {
  public:
   explicit Evaluator(Program program, EvalOptions options = EvalOptions());

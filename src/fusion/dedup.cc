@@ -45,6 +45,128 @@ double ValueSimilarity(const Value& a, const Value& b) {
   return 0.0;
 }
 
+/// Per-pair similarity over precomputed row features. FindDuplicates
+/// compares every row of a block against every other, so anything
+/// derivable from one row alone — numeric coercion, long-string token
+/// sets — is computed once per row here instead of once per pair
+/// (tokenizing per pair dominated the fusion transducer's profile).
+/// Scores are exactly RecordSimilarity's: same branches, same math.
+class PairScorer {
+ public:
+  PairScorer(const Relation& rel, const std::vector<size_t>& indexes,
+             size_t required)
+      : indexes_(indexes), required_(required) {
+    features_.resize(rel.size() * indexes.size());
+    for (size_t r = 0; r < rel.size(); ++r) {
+      const Tuple& row = rel.rows()[r];
+      for (size_t k = 0; k < indexes.size(); ++k) {
+        CellFeature& f = features_[r * indexes.size() + k];
+        const Value& v = row.at(indexes[k]);
+        f.value = &v;
+        f.is_null = v.is_null();
+        if (f.is_null) continue;
+        f.num = v.AsDouble();
+        if (v.type() == ValueType::kString) {
+          f.str = &v.string_value();
+          if (f.str->size() >= 16) {
+            f.long_string = true;
+            // Sorted unique tokens: TokenJaccard's set semantics,
+            // realized as a linear merge at compare time.
+            for (const std::string& w : Split(*f.str, ' ')) {
+              if (!w.empty()) f.tokens.push_back(w);
+            }
+            std::sort(f.tokens.begin(), f.tokens.end());
+            f.tokens.erase(std::unique(f.tokens.begin(), f.tokens.end()),
+                           f.tokens.end());
+          }
+        }
+      }
+    }
+  }
+
+  double Score(size_t row_a, size_t row_b) const {
+    const CellFeature* fa = &features_[row_a * indexes_.size()];
+    const CellFeature* fb = &features_[row_b * indexes_.size()];
+    double sum = 0.0;
+    size_t counted = 0;
+    for (size_t k = 0; k < indexes_.size(); ++k) {
+      const CellFeature& a = fa[k];
+      const CellFeature& b = fb[k];
+      if (a.is_null || b.is_null) continue;
+      sum += CellSimilarity(a, b);
+      ++counted;
+    }
+    if (counted < required_ || counted == 0) return 0.0;
+    return sum / static_cast<double>(counted);
+  }
+
+ private:
+  struct CellFeature {
+    const Value* value = nullptr;
+    const std::string* str = nullptr;
+    bool is_null = true;
+    bool long_string = false;
+    std::optional<double> num;
+    std::vector<std::string> tokens;  // sorted unique (long strings)
+  };
+
+  static double CellSimilarity(const CellFeature& a, const CellFeature& b) {
+    if (*a.value == *b.value) return 1.0;
+    if (a.num.has_value() && b.num.has_value()) {
+      double scale = std::max({std::fabs(*a.num), std::fabs(*b.num), 1e-9});
+      double banded = std::fabs(*a.num - *b.num) / (0.05 * scale);
+      return banded >= 1.0 ? 0.0 : 1.0 - banded;
+    }
+    if (a.str != nullptr && b.str != nullptr) {
+      if (a.long_string || b.long_string) {
+        return SortedTokenJaccard(a.long_string ? a.tokens : Tokenize(*a.str),
+                                  b.long_string ? b.tokens : Tokenize(*b.str));
+      }
+      return JaroWinklerSimilarity(*a.str, *b.str);
+    }
+    return 0.0;
+  }
+
+  static std::vector<std::string> Tokenize(const std::string& s) {
+    std::vector<std::string> tokens;
+    for (const std::string& w : Split(s, ' ')) {
+      if (!w.empty()) tokens.push_back(w);
+    }
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    return tokens;
+  }
+
+  /// TokenJaccard over already-sorted-unique token vectors (linear merge
+  /// instead of two set constructions per pair).
+  static double SortedTokenJaccard(const std::vector<std::string>& a,
+                                   const std::vector<std::string>& b) {
+    if (a.empty() && b.empty()) return 1.0;
+    size_t inter = 0;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+      int cmp = a[i].compare(b[j]);
+      if (cmp == 0) {
+        ++inter;
+        ++i;
+        ++j;
+      } else if (cmp < 0) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    size_t uni = a.size() + b.size() - inter;
+    if (uni == 0) return 1.0;
+    return static_cast<double>(inter) / static_cast<double>(uni);
+  }
+
+  const std::vector<size_t>& indexes_;
+  size_t required_;
+  std::vector<CellFeature> features_;
+};
+
 /// Union-find with path compression.
 class UnionFind {
  public:
@@ -133,13 +255,27 @@ Result<std::vector<DuplicatePair>> DuplicateDetector::FindDuplicates(
     }
   }
 
+  // Resolve the compared attribute set once (RecordSimilarity re-derives
+  // it per pair; block comparison is quadratic, so hoist everything).
+  std::vector<size_t> indexes;
+  if (options_.compare_attributes.empty()) {
+    for (size_t i = 0; i < rel.schema().arity(); ++i) indexes.push_back(i);
+  } else {
+    for (const std::string& attr : options_.compare_attributes) {
+      std::optional<size_t> i = rel.schema().AttributeIndex(attr);
+      if (i.has_value()) indexes.push_back(*i);
+    }
+  }
   std::vector<DuplicatePair> out;
+  if (indexes.empty()) return out;
+  PairScorer scorer(rel, indexes,
+                    std::min(options_.min_shared_fields, indexes.size()));
   for (const auto& [key, rows] : blocks) {
     size_t pairs = 0;
     for (size_t i = 0; i < rows.size(); ++i) {
       for (size_t j = i + 1; j < rows.size(); ++j) {
         if (++pairs > options_.max_pairs_per_block) break;
-        double sim = RecordSimilarity(rel, rows[i], rows[j]);
+        double sim = scorer.Score(rows[i], rows[j]);
         if (sim >= options_.threshold) {
           out.push_back(DuplicatePair{rows[i], rows[j], sim});
         }

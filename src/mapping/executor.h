@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "datalog/planner.h"
 #include "datalog/provenance.h"
+#include "datalog/snapshot_cache.h"
 #include "kb/knowledge_base.h"
 #include "kb/schema.h"
 #include "mapping/mapping.h"
@@ -22,6 +23,14 @@ class MappingExecutor {
   /// (defaults: indexes + reordering on; see datalog/planner.h).
   explicit MappingExecutor(datalog::PlannerOptions planner = {})
       : planner_(planner) {}
+
+  /// Optional version-keyed snapshot cache for source-relation loads.
+  /// When set, each mapping borrows immutable shared snapshots of its
+  /// sources (zero-copy, indexes shared across mappings) instead of
+  /// re-interning every source relation per Execute call. Not owned;
+  /// must outlive the executor. Always safe: snapshots are keyed on KB
+  /// relation versions, so a stale entry can never be returned.
+  void set_snapshot_cache(datalog::SnapshotCache* cache) { cache_ = cache; }
 
   /// Evaluates `mapping` against the source instances in `kb` and returns
   /// the result as a relation with the target schema's attribute names,
@@ -40,6 +49,7 @@ class MappingExecutor {
 
  private:
   datalog::PlannerOptions planner_;
+  datalog::SnapshotCache* cache_ = nullptr;
 };
 
 }  // namespace vada

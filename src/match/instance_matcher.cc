@@ -68,6 +68,19 @@ double ProfileScore(const ColumnProfile& a, const ColumnProfile& b) {
   return 0.5 * (mean_term + spread_term);
 }
 
+/// Combined score of two already-computed profiles (the shared core of
+/// ColumnScore and Match).
+double ScoreProfiles(const ColumnProfile& sp, const ColumnProfile& tp,
+                     const InstanceMatcherOptions& options) {
+  double overlap = OverlapScore(sp, tp);
+  double profile = ProfileScore(sp, tp);
+  if (profile <= 0.0) return overlap;
+  double wsum = options.weight_overlap + options.weight_profile;
+  return (options.weight_overlap * overlap +
+          options.weight_profile * profile) /
+         (wsum > 0.0 ? wsum : 1.0);
+}
+
 }  // namespace
 
 InstanceMatcher::InstanceMatcher(InstanceMatcherOptions options)
@@ -82,13 +95,7 @@ double InstanceMatcher::ColumnScore(const Relation& source,
   if (!si.has_value() || !ti.has_value()) return 0.0;
   ColumnProfile sp = ProfileColumn(source, *si, options_.max_distinct_values);
   ColumnProfile tp = ProfileColumn(target, *ti, options_.max_distinct_values);
-  double overlap = OverlapScore(sp, tp);
-  double profile = ProfileScore(sp, tp);
-  if (profile <= 0.0) return overlap;
-  double wsum = options_.weight_overlap + options_.weight_profile;
-  return (options_.weight_overlap * overlap +
-          options_.weight_profile * profile) /
-         (wsum > 0.0 ? wsum : 1.0);
+  return ScoreProfiles(sp, tp, options_);
 }
 
 std::vector<MatchCandidate> InstanceMatcher::Match(
@@ -103,10 +110,29 @@ std::vector<MatchCandidate> InstanceMatcher::Match(
     return instance_attr;
   };
 
+  // Profile every column once: the pairwise loop below would otherwise
+  // re-scan (and re-render) each column per opposite-side attribute,
+  // which was quadratic in attribute count times linear in rows.
+  std::vector<ColumnProfile> source_profiles;
+  source_profiles.reserve(source.schema().arity());
+  for (size_t i = 0; i < source.schema().arity(); ++i) {
+    source_profiles.push_back(
+        ProfileColumn(source, i, options_.max_distinct_values));
+  }
+  std::vector<ColumnProfile> target_profiles;
+  target_profiles.reserve(target_instances.schema().arity());
+  for (size_t i = 0; i < target_instances.schema().arity(); ++i) {
+    target_profiles.push_back(
+        ProfileColumn(target_instances, i, options_.max_distinct_values));
+  }
+
   std::vector<MatchCandidate> out;
-  for (const Attribute& sa : source.schema().attributes()) {
-    for (const Attribute& ta : target_instances.schema().attributes()) {
-      double score = ColumnScore(source, sa.name, target_instances, ta.name);
+  for (size_t si = 0; si < source.schema().arity(); ++si) {
+    const Attribute& sa = source.schema().attributes()[si];
+    for (size_t ti = 0; ti < target_instances.schema().arity(); ++ti) {
+      const Attribute& ta = target_instances.schema().attributes()[ti];
+      double score =
+          ScoreProfiles(source_profiles[si], target_profiles[ti], options_);
       if (score < options_.min_score) continue;
       MatchCandidate m;
       m.source_relation = source.name();

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "datalog/kb_adapter.h"
+#include "datalog/parser.h"
 #include "kb/write_guard.h"
 #include "transducer/execution_context.h"
 
@@ -152,11 +153,38 @@ Status NetworkTransducer::SyncControlFacts(KnowledgeBase* kb) {
   return Status::OK();
 }
 
+Status NetworkTransducer::SyncControlFactsIfStale(KnowledgeBase* kb) {
+  if (control_synced_at_version_ != 0 &&
+      kb->global_version() == control_synced_at_version_) {
+    return Status::OK();
+  }
+  VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+  // Record the post-sync version: if the sync itself bumped it, the
+  // sys_* relations already reflect the (unchanged) non-sys state.
+  control_synced_at_version_ = kb->global_version();
+  return Status::OK();
+}
+
+Result<const datalog::Program*> NetworkTransducer::ParsedDependency(
+    const std::string& source) {
+  auto it = parsed_deps_.find(source);
+  if (it == parsed_deps_.end()) {
+    Result<datalog::Program> program = datalog::Parser::Parse(source);
+    if (!program.ok()) return program.status();
+    it = parsed_deps_.emplace(source, std::move(program).value()).first;
+  }
+  return &it->second;
+}
+
 Result<bool> NetworkTransducer::IsSatisfied(const Transducer& transducer,
                                             KnowledgeBase* kb) {
-  VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
-  Result<std::vector<Tuple>> ready = datalog::QueryKnowledgeBase(
-      transducer.input_dependency(), *kb, "ready");
+  VADA_RETURN_IF_ERROR(SyncControlFactsIfStale(kb));
+  Result<const datalog::Program*> program =
+      ParsedDependency(transducer.input_dependency());
+  Result<std::vector<Tuple>> ready =
+      program.ok()
+          ? datalog::QueryKnowledgeBase(*program.value(), *kb, "ready")
+          : program.status();
   if (!ready.ok()) {
     // Chain the message but keep the underlying code (a parse error stays
     // kParseError, an evaluation bug stays kInternal) so callers can
@@ -370,7 +398,7 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
     {
       obs::ScopedSpan eligibility_span(spans, eligibility_hist, "eligibility",
                                        "orchestrator");
-      VADA_RETURN_IF_ERROR(SyncControlFacts(kb));
+      VADA_RETURN_IF_ERROR(SyncControlFactsIfStale(kb));
 
       // Phase 1: gating (mutates failure_state_; must stay sequential).
       std::vector<Transducer*> candidates;
@@ -414,15 +442,24 @@ Status NetworkTransducer::Run(KnowledgeBase* kb, OrchestrationStats* stats) {
       std::vector<Result<std::vector<Tuple>>> ready(
           candidates.size(),
           Result<std::vector<Tuple>>(Status::Internal("not evaluated")));
+      // Dependency texts parse at most once per Run sequence; resolve
+      // them up front (sequentially — the cache is not thread-safe).
+      std::vector<Result<const datalog::Program*>> programs;
+      programs.reserve(candidates.size());
+      for (Transducer* t : candidates) {
+        programs.push_back(ParsedDependency(t->input_dependency()));
+      }
       auto eval_dep = [&](size_t i) {
         // SpanCollector is thread-safe (per-thread lanes), so pool
         // workers record real spans — each worker lands on its own
         // Chrome-trace tid instead of interleaving on one.
         obs::ScopedSpan dep_span(spans, dep_check_hist, "dep_check",
                                  "orchestrator");
-        ready[i] =
-            datalog::QueryKnowledgeBase(candidates[i]->input_dependency(),
-                                        *kb, "ready", eval_options, cache);
+        ready[i] = programs[i].ok()
+                       ? datalog::QueryKnowledgeBase(*programs[i].value(), *kb,
+                                                     "ready", eval_options,
+                                                     cache)
+                       : programs[i].status();
       };
       const bool parallel_scan = pool != nullptr && candidates.size() > 1;
       if (parallel_scan) {

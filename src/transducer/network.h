@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "datalog/ast.h"
 #include "datalog/planner.h"
 #include "datalog/snapshot_cache.h"
 #include "kb/knowledge_base.h"
@@ -167,6 +168,13 @@ class NetworkTransducer {
   /// for tests.
   static Status SyncControlFacts(KnowledgeBase* kb);
 
+  /// SyncControlFacts, skipped when the KB's global version is unchanged
+  /// since this instance's previous sync. Sound because the sys_*
+  /// relations are a pure function of the non-sys relations, and every
+  /// role change in the codebase rides on a relation mutation (which
+  /// bumps the global version).
+  Status SyncControlFactsIfStale(KnowledgeBase* kb);
+
   /// Names of transducers whose circuit is currently open, sorted.
   std::vector<std::string> QuarantinedTransducers() const;
 
@@ -188,12 +196,20 @@ class NetworkTransducer {
   size_t OpenCircuits() const;
   void PublishQuarantineGauge(obs::MetricsRegistry* metrics) const;
 
+  /// Returns the parsed form of a dependency-query text, parsing it at
+  /// most once per distinct text (dependency texts are fixed at
+  /// transducer construction, and eligibility scans re-evaluate each of
+  /// them every step).
+  Result<const datalog::Program*> ParsedDependency(const std::string& source);
+
   TransducerRegistry* registry_;  // not owned
   std::unique_ptr<SchedulingPolicy> policy_;
   OrchestratorOptions options_;
   ExecutionTrace trace_;
   std::map<std::string, uint64_t> last_run_version_;
   std::map<std::string, FailureState> failure_state_;
+  std::map<std::string, datalog::Program> parsed_deps_;
+  uint64_t control_synced_at_version_ = 0;
   size_t next_step_ = 0;
   /// High-water mark of options_.pool->tasks_executed() already published
   /// to the vada_pool_tasks_total counter (published as deltas per Run).

@@ -1,13 +1,17 @@
 #ifndef VADA_WRANGLER_CONFIG_H_
 #define VADA_WRANGLER_CONFIG_H_
 
+#include <cstdint>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "context/data_context.h"
 #include "context/user_context.h"
 #include "datalog/planner.h"
+#include "datalog/snapshot_cache.h"
 #include "feedback/feedback.h"
 #include "fusion/dedup.h"
 #include "feedback/propagation.h"
@@ -153,6 +157,21 @@ struct WranglingState {
   /// resulting penalty changes the mappings (see MatchAttribution docs).
   std::vector<MatchAttribution> feedback_attributions;
   std::set<size_t> attributed_feedback_items;
+  /// Per-transducer-body fingerprint of the (name, version) pairs of
+  /// every relation the body read or wrote, taken at the end of its last
+  /// successful run. The orchestrator re-runs a ready transducer
+  /// whenever *anything* in the KB changed; bodies use this memo to
+  /// narrow that to their own read/write set and skip recomputation
+  /// that would reproduce the KB byte for byte (see UpToDate in
+  /// standard_transducers.cc).
+  std::map<std::string, std::vector<std::pair<std::string, uint64_t>>>
+      body_run_versions;
+  /// Version-keyed snapshot cache for mapping execution's source loads
+  /// (always on — correctness is guaranteed by KB relation versions;
+  /// see datalog/snapshot_cache.h). Every mapping that reads a source
+  /// relation borrows one shared immutable snapshot instead of
+  /// re-interning the relation per mapping per run.
+  datalog::SnapshotCache mapping_source_cache;
 };
 
 }  // namespace vada

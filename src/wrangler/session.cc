@@ -4,6 +4,7 @@
 #include "datalog/analysis/analyzer.h"
 #include "datalog/kb_adapter.h"
 #include "datalog/parser.h"
+#include "datalog/symbol_table.h"
 #include "mapping/executor.h"
 #include "mapping/mapping.h"
 #include "obs/process_stats.h"
@@ -273,6 +274,17 @@ void WranglingSession::PublishKbGauges() const {
               "Approximate resident bytes of composite join indexes on "
               "cached relation snapshots")
       ->Set(static_cast<int64_t>(index_bytes));
+  // The process-wide symbol table backing the columnar Datalog engine.
+  // Monotone by design (ids are never recycled); these gauges are how
+  // an operator watches dictionary growth across sessions.
+  const datalog::SymbolTable& symtab = datalog::SymbolTable::Global();
+  m->GetGauge("vada_symtab_symbols",
+              "Distinct values interned in the process-wide symbol table")
+      ->Set(static_cast<int64_t>(symtab.size()));
+  m->GetGauge("vada_symtab_bytes",
+              "Approximate resident bytes of the process-wide symbol "
+              "table (id chunks, intern map, value payloads)")
+      ->Set(static_cast<int64_t>(symtab.ApproxBytes()));
   if (durability_ != nullptr) durability_->PublishGauges();
   obs::PublishProcessMetrics(m);
 

@@ -53,6 +53,37 @@ TEST(CellCodecTest, RejectsGarbage) {
   EXPECT_FALSE(DecodeCell("\"x\"y").ok());
 }
 
+// Pre-columnar image compatibility (DESIGN.md §5j): symbol ids never
+// reach disk, so the cell encoding is byte-for-byte what the row engine
+// wrote. These literals are frozen golden bytes — if any of them change,
+// existing checkpoints and WAL images stop loading. Extend, never edit.
+TEST(CellCodecTest, GoldenBytesMatchPreColumnarImages) {
+  EXPECT_EQ(EncodeCell(Value::Null()), "NULL");
+  EXPECT_EQ(EncodeCell(Value::Bool(true)), "true");
+  EXPECT_EQ(EncodeCell(Value::Bool(false)), "false");
+  EXPECT_EQ(EncodeCell(Value::Int(0)), "0");
+  EXPECT_EQ(EncodeCell(Value::Int(-7)), "-7");
+  EXPECT_EQ(EncodeCell(Value::Int(100000)), "100000");
+  EXPECT_EQ(EncodeCell(Value::Double(1.0)), "1.0");
+  EXPECT_EQ(EncodeCell(Value::Double(2.5)), "2.5");
+  EXPECT_EQ(EncodeCell(Value::Double(0.1)), "0.10000000000000001");
+  EXPECT_EQ(EncodeCell(Value::String("High St")), "\"High St\"");
+  EXPECT_EQ(EncodeCell(Value::String("42")), "\"42\"");
+  EXPECT_EQ(EncodeCell(Value::String("a \"q\" \\ b")),
+            "\"a \\\"q\\\" \\\\ b\"");
+
+  // And the decode direction accepts those exact bytes (a checkpoint
+  // written by a pre-columnar build loads into this one unchanged).
+  EXPECT_EQ(DecodeCell("NULL").value(), Value::Null());
+  EXPECT_EQ(DecodeCell("").value(), Value::Null());
+  EXPECT_EQ(DecodeCell("true").value(), Value::Bool(true));
+  EXPECT_EQ(DecodeCell("-7").value(), Value::Int(-7));
+  EXPECT_EQ(DecodeCell("1.0").value(), Value::Double(1.0));
+  EXPECT_EQ(DecodeCell("0.10000000000000001").value(), Value::Double(0.1));
+  EXPECT_EQ(DecodeCell("\"High St\"").value(), Value::String("High St"));
+  EXPECT_EQ(DecodeCell("\"42\"").value(), Value::String("42"));
+}
+
 TEST(PersistenceTest, SaveLoadRoundTrip) {
   KnowledgeBase kb = SampleKb();
   std::string dir = TempDir("roundtrip");

@@ -35,6 +35,14 @@ Database ChainDb(const std::string& predicate, int n) {
   return db;
 }
 
+// Composite index buckets are keyed on symbol ids (DESIGN.md §5j);
+// interning here resolves the same canonical ids the index was built on.
+std::vector<SymbolId> IdKey(std::initializer_list<Value> values) {
+  std::vector<SymbolId> key;
+  for (const Value& v : values) key.push_back(SymbolTable::Global().Intern(v));
+  return key;
+}
+
 // --------------------------------------------------------------------------
 // PlanBodyOrder.
 // --------------------------------------------------------------------------
@@ -190,7 +198,7 @@ TEST(BoundIndexTest, BuiltOncePerPositionSetUntilInvalidated) {
   const BoundIndex* rebuilt = db.EnsureBoundIndex("e", {0}, &built);
   ASSERT_NE(rebuilt, nullptr);
   EXPECT_EQ(built, 3u);
-  EXPECT_EQ(rebuilt->buckets.count(Tuple({Value::Int(99)})), 1u);
+  EXPECT_EQ(rebuilt->buckets.count(IdKey({Value::Int(99)})), 1u);
 }
 
 TEST(BoundIndexTest, InvalidPositionsOrUnknownPredicateReturnNull) {
@@ -237,8 +245,8 @@ TEST(BoundIndexTest, BorrowersShareTheSnapshotsIndexUntilCowDetach) {
   ASSERT_NE(detached, nullptr);
   EXPECT_NE(detached, via_a);
   EXPECT_EQ(built, 2u);
-  EXPECT_EQ(detached->buckets.count(Tuple({Value::Int(50)})), 1u);
-  EXPECT_EQ(via_a->buckets.count(Tuple({Value::Int(50)})), 0u);
+  EXPECT_EQ(detached->buckets.count(IdKey({Value::Int(50)})), 1u);
+  EXPECT_EQ(via_a->buckets.count(IdKey({Value::Int(50)})), 0u);
   EXPECT_EQ(borrower_b.EnsureBoundIndex("e", {0}, &built), via_a);
 }
 
@@ -269,7 +277,7 @@ TEST(BoundIndexTest, WriteGuardRollbackYieldsConsistentSnapshotIndexes) {
   EXPECT_EQ(after->FactCount("r"), 5u);
   const BoundIndex* index_after = after->EnsureBoundIndex("r", {0}, &built);
   ASSERT_NE(index_after, nullptr);
-  EXPECT_EQ(index_after->buckets.count(Tuple({Value::Int(77)})), 0u);
+  EXPECT_EQ(index_after->buckets.count(IdKey({Value::Int(77)})), 0u);
   EXPECT_EQ(index_after->buckets.size(), 5u);
 }
 
