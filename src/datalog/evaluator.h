@@ -97,6 +97,21 @@ class Evaluator {
   Status Run(Database* db, EvalStats* stats = nullptr,
              Provenance* provenance = nullptr);
 
+  /// Monotone insert continuation (DESIGN.md §5k): `db` already holds a
+  /// fixpoint of this program plus the freshly inserted facts listed in
+  /// `delta`; derives (only) the consequences of those insertions and
+  /// adds them to `db`, restoring the fixpoint. Every positive body-atom
+  /// occurrence over a delta'd predicate is evaluated once with that
+  /// occurrence restricted to the delta, then newly derived facts form
+  /// the next round's delta — standard semi-naive, started from an
+  /// arbitrary insertion instead of the empty database. Sequential and
+  /// deterministic; `added` (optional) collects the newly derived facts.
+  /// Fails with kFailedPrecondition for programs with negation or
+  /// aggregates (insert-monotonicity does not hold there — callers fall
+  /// back to recomputation; see datalog/differential.h).
+  Status RunIncrement(Database* db, const Database& delta,
+                      EvalStats* stats = nullptr, Database* added = nullptr);
+
   /// EXPLAIN / EXPLAIN ANALYZE (DESIGN.md §5g). With `analyze == false`,
   /// compiles every stratum's join plans against `db` as-is and fills
   /// `*out` without evaluating anything — `db` is not mutated, and the
@@ -132,6 +147,11 @@ Result<std::vector<Tuple>> Query(const Program& program, Database* db,
 /// Three-way comparison with int/double coercion: -1, 0, 1, or nullopt
 /// when the values are of different, non-numeric types.
 std::optional<int> CompareValues(const Value& a, const Value& b);
+
+/// Truth of `a op b` under CompareValues semantics (incomparable values
+/// satisfy only `!=`) — the comparison-literal semantics, shared with
+/// the differential evaluator's sweep executor.
+bool EvalCompare(CompareOp op, const Value& a, const Value& b);
 
 /// Applies `op`; int op int stays int (except division, always double).
 /// nullopt on non-numeric operands or division by zero.

@@ -1,0 +1,104 @@
+#include "kb/delta_log.h"
+
+#include <algorithm>
+
+namespace vada {
+
+DeltaLog::DeltaLog(size_t max_records)
+    : max_records_(std::max<size_t>(1, max_records)) {}
+
+void DeltaLog::OnInsert(const std::string& relation, const Tuple& tuple,
+                        uint64_t version) {
+  RelationLog& log = relations_[relation];
+  log.records.push_back(Record{version, Kind::kInsert, tuple});
+  ++total_records_;
+  EvictIfNeeded();
+}
+
+void DeltaLog::OnRetract(const std::string& relation, const Tuple& tuple,
+                         uint64_t version) {
+  RelationLog& log = relations_[relation];
+  log.records.push_back(Record{version, Kind::kRetract, tuple});
+  ++total_records_;
+  EvictIfNeeded();
+}
+
+void DeltaLog::OnReset(const std::string& relation, uint64_t version) {
+  RelationLog& log = relations_[relation];
+  // A reset supersedes every earlier record of the relation: nothing
+  // before it can combine with anything after it into a row delta.
+  total_records_ -= log.records.size();
+  log.records.clear();
+  log.records.push_back(Record{version, Kind::kReset, Tuple{}});
+  ++total_records_;
+  EvictIfNeeded();
+}
+
+void DeltaLog::OnRewind(uint64_t version) {
+  ++rewind_epoch_;
+  for (auto& [name, log] : relations_) {
+    while (!log.records.empty() && log.records.back().version > version) {
+      log.records.pop_back();
+      --total_records_;
+    }
+  }
+}
+
+void DeltaLog::SetFloor(uint64_t version) {
+  floor_ = std::max(floor_, version);
+}
+
+void DeltaLog::EvictIfNeeded() {
+  while (total_records_ > max_records_) {
+    // Evict the globally oldest record so retention is fair across
+    // relations; its version becomes that relation's answerability
+    // floor.
+    RelationLog* oldest = nullptr;
+    for (auto& [name, log] : relations_) {
+      if (log.records.empty()) continue;
+      if (oldest == nullptr ||
+          log.records.front().version < oldest->records.front().version) {
+        oldest = &log;
+      }
+    }
+    if (oldest == nullptr) return;  // defensive; counters disagree
+    oldest->evict_floor =
+        std::max(oldest->evict_floor, oldest->records.front().version);
+    oldest->records.pop_front();
+    --total_records_;
+  }
+}
+
+std::optional<DeltaLog::RelationDelta> DeltaLog::Since(
+    const std::string& relation, uint64_t since) const {
+  if (since < floor_) return std::nullopt;
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return RelationDelta{};  // nothing happened
+  const RelationLog& log = it->second;
+  if (since < log.evict_floor) return std::nullopt;
+  // Net the per-tuple history: insert +1, retract -1; a consistent log
+  // (the KB only records effective changes) nets each tuple to -1, 0
+  // or +1. `std::map` keys the output deterministically.
+  std::map<Tuple, int> net;
+  for (const Record& r : log.records) {
+    if (r.version <= since) continue;
+    switch (r.kind) {
+      case Kind::kInsert:
+        ++net[r.tuple];
+        break;
+      case Kind::kRetract:
+        --net[r.tuple];
+        break;
+      case Kind::kReset:
+        return std::nullopt;  // history break inside the range
+    }
+  }
+  RelationDelta out;
+  for (const auto& [tuple, n] : net) {
+    if (n > 0) out.inserts.push_back(tuple);
+    if (n < 0) out.retracts.push_back(tuple);
+  }
+  return out;
+}
+
+}  // namespace vada

@@ -1,0 +1,116 @@
+#ifndef VADA_KB_DELTA_LOG_H_
+#define VADA_KB_DELTA_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kb/tuple.h"
+
+namespace vada {
+
+/// Row-level change log of a KnowledgeBase, keyed by the KB's global
+/// version counter (DESIGN.md §5k).
+///
+/// Attached via KnowledgeBase::AttachDeltaLog (the same non-owned
+/// listener pattern as the durability manager), the log records one
+/// (version, insert|retract, tuple) entry per *effective* row change —
+/// replaces are diffed against the previous contents, so a replace that
+/// rewrites an unchanged row logs nothing for it. Incremental consumers
+/// remember the global version they last observed and later ask
+/// `Since(relation, v)` for the net tuple-level delta of versions > v,
+/// which drives differential re-evaluation instead of a full re-run.
+///
+/// The log answers exactly or not at all: `Since` returns nullopt when
+/// the requested range is not fully covered — records were evicted past
+/// the capacity bound, the relation was dropped (a reset marker), or the
+/// range predates attachment — and the consumer falls back to a full
+/// reload. `OnRewind` (called by WriteGuard::Rollback with the guard's
+/// saved global version) drops every record of the rolled-back
+/// transaction so phantom deltas never leak into the next incremental
+/// pass, and bumps `rewind_epoch` so consumers holding state derived
+/// from rolled-back reads can detect it and re-initialize.
+class DeltaLog {
+ public:
+  /// Net tuple-level changes of one relation over a version range. A
+  /// tuple inserted and later retracted within the range nets to
+  /// nothing and appears in neither list.
+  struct RelationDelta {
+    std::vector<Tuple> inserts;
+    std::vector<Tuple> retracts;
+  };
+
+  static constexpr size_t kDefaultMaxRecords = 1u << 20;
+
+  explicit DeltaLog(size_t max_records = kDefaultMaxRecords);
+
+  // --- KB hooks (called by KnowledgeBase/WriteGuard; version is the
+  // --- post-bump global version of the mutation) ---------------------
+
+  void OnInsert(const std::string& relation, const Tuple& tuple,
+                uint64_t version);
+  void OnRetract(const std::string& relation, const Tuple& tuple,
+                 uint64_t version);
+  /// The relation's history can no longer be expressed as row deltas
+  /// (DropRelation). Consumers with an older base must fully reload.
+  void OnReset(const std::string& relation, uint64_t version);
+  /// Transaction rollback: drops every record with version > `version`
+  /// and bumps rewind_epoch(). Idempotent for a version at-or-above the
+  /// newest record.
+  void OnRewind(uint64_t version);
+  /// Called by AttachDeltaLog: versions at-or-below `version` predate
+  /// the log and are never answerable.
+  void SetFloor(uint64_t version);
+
+  // --- Consumer API --------------------------------------------------
+
+  /// Net delta of `relation` across versions in (since, +inf); nullopt
+  /// when the log cannot answer exactly (eviction, reset, or `since`
+  /// below the attach floor).
+  std::optional<RelationDelta> Since(const std::string& relation,
+                                     uint64_t since) const;
+
+  /// Incremented by every OnRewind. Consumers caching state derived
+  /// from the KB snapshot-compare this to invalidate after rollbacks.
+  uint64_t rewind_epoch() const { return rewind_epoch_; }
+
+  /// Total records currently retained (inserts + retracts + resets).
+  size_t size() const { return total_records_; }
+  size_t max_records() const { return max_records_; }
+  /// Oldest version any relation can still answer from (max over the
+  /// attach floor and eviction floors); diagnostic only.
+  uint64_t floor() const { return floor_; }
+
+ private:
+  enum class Kind : uint8_t { kInsert, kRetract, kReset };
+
+  struct Record {
+    uint64_t version = 0;
+    Kind kind = Kind::kInsert;
+    Tuple tuple;  // empty for kReset
+  };
+
+  struct RelationLog {
+    /// Version-ordered appends; OnRewind pops the tail, eviction pops
+    /// the front.
+    std::deque<Record> records;
+    /// Since(since) answers exactly only when since >= evict_floor:
+    /// records at-or-below it were evicted.
+    uint64_t evict_floor = 0;
+  };
+
+  void EvictIfNeeded();
+
+  std::map<std::string, RelationLog> relations_;
+  size_t max_records_;
+  size_t total_records_ = 0;
+  uint64_t floor_ = 0;
+  uint64_t rewind_epoch_ = 0;
+};
+
+}  // namespace vada
+
+#endif  // VADA_KB_DELTA_LOG_H_

@@ -13,6 +13,7 @@
 
 namespace vada {
 
+class DeltaLog;
 class DurabilityManager;
 class WriteGuard;
 
@@ -117,6 +118,14 @@ class KnowledgeBase {
   }
   DurabilityManager* durability() const { return durability_; }
 
+  /// Attaches (nullptr: detaches) the delta log that records this KB's
+  /// effective row-level changes for incremental consumers
+  /// (kb/delta_log.h). Not owned. Mutations append records as they
+  /// commit; WriteGuard::Rollback rewinds the log to the transaction
+  /// start, so it never holds phantom deltas.
+  void AttachDeltaLog(DeltaLog* delta_log);
+  DeltaLog* delta_log() const { return delta_log_; }
+
  private:
   friend class WriteGuard;
 
@@ -135,6 +144,7 @@ class KnowledgeBase {
   Catalog catalog_;
   WriteGuard* guard_ = nullptr;  // active transaction guard; not owned
   DurabilityManager* durability_ = nullptr;  // WAL hook; not owned
+  DeltaLog* delta_log_ = nullptr;  // incremental-consumer hook; not owned
 };
 
 }  // namespace vada

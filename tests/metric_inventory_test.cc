@@ -135,6 +135,7 @@ TEST(MetricInventoryTest, RuntimeAndDesignDocAgreeBothWays) {
     config.obs.http_port = 0;
     config.parallelism.threads = 2;
     config.parallelism.snapshot_cache = true;
+    config.incremental.enabled = true;  // vada_delta_* families (§5k)
     config.durability.enabled = true;
     config.durability.directory = wal_dir;
     config.durability.fsync = FsyncPolicy::kEveryCommit;
